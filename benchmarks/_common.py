@@ -1,0 +1,64 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the rows/series the paper reports (via
+`report_lines`, which bypasses pytest's capture so the numbers are visible
+in a normal `pytest benchmarks/ --benchmark-only` run) and attaches the
+same numbers to `benchmark.extra_info` for machine consumption.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def report_lines(capsys, title: str, lines) -> None:
+    """Print a block of result rows, bypassing pytest capture."""
+    with capsys.disabled():
+        print()
+        print(f"=== {title} ===")
+        for line in lines:
+            print(line)
+
+
+def calibrate_impl_cost(ops: int = 400, trials: int = 5) -> dict:
+    """Measure the real Python cost of one map operation on the verified
+    and the unverified page-table implementations.
+
+    Trials are interleaved and the minimum per implementation is taken
+    (the standard microbenchmark discipline: the minimum is the least
+    noisy estimator of intrinsic cost).  The latency figures scale the
+    simulated apply cost by the measured ratio, so 'verified vs
+    unverified' reflects the actual relative cost of the two code bases."""
+    from repro.core.pt.defs import Flags, PageSize
+    from repro.core.pt.impl import PageTable, SimpleFrameAllocator
+    from repro.hw.mem import PhysicalMemory
+    from repro.nros.pt_unverified import UnverifiedPageTable
+
+    MB = 1024 * 1024
+
+    def run(factory):
+        memory = PhysicalMemory(16 * MB)
+        allocator = SimpleFrameAllocator(memory, start=8 * MB)
+        pt = factory(memory, allocator)
+        start = time.perf_counter()
+        for i in range(ops):
+            pt.map_frame(0x10_0000 + i * 0x1000, 0x10_0000 + i * 0x1000,
+                         PageSize.SIZE_4K, Flags.user_rw())
+        return (time.perf_counter() - start) / ops
+
+    verified = min(run(PageTable) for _ in range(trials))
+    unverified = min(run(UnverifiedPageTable) for _ in range(trials))
+    return {
+        "verified_s_per_op": verified,
+        "unverified_s_per_op": unverified,
+        "ratio": verified / unverified if unverified else 1.0,
+    }
+
+
+CORE_COUNTS = (1, 8, 16, 24, 28)
+
+# Base simulated cost (ns) of applying one page-table operation on a
+# replica; the verified variant scales this by the measured code ratio.
+BASE_APPLY_NS = 2000
+BASE_QUERY_NS = 400
+OPS_PER_CORE = 24

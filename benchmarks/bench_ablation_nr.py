@@ -1,0 +1,133 @@
+"""Ablation: node replication vs a single global lock.
+
+Section 4.1's design claim: NR gives good multi-core performance where
+lock-based designs "suffer from degraded performance due to lock
+contention".  Two workloads on the simulated NUMA machine:
+
+* *write-only* (every op is a map): total apply work is inherently serial
+  per replica, so both designs saturate; NR's advantage is locality — the
+  combiner applies batches against its local replica, while the global
+  lock drags the shared structure's cache lines across the machine on
+  every operation.
+* *read-heavy* (90% resolve): NR reads run concurrently against local
+  replicas under the readers-writer lock; the global lock serialises
+  everything.  This is where replication pays.
+"""
+
+import pytest
+
+from benchmarks._common import BASE_APPLY_NS, BASE_QUERY_NS, report_lines
+from repro.nr.datastructures import VSpaceModel
+from repro.nr.timed import TimedNrConfig, run_timed_workload
+from repro.sim.kernel import Acquire, Delay, Release, Simulator
+from repro.sim.resources import CacheLine, SimLock
+from repro.sim.stats import LatencyRecorder
+from repro.sim.topology import Topology
+
+CORES = (1, 8, 16, 28)
+OPS = 24
+# cache lines of the shared structure touched per operation under the
+# global-lock design (tree walk + entry write)
+STRUCT_LINES = 5
+
+
+def write_workload(core, i):
+    return (("map", (core << 28) | ((i + 1) << 12), i), False)
+
+
+def mixed_workload(core, i):
+    if i % 10 == 0:
+        return (("map", (core << 28) | ((i + 1) << 12), i), False)
+    return (("resolve", (core << 28) | (i << 12)), True)
+
+
+def run_global_lock(num_cores: int, workload):
+    """One lock, one shared structure whose lines bounce between cores."""
+    topology = Topology(num_cores)
+    sim = Simulator()
+    lock = SimLock("global")
+    lock_line = CacheLine(topology)
+    struct_lines = [CacheLine(topology) for _ in range(STRUCT_LINES)]
+    latency = LatencyRecorder()
+
+    def core_proc(core):
+        for i in range(OPS):
+            op, is_read = workload(core, i)
+            start = sim.now
+            yield Delay(topology.costs.syscall_entry)
+            yield Delay(lock_line.atomic_rmw(core))
+            yield Acquire(lock)
+            for line in struct_lines:
+                yield Delay(line.write(core) if not is_read
+                            else line.read(core))
+            yield Delay(BASE_QUERY_NS if is_read else BASE_APPLY_NS)
+            yield Release(lock)
+            yield Delay(topology.costs.syscall_exit)
+            latency.record(sim.now - start)
+            yield Delay(250)
+
+    for core in range(num_cores):
+        sim.spawn(core_proc(core))
+    sim.run()
+    return latency, sim.now
+
+
+def run_nr(num_cores: int, workload):
+    cfg = TimedNrConfig(num_cores=num_cores, ops_per_core=OPS,
+                        apply_cost_ns=BASE_APPLY_NS,
+                        query_cost_ns=BASE_QUERY_NS)
+    result = run_timed_workload(VSpaceModel, workload, cfg)
+    return result.latency, result.sim_ns
+
+
+def _tput(latency, sim_ns):
+    return len(latency.samples) / (sim_ns / 1e6) if sim_ns else 0.0
+
+
+@pytest.mark.parametrize("name,workload", [
+    ("write-only", write_workload),
+    ("read-heavy", mixed_workload),
+])
+def test_ablation_nr_vs_global_lock(benchmark, capsys, name, workload):
+    def run_all():
+        rows = []
+        for cores in CORES:
+            nr = _tput(*run_nr(cores, workload))
+            lock = _tput(*run_global_lock(cores, workload))
+            rows.append((cores, nr, lock))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["  cores   nr [ops/ms]   global-lock [ops/ms]   speedup"]
+    for cores, nr, lock in rows:
+        lines.append(f"  {cores:5d}   {nr:11.1f}   {lock:20.1f}   "
+                     f"{nr / lock:6.2f}x")
+        benchmark.extra_info[f"nr_{cores}"] = round(nr, 1)
+        benchmark.extra_info[f"lock_{cores}"] = round(lock, 1)
+    report_lines(capsys, f"Ablation — NR vs global lock ({name})", lines)
+
+    # the design claim: at 28 cores NR beats the global lock, and the
+    # advantage is larger for the read-heavy mix
+    nr_28 = rows[-1][1]
+    lock_28 = rows[-1][2]
+    assert nr_28 > lock_28
+
+
+def test_ablation_read_scaling(benchmark, capsys):
+    """Reads through NR keep scaling with cores (the readers-writer lock
+    admits concurrent readers on each replica)."""
+
+    def read_workload(core, i):
+        return (("resolve", (core << 28) | (i << 12)), True)
+
+    def run_all():
+        return {
+            cores: _tput(*run_nr(cores, read_workload)) for cores in CORES
+        }
+
+    tputs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [f"  {cores:5d} cores: {tput:10.1f} ops/ms"
+             for cores, tput in tputs.items()]
+    report_lines(capsys, "Ablation — NR read throughput scaling", lines)
+    assert tputs[28] > tputs[1] * 4  # reads scale with cores

@@ -1,0 +1,92 @@
+"""Ablation: the TLB in the hardware model.
+
+Quantifies how many page walks the TLB saves under three access patterns
+(sequential within a page, looping over a small working set, and a random
+scatter larger than the TLB), and the simulated time saved per access —
+the cost structure that justifies modelling the TLB (and its shootdowns)
+at all.
+"""
+
+import random
+
+from benchmarks._common import report_lines
+from repro.core.pt.defs import Flags, PageSize
+from repro.core.pt.impl import PageTable, SimpleFrameAllocator
+from repro.hw.mem import PhysicalMemory
+from repro.hw.mmu import Mmu
+from repro.hw.tlb import Tlb
+
+MB = 1024 * 1024
+WALK_COST_NS = 4 * 90   # four memory accesses per 4-level walk
+TLB_HIT_COST_NS = 2
+
+
+def setup(num_pages=128):
+    memory = PhysicalMemory(16 * MB)
+    allocator = SimpleFrameAllocator(memory, start=8 * MB)
+    pt = PageTable(memory, allocator)
+    for i in range(num_pages):
+        pt.map_frame(0x10000 + i * 0x1000, 0x100000 + i * 0x1000,
+                     PageSize.SIZE_4K, Flags.user_rw())
+    return memory, pt
+
+
+def access_patterns(num_accesses=2000, num_pages=128):
+    rng = random.Random(7)
+    sequential = [0x10000 + (i % 16) * 8 for i in range(num_accesses)]
+    working_set = [0x10000 + (i % 8) * 0x1000 for i in range(num_accesses)]
+    scatter = [0x10000 + rng.randrange(num_pages) * 0x1000
+               for _ in range(num_accesses)]
+    return {"sequential": sequential, "working-set(8p)": working_set,
+            f"scatter({num_pages}p)": scatter}
+
+
+def run_pattern(pt, addresses, capacity):
+    mmu = Mmu(pt.memory)
+    tlb = Tlb(capacity=capacity) if capacity else None
+    walks = 0
+    for vaddr in addresses:
+        if tlb is not None:
+            if tlb.lookup(vaddr) is not None:
+                continue
+        translation = mmu.walk(pt.root_paddr, vaddr)
+        walks += 1
+        if tlb is not None:
+            tlb.insert(translation)
+    return walks
+
+
+def test_ablation_tlb(benchmark, capsys):
+    memory, pt = setup()
+    patterns = access_patterns()
+
+    def run_all():
+        rows = {}
+        for name, addresses in patterns.items():
+            without = run_pattern(pt, addresses, capacity=0)
+            with_64 = run_pattern(pt, addresses, capacity=64)
+            with_16 = run_pattern(pt, addresses, capacity=16)
+            rows[name] = (without, with_64, with_16, len(addresses))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["  pattern            walks(noTLB)  walks(64e)  walks(16e)  "
+             "hit%(64e)   est. time saved"]
+    for name, (without, with_64, with_16, accesses) in rows.items():
+        hit_rate = 1 - with_64 / accesses
+        saved_ns = (without - with_64) * (WALK_COST_NS - TLB_HIT_COST_NS)
+        lines.append(
+            f"  {name:18s} {without:12d}  {with_64:10d}  {with_16:10d}  "
+            f"{hit_rate * 100:8.1f}%   {saved_ns / 1000:8.1f} us"
+        )
+    report_lines(capsys, "Ablation — TLB", lines)
+
+    seq = rows["sequential"]
+    assert seq[1] < seq[0]  # TLB saves walks on every pattern
+    # small working set fits even the small TLB; scatter defeats it
+    ws = rows["working-set(8p)"]
+    assert ws[1] == ws[2]
+    scatter_name = [n for n in rows if n.startswith("scatter")][0]
+    sc = rows[scatter_name]
+    assert sc[2] > sc[1]  # capacity matters under scatter

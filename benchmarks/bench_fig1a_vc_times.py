@@ -1,0 +1,65 @@
+"""Figure 1a: CDF of the verification times of all 220 verification
+conditions, plus the total verification time and the slowest VC
+(Section 5's "approximately 40 seconds" / "at most 11 seconds").
+"""
+
+import pytest
+
+from benchmarks._common import report_lines
+from repro.core.refine.proof import build_proof
+
+THRESHOLDS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 11.0)
+
+
+@pytest.fixture(scope="module")
+def proof_report():
+    engine = build_proof()
+    assert engine.vc_count == 220
+    return engine.run()
+
+
+def test_fig1a_vc_time_cdf(benchmark, proof_report, capsys):
+    """Regenerates Figure 1a's series: cumulative fraction of VCs verified
+    within t seconds."""
+    report = proof_report
+
+    def summarize():
+        return [report.fraction_within(t) for t in THRESHOLDS]
+
+    fractions = benchmark(summarize)
+
+    lines = ["  t [s]   cumulative fraction"]
+    for threshold, fraction in zip(THRESHOLDS, fractions):
+        lines.append(f"  {threshold:5.2f}   {fraction:6.3f}")
+    lines += [
+        "",
+        f"  verification conditions: {report.total} (paper: 220)",
+        f"  proved: {report.proved}/{report.total}",
+        f"  total verification time: {report.total_seconds:.1f} s "
+        f"(paper: ~40 s)",
+        f"  slowest VC: {report.max_seconds:.2f} s (paper: <= 11 s)",
+    ]
+    by_category = sorted(
+        (sum(r.seconds for r in results), name, len(results))
+        for name, results in report.by_category().items()
+    )
+    lines.append("  time by proof layer:")
+    for seconds, name, count in reversed(by_category):
+        lines.append(f"    {name:20s} {count:4d} VCs  {seconds:7.2f} s")
+    report_lines(capsys, "Figure 1a — verification-time CDF", lines)
+
+    benchmark.extra_info["total_vcs"] = report.total
+    benchmark.extra_info["total_seconds"] = round(report.total_seconds, 2)
+    benchmark.extra_info["max_seconds"] = round(report.max_seconds, 2)
+    assert report.all_proved, [r.name for r in report.failed]
+
+
+def test_fig1a_single_vc_discharge(benchmark):
+    """Micro-benchmark: discharging one representative SMT lemma (the
+    per-VC cost the CDF is made of)."""
+    from repro.core.refine.lemmas import address_lemmas
+
+    lemma = next(vc for vc in address_lemmas()
+                 if vc.name == "addr_no_carry_into_frame_SIZE_4K")
+    result = benchmark(lemma.discharge)
+    assert result.ok

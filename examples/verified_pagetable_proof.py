@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Run the full page-table refinement proof and print the report.
+
+This is the Section 5 experience end to end: all 220 verification
+conditions — bit-level SMT lemmas, tree invariants, simulation diagrams,
+hardware agreement, TLB protocol, NR linearizability, and the client
+contract — discharged with per-VC timing, the Figure 1a CDF, and the
+Figure 2 proof structure.
+
+Run:  python examples/verified_pagetable_proof.py [--quick]
+"""
+
+import sys
+
+from repro.core.refine.proof import build_proof, proof_structure
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    print("== proof structure (Figure 2)")
+    for line in proof_structure():
+        print("   " + line)
+
+    print("\n== assembling the proof")
+    engine = build_proof(scenario_cap=12 if quick else 60,
+                         scenario_depth=2 if quick else 3)
+    print(f"   {engine.vc_count} verification conditions in "
+          f"{len(engine.groups)} groups")
+
+    print("\n== discharging (this is the ~40 s step the paper reports)")
+    done = {"count": 0}
+
+    def progress(result):
+        done["count"] += 1
+        if not result.ok:
+            print(f"   FAILED {result.name}: {result.detail}")
+        elif done["count"] % 40 == 0:
+            print(f"   ... {done['count']}/{engine.vc_count} "
+                  f"({result.category})")
+
+    report = engine.run(progress=progress)
+
+    print("\n== report")
+    for line in report.summary_lines():
+        print("   " + line)
+
+    print("\n== verification-time CDF (Figure 1a)")
+    for threshold in (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 11.0):
+        fraction = report.fraction_within(threshold)
+        bar = "#" * int(fraction * 40)
+        print(f"   {threshold:6.2f} s  {bar:40s} {fraction:6.1%}")
+
+    if report.all_proved:
+        print("\nall verification conditions proved — the implementation, "
+              "run in the intended\nhardware environment, refines the "
+              "high-level specification.")
+    else:
+        print(f"\n{len(report.failed)} verification conditions FAILED")
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Reproduction of "Beyond isolation: OS verification as a foundation for
+correct applications" (HotOS '23).
+
+The package rebuilds, in pure Python, every layer of the paper's proposed
+stack: a QF_BV SMT solver and verification framework (:mod:`repro.smt`,
+:mod:`repro.verif`), the verified x86-64 page table and its refinement
+proof (:mod:`repro.core`), simulated hardware (:mod:`repro.hw`), a
+discrete-event NUMA simulator (:mod:`repro.sim`), node replication
+(:mod:`repro.nr`), an NrOS-shaped kernel (:mod:`repro.nros`), the
+userspace library (:mod:`repro.ulib`), and the motivating applications
+(:mod:`repro.apps`).
+
+Start with ``examples/quickstart.py`` or DESIGN.md.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,32 @@
+"""CRC-32 (IEEE 802.3), table-driven, implemented from scratch.
+
+The storage node checksums every block so corruption is detected end to
+end; tests cross-validate this implementation against known vectors."""
+
+from __future__ import annotations
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, crc: int = 0) -> int:
+    """CRC-32 of `data`; `crc` allows incremental computation."""
+    crc ^= 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF

@@ -1,0 +1,126 @@
+"""x86-64 paging constants and flag definitions.
+
+Four-level paging: PML4 -> PDPT -> PD -> PT, 512 entries of 8 bytes per
+table, 48-bit canonical virtual addresses, 4 KiB / 2 MiB / 1 GiB mappings.
+These are the architectural facts the hardware spec and the implementation
+must agree on; the bit-level lemmas in :mod:`repro.core.refine.lemmas` are
+stated over exactly these constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import wordlib
+
+# Table geometry -------------------------------------------------------------
+
+ENTRY_SIZE = 8
+ENTRIES_PER_TABLE = 512
+INDEX_BITS = 9
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB
+
+NUM_LEVELS = 4
+# Levels are numbered the way the walker visits them:
+#   level 0 = PML4, 1 = PDPT, 2 = PD, 3 = PT.
+LEVEL_NAMES = ("PML4", "PDPT", "PD", "PT")
+
+# Bit position of the VA index for each level: PML4 39, PDPT 30, PD 21, PT 12.
+LEVEL_SHIFTS = tuple(
+    PAGE_SHIFT + INDEX_BITS * (NUM_LEVELS - 1 - level)
+    for level in range(NUM_LEVELS)
+)
+
+VADDR_BITS = PAGE_SHIFT + INDEX_BITS * NUM_LEVELS  # 48
+MAX_VADDR = 1 << VADDR_BITS
+
+# Physical address field: bits 12..51 of an entry.
+PADDR_BITS = 52
+ADDR_MASK = wordlib.mask(PADDR_BITS) & ~wordlib.mask(PAGE_SHIFT)
+
+
+class PageSize(enum.IntEnum):
+    """Mappable page sizes and the level whose entry maps them."""
+
+    SIZE_4K = PAGE_SIZE
+    SIZE_2M = PAGE_SIZE * ENTRIES_PER_TABLE
+    SIZE_1G = PAGE_SIZE * ENTRIES_PER_TABLE * ENTRIES_PER_TABLE
+
+    @property
+    def level(self) -> int:
+        """The level whose entry maps a page of this size."""
+        if self is PageSize.SIZE_4K:
+            return 3
+        if self is PageSize.SIZE_2M:
+            return 2
+        return 1
+
+    @classmethod
+    def for_level(cls, level: int) -> "PageSize":
+        for size in cls:
+            if size.level == level:
+                return size
+        raise ValueError(f"level {level} cannot map a page")
+
+
+# Entry flag bits ------------------------------------------------------------
+
+BIT_PRESENT = 0
+BIT_WRITABLE = 1
+BIT_USER = 2
+BIT_WRITE_THROUGH = 3
+BIT_CACHE_DISABLE = 4
+BIT_ACCESSED = 5
+BIT_DIRTY = 6
+BIT_HUGE = 7  # "PS": maps a large page at PDPT/PD level
+BIT_GLOBAL = 8
+BIT_NX = 63
+
+
+@dataclass(frozen=True)
+class Flags:
+    """Permission and attribute flags carried by a mapping."""
+
+    writable: bool = False
+    user: bool = False
+    executable: bool = True
+    write_through: bool = False
+    cache_disable: bool = False
+    global_: bool = False
+
+    @staticmethod
+    def kernel_rw() -> "Flags":
+        return Flags(writable=True, user=False, executable=False)
+
+    @staticmethod
+    def user_rw() -> "Flags":
+        return Flags(writable=True, user=True, executable=False)
+
+    @staticmethod
+    def user_rx() -> "Flags":
+        return Flags(writable=False, user=True, executable=True)
+
+
+def is_canonical(vaddr: int) -> bool:
+    """True when `vaddr` is a valid 48-bit (lower-half) virtual address.
+
+    The prototype, like NrOS processes, works in the lower canonical half.
+    """
+    return 0 <= vaddr < MAX_VADDR
+
+
+def vaddr_index(vaddr: int, level: int) -> int:
+    """The 9-bit table index the walker uses at `level`."""
+    return (vaddr >> LEVEL_SHIFTS[level]) & wordlib.mask(INDEX_BITS)
+
+
+def vaddr_offset(vaddr: int, size: PageSize) -> int:
+    """The offset of `vaddr` within a page of the given size."""
+    return vaddr & (int(size) - 1)
+
+
+def vaddr_base(vaddr: int, size: PageSize) -> int:
+    """The base virtual address of the page of `size` containing `vaddr`."""
+    return vaddr & ~(int(size) - 1)

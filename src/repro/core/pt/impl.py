@@ -1,0 +1,298 @@
+"""The executable page-table implementation (Figure 2, box 3).
+
+Concrete functions for `map`, `unmap`, and `resolve` that read and write the
+page-table bits in simulated physical memory, allocating and freeing the
+frames that store intermediate tables — a faithful port of the paper's
+verified Rust prototype to Python.
+
+The `resolve` path intentionally re-reads the tree through this module's own
+logic; agreement between it, the independent hardware walker, and the
+abstract map is established by the `hardware-agreement` verification
+conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import wordlib
+from repro.core.pt import defs, entry
+from repro.core.pt.defs import Flags, PageSize
+from repro.core.pt.entry import EntryKind
+from repro.hw.mem import PhysicalMemory
+
+
+class PtError(Exception):
+    """Base class for page-table operation failures."""
+
+
+class AlreadyMapped(PtError):
+    """The requested range overlaps an existing mapping."""
+
+
+class NotMapped(PtError):
+    """No mapping covers the requested virtual address."""
+
+
+class BadRequest(PtError):
+    """Misaligned or non-canonical arguments."""
+
+
+class OutOfFrames(PtError):
+    """The frame allocator could not provide a table frame."""
+
+
+class SimpleFrameAllocator:
+    """A minimal frame allocator (bump pointer + free list).
+
+    Satisfies the allocator protocol the page table needs; the full kernel
+    uses the buddy allocator in :mod:`repro.nros.pmem` instead.
+    """
+
+    def __init__(self, memory: PhysicalMemory, start: int = 0) -> None:
+        if not wordlib.is_aligned(start, defs.PAGE_SIZE):
+            raise ValueError("allocator start must be page-aligned")
+        self.memory = memory
+        self._next = start
+        self._free: list[int] = []
+        self.allocated = 0
+
+    def alloc_frame(self) -> int:
+        if self._free:
+            frame = self._free.pop()
+        else:
+            if self._next + defs.PAGE_SIZE > self.memory.size:
+                raise OutOfFrames("physical memory exhausted")
+            frame = self._next
+            self._next += defs.PAGE_SIZE
+        self.allocated += 1
+        return frame
+
+    def free_frame(self, paddr: int) -> None:
+        if not wordlib.is_aligned(paddr, defs.PAGE_SIZE):
+            raise ValueError(f"freeing misaligned frame {paddr:#x}")
+        self.allocated -= 1
+        self._free.append(paddr)
+
+
+# Hot-path bit tests (semantically identical to entry.decode, which the
+# refinement proof checks; the implementation avoids building EntryView
+# objects on every walk step, exactly as the compiled Rust original would).
+_PRESENT = 1 << defs.BIT_PRESENT
+_HUGE = 1 << defs.BIT_HUGE
+
+
+def _maps_page(raw: int, level: int) -> bool:
+    return level == 3 or (level in (1, 2) and bool(raw & _HUGE))
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One mapping as reported by `resolve` and `unmap`."""
+
+    vaddr: int  # page base virtual address
+    paddr: int  # frame base physical address
+    size: PageSize
+    flags: Flags
+
+
+class PageTable:
+    """An x86-64 four-level page table over simulated physical memory."""
+
+    def __init__(self, memory: PhysicalMemory, allocator, root_paddr: int | None = None):
+        self.memory = memory
+        self.allocator = allocator
+        if root_paddr is None:
+            root_paddr = allocator.alloc_frame()
+            memory.zero_frame(root_paddr)
+        self.root_paddr = root_paddr
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _entry_paddr(self, table_paddr: int, vaddr: int, level: int) -> int:
+        # shift+mask == the bit-field extraction (VC addr_index_extract_*)
+        index = (vaddr >> defs.LEVEL_SHIFTS[level]) & 0x1FF
+        return table_paddr + index * defs.ENTRY_SIZE
+
+    def _read(self, table_paddr: int, vaddr: int, level: int) -> tuple[int, entry.EntryView]:
+        raw = self.memory.load_u64(self._entry_paddr(table_paddr, vaddr, level))
+        return raw, entry.decode(raw, level)
+
+    def _table_is_empty(self, table_paddr: int) -> bool:
+        return self.memory.is_zero_range(table_paddr, defs.PAGE_SIZE)
+
+    # -- operations ---------------------------------------------------------------
+
+    def map_frame(
+        self, vaddr: int, frame_paddr: int, size: PageSize, flags: Flags
+    ) -> None:
+        """Map the page of `size` at `vaddr` to the physical frame at
+        `frame_paddr`.
+
+        Raises :class:`BadRequest` on misalignment, :class:`AlreadyMapped`
+        when any existing mapping overlaps the range, and
+        :class:`OutOfFrames` when a needed intermediate table cannot be
+        allocated (in which case the tree is left unchanged)."""
+        if not 0 <= vaddr < defs.MAX_VADDR:
+            raise BadRequest(f"non-canonical vaddr {vaddr:#x}")
+        mask = int(size) - 1
+        if vaddr & mask:
+            raise BadRequest(f"vaddr {vaddr:#x} not aligned to {size.name}")
+        if frame_paddr & mask:
+            raise BadRequest(f"frame {frame_paddr:#x} not aligned to {size.name}")
+        if frame_paddr & ~defs.ADDR_MASK:
+            raise BadRequest(f"frame {frame_paddr:#x} beyond physical range")
+
+        target_level = size.level
+        table = self.root_paddr
+        created: list[tuple[int, int]] = []  # (entry paddr, table frame)
+        try:
+            for level in range(target_level):
+                entry_paddr = self._entry_paddr(table, vaddr, level)
+                raw = self.memory.load_u64(entry_paddr)
+                if raw & _PRESENT:
+                    if _maps_page(raw, level):
+                        raise AlreadyMapped(
+                            f"{vaddr:#x} covered by a "
+                            f"{PageSize.for_level(level).name} page at "
+                            f"{defs.LEVEL_NAMES[level]}"
+                        )
+                    table = raw & defs.ADDR_MASK
+                else:
+                    new_table = self.allocator.alloc_frame()
+                    self.memory.zero_frame(new_table)
+                    self.memory.store_u64(entry_paddr, entry.encode_table(new_table))
+                    created.append((entry_paddr, new_table))
+                    table = new_table
+            leaf = self._entry_paddr(table, vaddr, target_level)
+            if self.memory.load_u64(leaf) & _PRESENT:
+                raise AlreadyMapped(f"{vaddr:#x} already mapped")
+            self.memory.store_u64(
+                leaf, entry.encode_page(frame_paddr, flags, target_level)
+            )
+        except (AlreadyMapped, OutOfFrames):
+            # Roll back any tables created on this walk so a failed map
+            # leaves the tree exactly as it was.
+            for entry_paddr, table_frame in reversed(created):
+                self.memory.store_u64(entry_paddr, 0)
+                self.allocator.free_frame(table_frame)
+            raise
+
+    def unmap(self, vaddr: int) -> Mapping:
+        """Remove the mapping covering `vaddr` and return it.
+
+        Intermediate tables left empty by the removal are freed.  Raises
+        :class:`NotMapped` when nothing covers `vaddr`."""
+        if not defs.is_canonical(vaddr):
+            raise BadRequest(f"non-canonical vaddr {vaddr:#x}")
+        table = self.root_paddr
+        path: list[tuple[int, int]] = []  # (table frame, entry paddr) per level
+        for level in range(defs.NUM_LEVELS):
+            entry_paddr = self._entry_paddr(table, vaddr, level)
+            raw = self.memory.load_u64(entry_paddr)
+            if not raw & _PRESENT:
+                raise NotMapped(f"{vaddr:#x} not mapped")
+            if _maps_page(raw, level):
+                view = entry.decode(raw, level)
+                size = PageSize.for_level(level)
+                self.memory.store_u64(entry_paddr, 0)
+                removed = Mapping(
+                    vaddr=defs.vaddr_base(vaddr, size),
+                    paddr=view.paddr,
+                    size=size,
+                    flags=view.flags,
+                )
+                self._collect_empty_tables(path)
+                return removed
+            path.append((table, entry_paddr))
+            table = raw & defs.ADDR_MASK
+        raise AssertionError("unreachable: PT level maps or is empty")
+
+    def _collect_empty_tables(self, path: list[tuple[int, int]]) -> None:
+        """Free tables on the walk path that became empty, bottom-up."""
+        for parent_table, entry_paddr in reversed(path):
+            raw = self.memory.load_u64(entry_paddr)
+            child = raw & defs.ADDR_MASK
+            if not self._table_is_empty(child):
+                return
+            self.memory.store_u64(entry_paddr, 0)
+            self.allocator.free_frame(child)
+            del parent_table
+
+    def resolve(self, vaddr: int) -> Mapping | None:
+        """Return the mapping covering `vaddr`, or None."""
+        if not defs.is_canonical(vaddr):
+            raise BadRequest(f"non-canonical vaddr {vaddr:#x}")
+        table = self.root_paddr
+        for level in range(defs.NUM_LEVELS):
+            raw = self.memory.load_u64(self._entry_paddr(table, vaddr, level))
+            if not raw & _PRESENT:
+                return None
+            if _maps_page(raw, level):
+                view = entry.decode(raw, level)
+                size = PageSize.for_level(level)
+                return Mapping(
+                    vaddr=defs.vaddr_base(vaddr, size),
+                    paddr=view.paddr,
+                    size=size,
+                    flags=view.flags,
+                )
+            table = raw & defs.ADDR_MASK
+        raise AssertionError("unreachable")
+
+    # -- whole-tree operations ---------------------------------------------------
+
+    def mappings(self) -> list[Mapping]:
+        """Enumerate all mappings (used by tests and address-space cloning)."""
+        out: list[Mapping] = []
+        self._walk_tables(self.root_paddr, 0, 0, out)
+        return out
+
+    def _walk_tables(self, table: int, level: int, vbase: int, out: list[Mapping]):
+        shift = defs.LEVEL_SHIFTS[level]
+        for index in range(defs.ENTRIES_PER_TABLE):
+            raw = self.memory.load_u64(table + index * defs.ENTRY_SIZE)
+            view = entry.decode(raw, level)
+            if view.kind is EntryKind.EMPTY:
+                continue
+            child_vbase = vbase | (index << shift)
+            if view.kind is EntryKind.PAGE:
+                out.append(
+                    Mapping(
+                        vaddr=child_vbase,
+                        paddr=view.paddr,
+                        size=PageSize.for_level(level),
+                        flags=view.flags,
+                    )
+                )
+            else:
+                self._walk_tables(view.paddr, level + 1, child_vbase, out)
+
+    def destroy(self) -> None:
+        """Unmap everything and free every table frame including the root."""
+        self._free_tables(self.root_paddr, 0)
+
+    def _free_tables(self, table: int, level: int) -> None:
+        if level < defs.NUM_LEVELS - 1:
+            for index in range(defs.ENTRIES_PER_TABLE):
+                raw = self.memory.load_u64(table + index * defs.ENTRY_SIZE)
+                view = entry.decode(raw, level)
+                if view.kind is EntryKind.TABLE:
+                    self._free_tables(view.paddr, level + 1)
+        self.allocator.free_frame(table)
+
+    def table_frames(self) -> list[int]:
+        """All frames used to store the tree (root included)."""
+        frames: list[int] = []
+        self._collect_frames(self.root_paddr, 0, frames)
+        return frames
+
+    def _collect_frames(self, table: int, level: int, out: list[int]) -> None:
+        out.append(table)
+        if level >= defs.NUM_LEVELS - 1:
+            return
+        for index in range(defs.ENTRIES_PER_TABLE):
+            raw = self.memory.load_u64(table + index * defs.ENTRY_SIZE)
+            view = entry.decode(raw, level)
+            if view.kind is EntryKind.TABLE:
+                self._collect_frames(view.paddr, level + 1, out)

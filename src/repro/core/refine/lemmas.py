@@ -1,0 +1,453 @@
+"""Bit-level lemmas of the page-table proof, discharged by the SMT solver.
+
+These correspond to the part of the paper's proof that "map[s] from a
+multi-level tree structure encoded as bits to a flat abstract data type":
+every fact about entry encodings and address arithmetic that the simulation
+argument relies on is stated here as a 64-bit QF_BV goal and proved by
+:func:`repro.smt.solver.prove`.
+
+Each lemma is one verification condition; together with the exhaustive
+obligations in :mod:`repro.core.refine.proof` they form the ~220-VC
+population whose timing distribution reproduces Figure 1a.
+"""
+
+from __future__ import annotations
+
+from repro import wordlib
+from repro.core.pt import defs
+from repro.smt import ast
+from repro.verif.vc import VC, smt_vc
+
+U64 = 64
+
+
+def c64(value: int) -> ast.Term:
+    return ast.bv_const(value, U64)
+
+
+def _bit_term(raw: ast.Term, bit: int) -> ast.Term:
+    """The 1-bit extraction of `raw` at `bit`."""
+    return ast.extract(raw, bit, bit)
+
+
+def _flag_bit(flag: ast.Term, bit: int) -> ast.Term:
+    """A 64-bit value with `bit` set iff the Bool `flag` holds."""
+    return ast.ite(flag, c64(1 << bit), c64(0))
+
+
+FLAG_BITS = {
+    "writable": defs.BIT_WRITABLE,
+    "user": defs.BIT_USER,
+    "write_through": defs.BIT_WRITE_THROUGH,
+    "cache_disable": defs.BIT_CACHE_DISABLE,
+    "global_": defs.BIT_GLOBAL,
+}
+
+
+def sym_flags() -> dict[str, ast.Term]:
+    """Symbolic Bool variables for every flag (executable as NX)."""
+    flags = {name: ast.bool_var(f"flag_{name}") for name in FLAG_BITS}
+    flags["nx"] = ast.bool_var("flag_nx")
+    return flags
+
+
+def sym_encode_page(frame: ast.Term, flags: dict[str, ast.Term], level: int) -> ast.Term:
+    """Symbolic mirror of :func:`repro.core.pt.entry.encode_page`."""
+    raw = ast.bvand(frame, c64(defs.ADDR_MASK))
+    raw = ast.bvor(raw, c64(1 << defs.BIT_PRESENT))
+    for name, bit in FLAG_BITS.items():
+        raw = ast.bvor(raw, _flag_bit(flags[name], bit))
+    raw = ast.bvor(raw, _flag_bit(flags["nx"], defs.BIT_NX))
+    if level in (1, 2):
+        raw = ast.bvor(raw, c64(1 << defs.BIT_HUGE))
+    return raw
+
+
+def sym_encode_table(next_paddr: ast.Term) -> ast.Term:
+    """Symbolic mirror of :func:`repro.core.pt.entry.encode_table`."""
+    raw = ast.bvand(next_paddr, c64(defs.ADDR_MASK))
+    raw = ast.bvor(raw, c64(1 << defs.BIT_PRESENT))
+    raw = ast.bvor(raw, c64(1 << defs.BIT_WRITABLE))
+    raw = ast.bvor(raw, c64(1 << defs.BIT_USER))
+    return raw
+
+
+def _frame_guards(frame: ast.Term, size: defs.PageSize) -> ast.Term:
+    """frame is size-aligned and inside the 52-bit physical range."""
+    aligned = ast.eq(ast.bvand(frame, c64(int(size) - 1)), c64(0))
+    in_range = ast.eq(ast.bvand(frame, c64(~defs.ADDR_MASK)), c64(0))
+    return ast.and_(aligned, in_range)
+
+
+def entry_lemmas() -> list[VC]:
+    """Encode/decode roundtrips, per level and field."""
+    vcs: list[VC] = []
+    for level in (1, 2, 3):
+        size = defs.PageSize.for_level(level)
+        level_name = defs.LEVEL_NAMES[level]
+
+        def make(goal_fn, label, level=level, size=size):
+            vcs.append(
+                smt_vc(
+                    name=f"entry_{defs.LEVEL_NAMES[level].lower()}_{label}",
+                    category="entry-lemmas",
+                    goal_builder=lambda goal_fn=goal_fn, level=level, size=size: goal_fn(level, size),
+                )
+            )
+
+        def paddr_roundtrip(level, size):
+            frame = ast.bv_var("frame", U64)
+            flags = sym_flags()
+            raw = sym_encode_page(frame, flags, level)
+            decoded = ast.bvand(
+                ast.bvand(raw, c64(defs.ADDR_MASK)), c64(~(int(size) - 1))
+            )
+            return ast.implies(_frame_guards(frame, size), ast.eq(decoded, frame))
+
+        make(paddr_roundtrip, "paddr_roundtrip")
+
+        def present_set(level, size):
+            frame = ast.bv_var("frame", U64)
+            raw = sym_encode_page(frame, sym_flags(), level)
+            return ast.eq(_bit_term(raw, defs.BIT_PRESENT), ast.bv_const(1, 1))
+
+        make(present_set, "present_set")
+
+        def huge_bit(level, size):
+            frame = ast.bv_var("frame", U64)
+            raw = sym_encode_page(frame, sym_flags(), level)
+            expected = ast.bv_const(1 if level in (1, 2) else 0, 1)
+            return ast.implies(
+                _frame_guards(frame, size),
+                ast.eq(_bit_term(raw, defs.BIT_HUGE), expected),
+            )
+
+        make(huge_bit, "huge_bit")
+
+        for flag_name, bit in FLAG_BITS.items():
+            def flag_roundtrip(level, size, flag_name=flag_name, bit=bit):
+                frame = ast.bv_var("frame", U64)
+                flags = sym_flags()
+                raw = sym_encode_page(frame, flags, level)
+                got = ast.eq(_bit_term(raw, bit), ast.bv_const(1, 1))
+                return ast.implies(
+                    _frame_guards(frame, size),
+                    ast.eq(got, flags[flag_name]),
+                )
+
+            make(flag_roundtrip, f"{flag_name.rstrip('_')}_roundtrip")
+
+        def nx_roundtrip(level, size):
+            frame = ast.bv_var("frame", U64)
+            flags = sym_flags()
+            raw = sym_encode_page(frame, flags, level)
+            got = ast.eq(_bit_term(raw, defs.BIT_NX), ast.bv_const(1, 1))
+            return ast.implies(_frame_guards(frame, size), ast.eq(got, flags["nx"]))
+
+        make(nx_roundtrip, "nx_roundtrip")
+
+        def reserved_zero(level, size):
+            frame = ast.bv_var("frame", U64)
+            raw = sym_encode_page(frame, sym_flags(), level)
+            low_reserved = ast.eq(
+                ast.extract(raw, 11, 9), ast.bv_const(0, 3)
+            )
+            high_reserved = ast.eq(
+                ast.extract(raw, 62, 52), ast.bv_const(0, 11)
+            )
+            return ast.implies(
+                _frame_guards(frame, size), ast.and_(low_reserved, high_reserved)
+            )
+
+        make(reserved_zero, "reserved_bits_zero")
+
+    # Table-entry lemmas (levels 0-2 share one encoding).
+    def table_paddr_roundtrip():
+        next_paddr = ast.bv_var("next", U64)
+        raw = sym_encode_table(next_paddr)
+        decoded = ast.bvand(raw, c64(defs.ADDR_MASK))
+        return ast.implies(
+            _frame_guards(next_paddr, defs.PageSize.SIZE_4K),
+            ast.eq(decoded, next_paddr),
+        )
+
+    vcs.append(smt_vc("entry_table_paddr_roundtrip", "entry-lemmas",
+                      table_paddr_roundtrip))
+
+    def table_present_rw_user():
+        next_paddr = ast.bv_var("next", U64)
+        raw = sym_encode_table(next_paddr)
+        return ast.and_(
+            ast.eq(_bit_term(raw, defs.BIT_PRESENT), ast.bv_const(1, 1)),
+            ast.eq(_bit_term(raw, defs.BIT_WRITABLE), ast.bv_const(1, 1)),
+            ast.eq(_bit_term(raw, defs.BIT_USER), ast.bv_const(1, 1)),
+        )
+
+    vcs.append(smt_vc("entry_table_permissive", "entry-lemmas",
+                      table_present_rw_user))
+
+    def table_not_huge():
+        next_paddr = ast.bv_var("next", U64)
+        raw = sym_encode_table(next_paddr)
+        return ast.eq(_bit_term(raw, defs.BIT_HUGE), ast.bv_const(0, 1))
+
+    vcs.append(smt_vc("entry_table_not_huge", "entry-lemmas", table_not_huge))
+
+    def table_nx_clear():
+        next_paddr = ast.bv_var("next", U64)
+        raw = sym_encode_table(next_paddr)
+        return ast.eq(_bit_term(raw, defs.BIT_NX), ast.bv_const(0, 1))
+
+    vcs.append(smt_vc("entry_table_nx_clear", "entry-lemmas", table_nx_clear))
+    return vcs
+
+
+def address_lemmas() -> list[VC]:
+    """Address-arithmetic lemmas over 64-bit virtual addresses."""
+    vcs: list[VC] = []
+    canonical = lambda va: ast.ult(va, c64(defs.MAX_VADDR))
+
+    # Index extraction: shift+mask equals the bit-field extraction.
+    for level, shift in enumerate(defs.LEVEL_SHIFTS):
+        def index_is_extract(shift=shift):
+            va = ast.bv_var("va", U64)
+            lhs = ast.bvand(
+                ast.bvlshr(va, c64(shift)), c64(wordlib.mask(defs.INDEX_BITS))
+            )
+            rhs = ast.zext(ast.extract(va, shift + defs.INDEX_BITS - 1, shift), U64)
+            return ast.eq(lhs, rhs)
+
+        vcs.append(smt_vc(
+            f"addr_index_extract_{defs.LEVEL_NAMES[level].lower()}",
+            "address-lemmas", index_is_extract,
+        ))
+
+        def index_bounded(shift=shift):
+            va = ast.bv_var("va", U64)
+            index = ast.bvand(
+                ast.bvlshr(va, c64(shift)), c64(wordlib.mask(defs.INDEX_BITS))
+            )
+            return ast.ult(index, c64(defs.ENTRIES_PER_TABLE))
+
+        vcs.append(smt_vc(
+            f"addr_index_bounded_{defs.LEVEL_NAMES[level].lower()}",
+            "address-lemmas", index_bounded,
+        ))
+
+    # Base/offset decomposition per page size.
+    for size in defs.PageSize:
+        mask_val = int(size) - 1
+
+        def base_plus_offset(mask_val=mask_val):
+            va = ast.bv_var("va", U64)
+            base = ast.bvand(va, c64(~mask_val))
+            off = ast.bvand(va, c64(mask_val))
+            return ast.eq(ast.bvor(base, off), va)
+
+        vcs.append(smt_vc(f"addr_base_or_offset_{size.name}",
+                          "address-lemmas", base_plus_offset))
+
+        def base_aligned(mask_val=mask_val):
+            va = ast.bv_var("va", U64)
+            base = ast.bvand(va, c64(~mask_val))
+            return ast.eq(ast.bvand(base, c64(mask_val)), c64(0))
+
+        vcs.append(smt_vc(f"addr_base_aligned_{size.name}",
+                          "address-lemmas", base_aligned))
+
+        def offset_bounded(mask_val=mask_val, size=size):
+            va = ast.bv_var("va", U64)
+            off = ast.bvand(va, c64(mask_val))
+            return ast.ult(off, c64(int(size)))
+
+        vcs.append(smt_vc(f"addr_offset_bounded_{size.name}",
+                          "address-lemmas", offset_bounded))
+
+        # frame + offset stays inside the frame (the mapping obligation's
+        # arithmetic core): needs a real adder, so exercises the SAT tail.
+        def no_carry_into_frame(mask_val=mask_val, size=size):
+            frame = ast.bv_var("frame", U64)
+            off = ast.bv_var("off", U64)
+            guards = ast.and_(
+                ast.eq(ast.bvand(frame, c64(mask_val)), c64(0)),
+                ast.ult(off, c64(int(size))),
+            )
+            total = ast.bvadd(frame, off)
+            return ast.implies(
+                guards, ast.eq(ast.bvand(total, c64(~mask_val)), frame)
+            )
+
+        vcs.append(smt_vc(f"addr_no_carry_into_frame_{size.name}",
+                          "address-lemmas", no_carry_into_frame))
+
+        def offset_recovered(mask_val=mask_val, size=size):
+            frame = ast.bv_var("frame", U64)
+            off = ast.bv_var("off", U64)
+            guards = ast.and_(
+                ast.eq(ast.bvand(frame, c64(mask_val)), c64(0)),
+                ast.ult(off, c64(int(size))),
+            )
+            total = ast.bvadd(frame, off)
+            return ast.implies(
+                guards, ast.eq(ast.bvand(total, c64(mask_val)), off)
+            )
+
+        vcs.append(smt_vc(f"addr_offset_recovered_{size.name}",
+                          "address-lemmas", offset_recovered))
+
+    # Alignment is downward-closed across sizes.
+    def align_1g_implies_2m():
+        va = ast.bv_var("va", U64)
+        a1g = ast.eq(ast.bvand(va, c64((1 << 30) - 1)), c64(0))
+        a2m = ast.eq(ast.bvand(va, c64((1 << 21) - 1)), c64(0))
+        return ast.implies(a1g, a2m)
+
+    vcs.append(smt_vc("addr_align_1g_implies_2m", "address-lemmas",
+                      align_1g_implies_2m))
+
+    def align_2m_implies_4k():
+        va = ast.bv_var("va", U64)
+        a2m = ast.eq(ast.bvand(va, c64((1 << 21) - 1)), c64(0))
+        a4k = ast.eq(ast.bvand(va, c64((1 << 12) - 1)), c64(0))
+        return ast.implies(a2m, a4k)
+
+    vcs.append(smt_vc("addr_align_2m_implies_4k", "address-lemmas",
+                      align_2m_implies_4k))
+
+    # The four indices plus page offset reconstruct a canonical address.
+    def indices_reconstruct():
+        va = ast.bv_var("va", U64)
+        parts = c64(0)
+        for shift in defs.LEVEL_SHIFTS:
+            index = ast.zext(
+                ast.extract(va, shift + defs.INDEX_BITS - 1, shift), U64
+            )
+            parts = ast.bvor(parts, ast.bvshl(index, c64(shift)))
+        offset = ast.bvand(va, c64(defs.PAGE_SIZE - 1))
+        parts = ast.bvor(parts, offset)
+        return ast.implies(canonical(va), ast.eq(parts, va))
+
+    vcs.append(smt_vc("addr_indices_reconstruct", "address-lemmas",
+                      indices_reconstruct))
+
+    # Equal page base <=> equal index prefix (one per size).
+    size_index_levels = {
+        defs.PageSize.SIZE_1G: 2,
+        defs.PageSize.SIZE_2M: 3,
+        defs.PageSize.SIZE_4K: 4,
+    }
+    for size, prefix_levels in size_index_levels.items():
+        def base_eq_iff_indices(size=size, prefix_levels=prefix_levels):
+            va1 = ast.bv_var("va1", U64)
+            va2 = ast.bv_var("va2", U64)
+            mask_val = int(size) - 1
+            bases_eq = ast.eq(
+                ast.bvand(va1, c64(~mask_val)), ast.bvand(va2, c64(~mask_val))
+            )
+            idx_eq = ast.true()
+            for level in range(prefix_levels):
+                shift = defs.LEVEL_SHIFTS[level]
+                hi = shift + defs.INDEX_BITS - 1
+                idx_eq = ast.and_(
+                    idx_eq,
+                    ast.eq(ast.extract(va1, hi, shift),
+                           ast.extract(va2, hi, shift)),
+                )
+            both_canonical = ast.and_(canonical(va1), canonical(va2))
+            return ast.implies(both_canonical, ast.eq(bases_eq, idx_eq))
+
+        vcs.append(smt_vc(f"addr_base_eq_iff_indices_{size.name}",
+                          "address-lemmas", base_eq_iff_indices))
+
+    # Stepping to the next page advances the index field by one.
+    for size in (defs.PageSize.SIZE_4K, defs.PageSize.SIZE_2M,
+                 defs.PageSize.SIZE_1G):
+        shift = defs.LEVEL_SHIFTS[size.level]
+
+        def next_page_steps_index(size=size, shift=shift):
+            va = ast.bv_var("va", U64)
+            guards = ast.and_(
+                ast.eq(ast.bvand(va, c64(int(size) - 1)), c64(0)),
+                ast.ult(va, c64(defs.MAX_VADDR - int(size))),
+            )
+            stepped = ast.bvadd(va, c64(int(size)))
+            lhs = ast.bvlshr(stepped, c64(shift))
+            rhs = ast.bvadd(ast.bvlshr(va, c64(shift)), c64(1))
+            return ast.implies(guards, ast.eq(lhs, rhs))
+
+        vcs.append(smt_vc(f"addr_next_page_steps_index_{size.name}",
+                          "address-lemmas", next_page_steps_index))
+
+    # ADDR_MASK extraction is the 52..12 bit field shifted into place.
+    def addr_mask_is_field():
+        raw = ast.bv_var("raw", U64)
+        lhs = ast.bvand(raw, c64(defs.ADDR_MASK))
+        field = ast.zext(ast.extract(raw, defs.PADDR_BITS - 1, defs.PAGE_SHIFT), U64)
+        rhs = ast.bvshl(field, c64(defs.PAGE_SHIFT))
+        return ast.eq(lhs, rhs)
+
+    vcs.append(smt_vc("addr_mask_is_field", "address-lemmas",
+                      addr_mask_is_field))
+    return vcs
+
+
+def marshalling_lemmas() -> list[VC]:
+    """Serialization lemmas for the syscall ABI (Section 3's marshalling
+    obligation): little-endian byte splits recompose to the original word."""
+    vcs: list[VC] = []
+
+    for width in (16, 32, 64):
+        def le_roundtrip(width=width):
+            word = ast.bv_var("w", width)
+            reassembled = None
+            for byte_index in range(width // 8):
+                byte = ast.extract(word, byte_index * 8 + 7, byte_index * 8)
+                reassembled = byte if reassembled is None else ast.concat(
+                    byte, reassembled
+                )
+            return ast.eq(reassembled, word)
+
+        vcs.append(smt_vc(f"marshal_le_roundtrip_u{width}",
+                          "marshal-lemmas", le_roundtrip))
+
+    # Each byte lane of a u64 is recoverable by shift+mask.
+    for lane in range(8):
+        def lane_recover(lane=lane):
+            word = ast.bv_var("w", U64)
+            shifted = ast.bvand(
+                ast.bvlshr(word, c64(lane * 8)), c64(0xFF)
+            )
+            field = ast.zext(ast.extract(word, lane * 8 + 7, lane * 8), U64)
+            return ast.eq(shifted, field)
+
+        vcs.append(smt_vc(f"marshal_u64_lane_{lane}", "marshal-lemmas",
+                          lane_recover))
+
+    # Length-prefixed payload arithmetic: header + body offsets do not wrap
+    # for bounded lengths.
+    def length_prefix_no_wrap():
+        length = ast.bv_var("len", U64)
+        bound = ast.ult(length, c64(1 << 32))
+        total = ast.bvadd(length, c64(8))
+        return ast.implies(bound, ast.ult(length, total))
+
+    vcs.append(smt_vc("marshal_length_prefix_no_wrap", "marshal-lemmas",
+                      length_prefix_no_wrap))
+
+    # Packing two u32s into a u64 is invertible.
+    def pack_pair_roundtrip():
+        hi = ast.bv_var("hi", 32)
+        lo = ast.bv_var("lo", 32)
+        packed = ast.concat(hi, lo)
+        return ast.and_(
+            ast.eq(ast.extract(packed, 63, 32), hi),
+            ast.eq(ast.extract(packed, 31, 0), lo),
+        )
+
+    vcs.append(smt_vc("marshal_pack_pair_roundtrip", "marshal-lemmas",
+                      pack_pair_roundtrip))
+    return vcs
+
+
+def all_lemma_vcs() -> list[VC]:
+    return entry_lemmas() + address_lemmas() + marshalling_lemmas()

@@ -1,0 +1,98 @@
+"""The hardware specification (Figure 2, box 1), as a checkable interface.
+
+The executable walker lives in :mod:`repro.hw.mmu`; this module states what
+the *combination* of page-table bits and walker must guarantee to the
+high-level spec, as predicates the refinement VCs quantify over:
+
+* `walk_agrees_with_abstract` — for every probe address, the MMU's walk of
+  the bits in memory returns exactly what the abstract map says (same
+  physical address, same permission bits), and faults exactly on unmapped
+  addresses.
+* `tlb_consistent` — a TLB that is invalidated according to the kernel's
+  shootdown protocol never returns a translation that disagrees with a
+  fresh walk.
+"""
+
+from __future__ import annotations
+
+from repro.core.pt import defs
+from repro.core.spec.highlevel import AbstractState
+from repro.hw.mem import PhysicalMemory
+from repro.hw.mmu import Mmu, TranslationFault
+from repro.hw.tlb import Tlb
+
+
+def walk_agrees_with_abstract(
+    memory: PhysicalMemory,
+    root_paddr: int,
+    abstract: AbstractState,
+    probe_vaddrs,
+) -> tuple | None:
+    """Check MMU-walk / abstract-map agreement on every probe address.
+
+    Returns None on agreement or a counterexample tuple."""
+    mmu = Mmu(memory)
+    for vaddr in probe_vaddrs:
+        expected = abstract.translate(vaddr)
+        hit = abstract.lookup(vaddr)
+        try:
+            translation = mmu.walk(root_paddr, vaddr)
+        except TranslationFault:
+            if expected is not None:
+                return ("walk faulted on mapped address", vaddr, expected)
+            continue
+        if expected is None:
+            return ("walk succeeded on unmapped address", vaddr,
+                    translation.paddr)
+        if translation.paddr != expected:
+            return ("walk paddr mismatch", vaddr, translation.paddr, expected)
+        _, pte = hit
+        if translation.flags != pte.flags:
+            return ("walk flags mismatch", vaddr, translation.flags, pte.flags)
+        if translation.page_size != pte.size:
+            return ("walk size mismatch", vaddr, translation.page_size, pte.size)
+    return None
+
+
+def tlb_consistent(
+    memory: PhysicalMemory,
+    root_paddr: int,
+    tlb: Tlb,
+    probe_vaddrs,
+) -> tuple | None:
+    """Check that every TLB hit agrees with a fresh walk of the current
+    bits.  Holds only when the invalidation protocol has been followed —
+    which is exactly what the kernel's shootdown path must ensure."""
+    mmu = Mmu(memory)
+    for vaddr in probe_vaddrs:
+        cached = tlb.lookup(vaddr)
+        if cached is None:
+            continue
+        try:
+            fresh = mmu.walk(root_paddr, vaddr)
+        except TranslationFault:
+            return ("stale TLB entry for unmapped address", vaddr,
+                    cached.paddr)
+        # A cached translation carries the paddr of the address that filled
+        # it; consistency is at page granularity, so compare frames.
+        if (fresh.frame_paddr, fresh.flags, fresh.page_size) != (
+            cached.frame_paddr, cached.flags, cached.page_size,
+        ):
+            return ("TLB entry disagrees with walk", vaddr, cached, fresh)
+    return None
+
+
+def probe_addresses_for(abstract: AbstractState, extra=()) -> list[int]:
+    """Interesting probe addresses: page bases, interior points, last valid
+    word, boundary neighbours, plus caller-provided extras."""
+    probes: set[int] = set(extra)
+    for base, pte in abstract.mappings.items():
+        size = int(pte.size)
+        probes.update((base, base + 8, base + size // 2, base + size - 8))
+        if base >= defs.PAGE_SIZE:
+            probes.add(base - 8)
+        if base + size < defs.MAX_VADDR:
+            probes.add(base + size)
+    probes.add(0)
+    probes.add(defs.MAX_VADDR - 8)
+    return sorted(probes)

@@ -1,0 +1,54 @@
+"""A block storage device.
+
+Fixed-size sectors, whole-sector reads and writes, and an operation count
+so benchmarks can report I/O.  `snapshot`/`restore` support the "power
+cycle" tests of the filesystem (contents survive a remount)."""
+
+from __future__ import annotations
+
+
+class DiskError(Exception):
+    """Out-of-range sector or bad buffer size."""
+
+
+class Disk:
+    """A simple sector-addressed disk."""
+
+    SECTOR_SIZE = 4096
+
+    def __init__(self, num_sectors: int) -> None:
+        if num_sectors <= 0:
+            raise ValueError("disk needs at least one sector")
+        self.num_sectors = num_sectors
+        self._data = bytearray(num_sectors * self.SECTOR_SIZE)
+        self.reads = 0
+        self.writes = 0
+
+    def read_sector(self, index: int) -> bytes:
+        self._check(index)
+        self.reads += 1
+        start = index * self.SECTOR_SIZE
+        return bytes(self._data[start : start + self.SECTOR_SIZE])
+
+    def write_sector(self, index: int, data: bytes) -> None:
+        self._check(index)
+        if len(data) != self.SECTOR_SIZE:
+            raise DiskError(
+                f"write of {len(data)} bytes; sectors are {self.SECTOR_SIZE}"
+            )
+        self.writes += 1
+        start = index * self.SECTOR_SIZE
+        self._data[start : start + self.SECTOR_SIZE] = data
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_sectors:
+            raise DiskError(f"sector {index} out of range")
+
+    def snapshot(self) -> bytes:
+        """The full disk image (for remount / power-cycle tests)."""
+        return bytes(self._data)
+
+    def restore(self, image: bytes) -> None:
+        if len(image) != len(self._data):
+            raise DiskError("image size mismatch")
+        self._data = bytearray(image)

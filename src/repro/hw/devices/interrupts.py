@@ -1,0 +1,60 @@
+"""An interrupt controller (APIC-lite).
+
+Devices raise IRQ lines; the kernel polls and acknowledges pending
+interrupts at its scheduling boundaries (the cooperative equivalent of
+interrupt delivery)."""
+
+from __future__ import annotations
+
+
+class IrqLine:
+    """One interrupt line, owned by a device."""
+
+    def __init__(self, controller: "InterruptController", irq: int) -> None:
+        self._controller = controller
+        self.irq = irq
+
+    def raise_irq(self) -> None:
+        self._controller._pend(self.irq)
+
+
+class InterruptController:
+    """Tracks pending and masked interrupt lines."""
+
+    NUM_IRQS = 32
+
+    def __init__(self) -> None:
+        self._pending: set[int] = set()
+        self._masked: set[int] = set()
+        self.delivered = 0
+
+    def line(self, irq: int) -> IrqLine:
+        self._check(irq)
+        return IrqLine(self, irq)
+
+    def _pend(self, irq: int) -> None:
+        self._check(irq)
+        self._pending.add(irq)
+
+    def mask(self, irq: int) -> None:
+        self._check(irq)
+        self._masked.add(irq)
+
+    def unmask(self, irq: int) -> None:
+        self._check(irq)
+        self._masked.discard(irq)
+
+    def pending(self) -> list[int]:
+        """Deliverable (pending and unmasked) IRQs, lowest first."""
+        return sorted(self._pending - self._masked)
+
+    def acknowledge(self, irq: int) -> None:
+        self._check(irq)
+        if irq not in self._pending:
+            raise ValueError(f"acknowledging non-pending irq {irq}")
+        self._pending.discard(irq)
+        self.delivered += 1
+
+    def _check(self, irq: int) -> None:
+        if not 0 <= irq < self.NUM_IRQS:
+            raise ValueError(f"irq {irq} out of range")

@@ -1,0 +1,71 @@
+"""Translation lookaside buffer model.
+
+The TLB caches completed walks.  Crucially for the refinement story, the TLB
+makes *stale* translations observable: after the page table changes, the TLB
+may keep returning the old translation until the kernel invalidates it.  The
+unmap path must therefore perform a shootdown — the obligation checked by
+the `tlb` group of verification conditions, and the cost that makes the
+paper's unmap latency (Figure 1c) grow with core count.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.pt import defs
+from repro.hw.mmu import Translation
+
+
+class Tlb:
+    """A per-core TLB with LRU replacement.
+
+    Entries are keyed by the base virtual address of the mapped page; a
+    lookup for any address within a cached page hits.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("TLB capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, Translation] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vaddr: int) -> Translation | None:
+        """Return the cached translation covering `vaddr`, if any."""
+        for size in (defs.PageSize.SIZE_4K, defs.PageSize.SIZE_2M,
+                     defs.PageSize.SIZE_1G):
+            base = defs.vaddr_base(vaddr, size)
+            entry = self._entries.get(base)
+            if entry is not None and entry.page_size == size:
+                self._entries.move_to_end(base)
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def insert(self, translation: Translation) -> None:
+        base = translation.page_base_vaddr
+        self._entries[base] = translation
+        self._entries.move_to_end(base)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate_page(self, vaddr: int) -> None:
+        """`invlpg`: drop any cached translation covering `vaddr`."""
+        for size in (defs.PageSize.SIZE_4K, defs.PageSize.SIZE_2M,
+                     defs.PageSize.SIZE_1G):
+            base = defs.vaddr_base(vaddr, size)
+            entry = self._entries.get(base)
+            if entry is not None and entry.page_size == size:
+                del self._entries[base]
+
+    def flush(self) -> None:
+        """Full flush (CR3 reload)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def cached_bases(self) -> list[int]:
+        return list(self._entries.keys())

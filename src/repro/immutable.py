@@ -1,0 +1,91 @@
+"""A small persistent (immutable, hashable) map.
+
+Specification states must be hashable values (Section 3's specs are state
+machines over mathematical maps).  ``FrozenMap`` wraps a dict with
+copy-on-write updates, structural equality, and hashing, which is all the
+spec layer needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class FrozenMap:
+    """An immutable mapping with persistent update operations."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items=()) -> None:
+        if isinstance(items, FrozenMap):
+            object.__setattr__(self, "_items", items._items)
+        else:
+            object.__setattr__(self, "_items", dict(items))
+        object.__setattr__(self, "_hash", None)
+
+    # -- mapping protocol -----------------------------------------------------
+
+    def __getitem__(self, key):
+        return self._items[key]
+
+    def get(self, key, default=None):
+        return self._items.get(key, default)
+
+    def __contains__(self, key) -> bool:
+        return key in self._items
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def keys(self):
+        return self._items.keys()
+
+    def values(self):
+        return self._items.values()
+
+    def items(self):
+        return self._items.items()
+
+    # -- persistent updates -----------------------------------------------------
+
+    def set(self, key, value) -> "FrozenMap":
+        """Return a copy with `key` bound to `value`."""
+        updated = dict(self._items)
+        updated[key] = value
+        return FrozenMap(updated)
+
+    def remove(self, key) -> "FrozenMap":
+        """Return a copy without `key` (which must be present)."""
+        updated = dict(self._items)
+        del updated[key]
+        return FrozenMap(updated)
+
+    def merge(self, other) -> "FrozenMap":
+        updated = dict(self._items)
+        updated.update(dict(other.items()) if isinstance(other, FrozenMap) else other)
+        return FrozenMap(updated)
+
+    # -- value semantics -----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FrozenMap):
+            return self._items == other._items
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(frozenset(self._items.items()))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in sorted(
+            self._items.items(), key=lambda kv: repr(kv[0])))
+        return f"FrozenMap({{{inner}}})"
+
+
+EMPTY_MAP = FrozenMap()

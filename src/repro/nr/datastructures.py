@@ -1,0 +1,125 @@
+"""Sequential data structures used with node replication.
+
+Each pairs an efficient mutable implementation (what NR replicates) with a
+pure-functional *model step* used by the linearizability checker.
+"""
+
+from __future__ import annotations
+
+from repro.immutable import FrozenMap
+
+
+class Counter:
+    """A counter: ops ("add", n) -> new value; query "get" -> value."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def apply(self, op):
+        kind, amount = op
+        if kind != "add":
+            raise ValueError(f"unknown counter op {op!r}")
+        self.value += amount
+        return self.value
+
+    def query(self, op):
+        if op != "get":
+            raise ValueError(f"unknown counter query {op!r}")
+        return self.value
+
+
+def counter_model_step(state: int, op, is_read):
+    """Sequential spec of :class:`Counter` for the checker."""
+    if is_read:
+        return state, state
+    _, amount = op
+    return state + amount, state + amount
+
+
+class KvStore:
+    """A map: ("put", k, v) -> old value; ("del", k) -> old value;
+    query ("get", k) -> value or None."""
+
+    def __init__(self) -> None:
+        self.data: dict = {}
+
+    def apply(self, op):
+        kind = op[0]
+        if kind == "put":
+            _, key, value = op
+            old = self.data.get(key)
+            self.data[key] = value
+            return old
+        if kind == "del":
+            _, key = op
+            return self.data.pop(key, None)
+        raise ValueError(f"unknown kv op {op!r}")
+
+    def query(self, op):
+        kind, key = op
+        if kind != "get":
+            raise ValueError(f"unknown kv query {op!r}")
+        return self.data.get(key)
+
+
+def kv_model_step(state: FrozenMap, op, is_read):
+    """Sequential spec of :class:`KvStore` for the checker."""
+    if is_read:
+        _, key = op
+        return state, state.get(key)
+    kind = op[0]
+    if kind == "put":
+        _, key, value = op
+        return state.set(key, value), state.get(key)
+    _, key = op
+    if key in state:
+        return state.remove(key), state[key]
+    return state, None
+
+
+class VSpaceModel:
+    """The abstract address-space DS the kernel replicates with NR.
+
+    Ops mirror the high-level page-table spec at page granularity:
+    ("map", va, frame) -> bool mapped; ("unmap", va) -> frame or None;
+    query ("resolve", va) -> frame or None.
+    """
+
+    def __init__(self) -> None:
+        self.pages: dict[int, int] = {}
+
+    def apply(self, op):
+        kind = op[0]
+        if kind == "map":
+            _, va, frame = op
+            if va in self.pages:
+                return False
+            self.pages[va] = frame
+            return True
+        if kind == "unmap":
+            _, va = op
+            return self.pages.pop(va, None)
+        raise ValueError(f"unknown vspace op {op!r}")
+
+    def query(self, op):
+        kind, va = op
+        if kind != "resolve":
+            raise ValueError(f"unknown vspace query {op!r}")
+        return self.pages.get(va)
+
+
+def vspace_model_step(state: FrozenMap, op, is_read):
+    """Sequential spec of :class:`VSpaceModel` for the checker."""
+    if is_read:
+        _, va = op
+        return state, state.get(va)
+    kind = op[0]
+    if kind == "map":
+        _, va, frame = op
+        if va in state:
+            return state, False
+        return state.set(va, frame), True
+    _, va = op
+    if va in state:
+        return state.remove(va), state[va]
+    return state, None

@@ -1,0 +1,98 @@
+"""Adversarial interleaving of NR step generators.
+
+Runs a set of per-thread operation sequences against one
+:class:`~repro.nr.core.NodeReplicated` instance, interleaving protocol steps
+under a seeded random scheduler, and records the concurrent history for the
+linearizability checker.  Logical time is the global step counter, so
+real-time order in the history is exactly the order the scheduler produced.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.nr.core import NodeReplicated
+from repro.nr.linearizability import History, Invocation
+
+
+@dataclass
+class ThreadScript:
+    """The operations one thread will perform, in order.
+
+    Each element is ``(op, is_read)``."""
+
+    thread: int
+    node: int
+    ops: list[tuple[object, bool]]
+
+
+class SchedulingError(Exception):
+    """The scheduler could not finish (livelock beyond the step budget)."""
+
+
+def run_interleaved(
+    nr: NodeReplicated,
+    scripts: list[ThreadScript],
+    seed: int,
+    max_steps: int = 200_000,
+) -> History:
+    """Interleave the scripts' protocol steps randomly; returns the
+    history."""
+    rng = random.Random(seed)
+    history = History()
+    clock = 0
+
+    @dataclass
+    class _Runner:
+        script: ThreadScript
+        index: int = 0
+        gen: object = None
+        invoked_at: int = 0
+
+        def start_next(self, now: int) -> bool:
+            if self.index >= len(self.script.ops):
+                return False
+            op, is_read = self.script.ops[self.index]
+            if is_read:
+                self.gen = nr.read_steps(op, self.script.node,
+                                         self.script.thread)
+            else:
+                self.gen = nr.execute_steps(op, self.script.node,
+                                            self.script.thread)
+            self.invoked_at = now
+            return True
+
+    runners = [_Runner(s) for s in scripts]
+    for runner in runners:
+        runner.start_next(clock)
+    active = [r for r in runners if r.gen is not None]
+
+    steps = 0
+    while active:
+        steps += 1
+        if steps > max_steps:
+            raise SchedulingError(
+                f"interleaving did not finish within {max_steps} steps"
+            )
+        runner = rng.choice(active)
+        clock += 1
+        try:
+            next(runner.gen)
+        except StopIteration as stop:
+            op, is_read = runner.script.ops[runner.index]
+            history.add(
+                Invocation(
+                    thread=runner.script.thread,
+                    op=op,
+                    result=stop.value,
+                    invoked_at=runner.invoked_at,
+                    responded_at=clock,
+                    is_read=is_read,
+                )
+            )
+            runner.index += 1
+            runner.gen = None
+            if not runner.start_next(clock):
+                active.remove(runner)
+    return history

@@ -1,0 +1,82 @@
+"""The shared operation log.
+
+The log is the single source of truth for the order of mutating operations.
+Replicas consume it monotonically; the completed prefix (applied by every
+replica) can be garbage-collected.  Entries are kept in a list with a base
+offset so truncation is O(collected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One mutating operation appended by a combiner on behalf of a thread."""
+
+    op: object
+    node: int     # replica that appended the entry
+    thread: int   # thread the result belongs to
+
+
+class Log:
+    """An append-only operation log with prefix GC."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+        self._base = 0  # global index of _entries[0]
+        self.appends = 0
+
+    @property
+    def tail(self) -> int:
+        """Global index one past the last entry."""
+        return self._base + len(self._entries)
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    def append_batch(self, entries: list[LogEntry]) -> int:
+        """Append a combiner's batch; returns the global index of the first
+        new entry."""
+        start = self.tail
+        self._entries.extend(entries)
+        self.appends += 1
+        return start
+
+    def entry(self, index: int) -> LogEntry:
+        if index < self._base:
+            raise IndexError(
+                f"log entry {index} was garbage-collected (base {self._base})"
+            )
+        return self._entries[index - self._base]
+
+    def slice_from(self, start: int, end: int | None = None) -> list[LogEntry]:
+        """Entries [start, end) by global index."""
+        if end is None:
+            end = self.tail
+        if start < self._base:
+            raise IndexError(
+                f"log slice from {start} below base {self._base}"
+            )
+        lo = start - self._base
+        hi = end - self._base
+        return self._entries[lo:hi]
+
+    def gc(self, completed_tail: int) -> int:
+        """Drop entries below `completed_tail` (the minimum replica tail);
+        returns how many were collected."""
+        if completed_tail > self.tail:
+            raise ValueError(
+                f"completed tail {completed_tail} beyond log tail {self.tail}"
+            )
+        drop = completed_tail - self._base
+        if drop <= 0:
+            return 0
+        del self._entries[:drop]
+        self._base = completed_tail
+        return drop
+
+    def __len__(self) -> int:
+        return len(self._entries)

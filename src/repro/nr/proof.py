@@ -1,0 +1,222 @@
+"""The `nr-linearizability` verification conditions.
+
+IronSync's theorem — NR keeps a sequential data structure linearizable —
+checked over adversarially interleaved executions: each VC runs a workload
+mix under several seeded schedules and feeds the resulting history to the
+Wing–Gong checker.  Two additional structural VCs assert replica convergence
+and GC safety.
+"""
+
+from __future__ import annotations
+
+from repro.immutable import EMPTY_MAP
+from repro.nr.core import NodeReplicated
+from repro.nr.datastructures import (
+    Counter,
+    KvStore,
+    VSpaceModel,
+    counter_model_step,
+    kv_model_step,
+    vspace_model_step,
+)
+from repro.nr.interleave import ThreadScript, run_interleaved
+from repro.nr.linearizability import check_linearizable
+from repro.verif.vc import VC
+
+
+def _lin_vc(name, description, make_nr, scripts_fn, initial_state, model_step,
+            seeds=(1, 2, 3)):
+    def check():
+        for seed in seeds:
+            nr = make_nr()
+            history = run_interleaved(nr, scripts_fn(), seed=seed)
+            result = check_linearizable(history, initial_state, model_step)
+            if not result.ok:
+                return (f"seed={seed}", result.detail)
+        return None
+
+    return VC(name=name, category="nr-linearizability", check=check,
+              description=description)
+
+
+def _counter_scripts_writes(threads, node_of, ops_per_thread=4):
+    return [
+        ThreadScript(
+            thread=t,
+            node=node_of(t),
+            ops=[(("add", t * 10 + i + 1), False)
+                 for i in range(ops_per_thread)],
+        )
+        for t in range(threads)
+    ]
+
+
+def _counter_scripts_mixed(threads, node_of, ops_per_thread=4):
+    scripts = []
+    for t in range(threads):
+        ops = []
+        for i in range(ops_per_thread):
+            if (t + i) % 2:
+                ops.append(("get", True))
+            else:
+                ops.append((("add", t + i + 1), False))
+        scripts.append(ThreadScript(thread=t, node=node_of(t), ops=ops))
+    return scripts
+
+
+def _kv_scripts(threads, node_of, read_heavy: bool):
+    keys = ["a", "b", "c"]
+    scripts = []
+    for t in range(threads):
+        ops = []
+        for i in range(4):
+            key = keys[(t + i) % len(keys)]
+            if read_heavy and (i % 2 == 0):
+                ops.append((("get", key), True))
+            elif i == 3 and not read_heavy:
+                ops.append((("del", key), False))
+            else:
+                ops.append((("put", key, t * 100 + i), False))
+        scripts.append(ThreadScript(thread=t, node=node_of(t), ops=ops))
+    return scripts
+
+
+def _vspace_scripts(threads, node_of):
+    pages = [0x1000, 0x2000, 0x3000]
+    scripts = []
+    for t in range(threads):
+        ops = []
+        for i in range(4):
+            va = pages[(t + i) % len(pages)]
+            if i % 3 == 0:
+                ops.append((("map", va, (t << 20) | i), False))
+            elif i % 3 == 1:
+                ops.append((("resolve", va), True))
+            else:
+                ops.append((("unmap", va), False))
+        scripts.append(ThreadScript(thread=t, node=node_of(t), ops=ops))
+    return scripts
+
+
+def linearizability_vcs() -> list[VC]:
+    vcs: list[VC] = []
+
+    vcs.append(_lin_vc(
+        "nr_counter_2threads_1node",
+        "two writers on one replica stay linearizable",
+        lambda: NodeReplicated(Counter, num_nodes=1),
+        lambda: _counter_scripts_writes(2, lambda t: 0),
+        0, counter_model_step,
+    ))
+    vcs.append(_lin_vc(
+        "nr_counter_4threads_2nodes",
+        "four writers across two replicas stay linearizable",
+        lambda: NodeReplicated(Counter, num_nodes=2),
+        lambda: _counter_scripts_writes(4, lambda t: t % 2, ops_per_thread=3),
+        0, counter_model_step,
+    ))
+    vcs.append(_lin_vc(
+        "nr_counter_mixed_reads_writes",
+        "mixed reads/writes stay linearizable (reads see the log prefix)",
+        lambda: NodeReplicated(Counter, num_nodes=2),
+        lambda: _counter_scripts_mixed(4, lambda t: t % 2),
+        0, counter_model_step,
+    ))
+    vcs.append(_lin_vc(
+        "nr_kv_2threads_1node",
+        "kv put/del/get on one replica stays linearizable",
+        lambda: NodeReplicated(KvStore, num_nodes=1),
+        lambda: _kv_scripts(2, lambda t: 0, read_heavy=False),
+        EMPTY_MAP, kv_model_step,
+    ))
+    vcs.append(_lin_vc(
+        "nr_kv_4threads_2nodes_readheavy",
+        "read-heavy kv across two replicas stays linearizable",
+        lambda: NodeReplicated(KvStore, num_nodes=2),
+        lambda: _kv_scripts(4, lambda t: t % 2, read_heavy=True),
+        EMPTY_MAP, kv_model_step,
+    ))
+    vcs.append(_lin_vc(
+        "nr_kv_writeheavy_3nodes",
+        "write-heavy kv across three replicas stays linearizable",
+        lambda: NodeReplicated(KvStore, num_nodes=3),
+        lambda: _kv_scripts(3, lambda t: t % 3, read_heavy=False),
+        EMPTY_MAP, kv_model_step,
+        seeds=(7, 8),
+    ))
+    vcs.append(_lin_vc(
+        "nr_vspace_ops_linearizable",
+        "address-space map/unmap/resolve through NR stays linearizable",
+        lambda: NodeReplicated(VSpaceModel, num_nodes=2),
+        lambda: _vspace_scripts(4, lambda t: t % 2),
+        EMPTY_MAP, vspace_model_step,
+    ))
+
+    def replicas_converge():
+        nr = NodeReplicated(KvStore, num_nodes=3)
+        run_interleaved(nr, _kv_scripts(3, lambda t: t % 3, read_heavy=False),
+                        seed=42)
+        nr.sync_all()
+        states = [r.ds.data for r in nr.replicas]
+        if not all(s == states[0] for s in states):
+            return ("replicas diverged", states)
+        tails = {r.ltail for r in nr.replicas}
+        if tails != {nr.log.tail}:
+            return ("replica tails not at log tail", tails, nr.log.tail)
+        return None
+
+    vcs.append(VC(
+        name="nr_replicas_converge",
+        category="nr-linearizability",
+        check=replicas_converge,
+        description="after quiescence every replica holds the same state",
+    ))
+
+    def gc_safe():
+        nr = NodeReplicated(Counter, num_nodes=2)
+        history1 = run_interleaved(
+            nr, _counter_scripts_writes(2, lambda t: t % 2), seed=5
+        )
+        nr.sync_all()
+        dropped = nr.gc_log()
+        if dropped == 0:
+            return "GC collected nothing after quiescence"
+        history2 = run_interleaved(
+            nr, _counter_scripts_writes(2, lambda t: t % 2), seed=6
+        )
+        merged = history1
+        for inv in history2.invocations:
+            shifted = type(inv)(
+                thread=inv.thread, op=inv.op, result=inv.result,
+                invoked_at=inv.invoked_at + 1_000_000,
+                responded_at=inv.responded_at + 1_000_000,
+                is_read=inv.is_read,
+            )
+            merged.add(shifted)
+        result = check_linearizable(merged, 0, counter_model_step)
+        if not result.ok:
+            return ("history after GC not linearizable", result.detail)
+        return None
+
+    vcs.append(VC(
+        name="nr_log_gc_safe",
+        category="nr-linearizability",
+        check=gc_safe,
+        description="log GC of the completed prefix preserves behaviour",
+    ))
+
+    def combining_batches():
+        nr = NodeReplicated(Counter, num_nodes=1)
+        run_interleaved(nr, _counter_scripts_writes(6, lambda t: 0), seed=11)
+        if nr.replicas[0].max_batch < 2:
+            return "flat combining never batched more than one op"
+        return None
+
+    vcs.append(VC(
+        name="nr_flat_combining_batches",
+        category="nr-linearizability",
+        check=combining_batches,
+        description="contended execution actually produces multi-op batches",
+    ))
+
+    return vcs

@@ -1,0 +1,248 @@
+"""Simulated-time execution of NR workloads (Figures 1b and 1c).
+
+Each core is a simulated process repeatedly issuing operations through the
+*same* NR step protocol used by the functional and interleaved drivers; each
+protocol step is charged the cache-coherence cost of the shared memory it
+touches (slots, the combiner lock, the log tail, per-entry log reads).  The
+result is per-operation latency that grows with contending cores for the
+mechanistic reason the paper's does: the flat combiner processes bigger
+batches, and every waiter waits for the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.nr import core as nrcore
+from repro.nr.core import NodeReplicated
+from repro.sim.kernel import Delay, Simulator
+from repro.sim.resources import CacheLine
+from repro.sim.stats import LatencyRecorder
+from repro.sim.topology import Topology
+
+
+@dataclass
+class TimedNrConfig:
+    """Workload and cost parameters for a timed NR run."""
+
+    num_cores: int
+    ops_per_core: int = 32
+    cores_per_node: int = 14
+    apply_cost_ns: int = 800        # executing one mutating op on a replica
+    query_cost_ns: int = 300        # executing one read-only op
+    spin_backoff_ns: int = 120
+    op_gap_ns: int = 250            # think time between ops on a core
+    syscall_overhead: bool = True   # charge user<->kernel crossings
+    post_op_cost_fn: Callable | None = None  # e.g. TLB shootdown for unmap
+
+
+@dataclass
+class TimedNrResult:
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    by_kind: dict = field(default_factory=dict)  # op kind -> LatencyRecorder
+    sim_ns: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    log_appends: int = 0
+
+    def kind(self, name: str) -> LatencyRecorder:
+        return self.by_kind.setdefault(name, LatencyRecorder())
+
+    @property
+    def throughput_ops_per_ms(self) -> float:
+        if self.sim_ns == 0:
+            return 0.0
+        return len(self.latency) / (self.sim_ns / 1e6)
+
+
+class _SharedLines:
+    """The cache lines the protocol steps touch."""
+
+    def __init__(self, topology: Topology, num_nodes: int, num_cores: int):
+        self.combiner = [CacheLine(topology) for _ in range(num_nodes)]
+        self.lock = [CacheLine(topology) for _ in range(num_nodes)]
+        self.tail = CacheLine(topology)
+        self.slot = [CacheLine(topology) for _ in range(num_cores)]
+        self.result = [CacheLine(topology) for _ in range(num_cores)]
+
+
+def _step_cost(label: str, core: int, node: int, lines: _SharedLines,
+               topology: Topology, cfg: TimedNrConfig,
+               node_cores: list[int]) -> int:
+    costs = topology.costs
+    if label == nrcore.PUBLISH:
+        return lines.slot[core].write(core)
+    if label == nrcore.TRY_COMBINE:
+        return lines.combiner[node].atomic_rmw(core)
+    if label == nrcore.CHECK_RESULT:
+        return lines.result[core].read(core)
+    if label == nrcore.COLLECT:
+        return sum(lines.slot[c].read(core) for c in node_cores)
+    if label == nrcore.APPEND:
+        return lines.tail.atomic_rmw(core) + costs.local_dram
+    if label == nrcore.WLOCK:
+        return lines.lock[node].atomic_rmw(core)
+    if label == nrcore.APPLY:
+        # one log entry: fetch the entry line, run the sequential op,
+        # write the owner's result line
+        return costs.local_transfer + cfg.apply_cost_ns
+    if label == nrcore.RELEASE:
+        return lines.combiner[node].write(core) + lines.lock[node].write(core)
+    if label == nrcore.SPIN:
+        return cfg.spin_backoff_ns
+    if label == nrcore.READ_TAIL:
+        return lines.tail.read(core)
+    if label == nrcore.RLOCK:
+        return lines.lock[node].atomic_rmw(core)
+    if label == nrcore.READ:
+        return cfg.query_cost_ns
+    if label == nrcore.RUNLOCK:
+        return lines.lock[node].write(core)
+    raise ValueError(f"unknown protocol step {label!r}")
+
+
+def run_timed_workload(
+    ds_factory: Callable,
+    op_fn: Callable[[int, int], tuple[object, bool]],
+    cfg: TimedNrConfig,
+) -> TimedNrResult:
+    """Run `ops_per_core` operations on each of `num_cores` cores.
+
+    `op_fn(core, i)` returns `(op, is_read)` for the i-th operation of a
+    core.  Returns latency statistics in simulated nanoseconds."""
+    topology = Topology(cfg.num_cores, cores_per_node=cfg.cores_per_node)
+    num_nodes = topology.num_nodes
+    nr = NodeReplicated(ds_factory, num_nodes=num_nodes)
+    lines = _SharedLines(topology, num_nodes, cfg.num_cores)
+    sim = Simulator()
+    result = TimedNrResult()
+    cores_by_node = {
+        n: topology.cores_on_node(n) for n in range(num_nodes)
+    }
+
+    def core_process(core: int):
+        node = topology.node_of(core)
+        node_cores = cores_by_node[node]
+        for i in range(cfg.ops_per_core):
+            op, is_read = op_fn(core, i)
+            started = sim.now
+            if cfg.syscall_overhead:
+                yield Delay(topology.costs.syscall_entry)
+            if is_read:
+                steps = nr.read_steps(op, node, thread=core)
+            else:
+                steps = nr.execute_steps(op, node, thread=core)
+            while True:
+                try:
+                    label = next(steps)
+                except StopIteration:
+                    break
+                cost = _step_cost(label, core, node, lines, topology, cfg,
+                                  node_cores)
+                if cost:
+                    yield Delay(cost)
+            if cfg.post_op_cost_fn is not None:
+                extra = cfg.post_op_cost_fn(op, is_read, cfg.num_cores,
+                                            topology)
+                if extra:
+                    yield Delay(extra)
+            if cfg.syscall_overhead:
+                yield Delay(topology.costs.syscall_exit)
+            elapsed = sim.now - started
+            result.latency.record(elapsed)
+            kind = op[0] if isinstance(op, tuple) else str(op)
+            result.kind(kind).record(elapsed)
+            yield Delay(cfg.op_gap_ns)
+
+    for core in range(cfg.num_cores):
+        sim.spawn(core_process(core), name=f"core{core}")
+    sim.run()
+
+    result.sim_ns = sim.now
+    result.batches = sum(r.batches for r in nr.replicas)
+    result.max_batch = max(r.max_batch for r in nr.replicas)
+    result.log_appends = nr.log.appends
+    return result
+
+
+def run_timed_sharded(
+    ds_factory: Callable,
+    op_fn: Callable[[int, int], tuple[object, object, bool]],
+    cfg: TimedNrConfig,
+    num_shards: int,
+) -> TimedNrResult:
+    """Like :func:`run_timed_workload`, but over a :class:`ShardedNr`.
+
+    `op_fn(core, i)` returns `(key, op, is_read)`; the key selects the
+    shard, and each shard owns independent cache lines (its own log tail,
+    combiner word, and lock), so writes to different shards proceed in
+    parallel — the Section 4.1 write-scaling mechanism."""
+    from repro.nr.shard import ShardedNr
+
+    topology = Topology(cfg.num_cores, cores_per_node=cfg.cores_per_node)
+    num_nodes = topology.num_nodes
+    sharded = ShardedNr(ds_factory, num_shards=num_shards,
+                        num_nodes=num_nodes)
+    lines = [
+        _SharedLines(topology, num_nodes, cfg.num_cores)
+        for _ in range(num_shards)
+    ]
+    sim = Simulator()
+    result = TimedNrResult()
+    cores_by_node = {n: topology.cores_on_node(n) for n in range(num_nodes)}
+
+    def core_process(core: int):
+        node = topology.node_of(core)
+        node_cores = cores_by_node[node]
+        for i in range(cfg.ops_per_core):
+            key, op, is_read = op_fn(core, i)
+            shard = sharded.shard_for(key)
+            started = sim.now
+            if cfg.syscall_overhead:
+                yield Delay(topology.costs.syscall_entry)
+            if is_read:
+                steps = sharded.read_steps(key, op, node, thread=core)
+            else:
+                steps = sharded.execute_steps(key, op, node, thread=core)
+            while True:
+                try:
+                    label = next(steps)
+                except StopIteration:
+                    break
+                cost = _step_cost(label, core, node, lines[shard], topology,
+                                  cfg, node_cores)
+                if cost:
+                    yield Delay(cost)
+            if cfg.syscall_overhead:
+                yield Delay(topology.costs.syscall_exit)
+            elapsed = sim.now - started
+            result.latency.record(elapsed)
+            kind = op[0] if isinstance(op, tuple) else str(op)
+            result.kind(kind).record(elapsed)
+            yield Delay(cfg.op_gap_ns)
+
+    for core in range(cfg.num_cores):
+        sim.spawn(core_process(core), name=f"core{core}")
+    sim.run()
+    result.sim_ns = sim.now
+    result.batches = sum(
+        r.batches for shard in sharded.shards for r in shard.replicas
+    )
+    result.max_batch = max(
+        (r.max_batch for shard in sharded.shards for r in shard.replicas),
+        default=0,
+    )
+    result.log_appends = sum(s.log.appends for s in sharded.shards)
+    return result
+
+
+def tlb_shootdown_cost(op, is_read, num_cores: int, topology: Topology) -> int:
+    """Post-op cost of an unmap: IPI every other core and wait for its
+    invlpg acknowledgement (the reason Figure 1c sits above Figure 1b)."""
+    if is_read:
+        return 0
+    others = num_cores - 1
+    if others <= 0:
+        return topology.costs.tlb_invlpg
+    return topology.costs.ipi + others * topology.costs.tlb_invlpg

@@ -1,0 +1,72 @@
+"""A cluster of simulated machines connected by links.
+
+The distributed applications (the GFS/S3-style storage node of the paper's
+introduction) run client and server kernels side by side; the cluster
+interleaves their schedulers and pumps the links between their NICs.
+"""
+
+from __future__ import annotations
+
+from repro.nros.kernel import Kernel, KernelPanic
+from repro.nros.net.link import Link
+from repro.nros.proc.process import ProcessState
+
+
+class Cluster:
+    """Several kernels sharing a network fabric."""
+
+    def __init__(self) -> None:
+        self.kernels: list[Kernel] = []
+        self.links: list[Link] = []
+
+    def add(self, kernel: Kernel) -> Kernel:
+        if kernel.net is None:
+            raise ValueError(f"kernel {kernel.hostname!r} has no network")
+        self.kernels.append(kernel)
+        return kernel
+
+    def connect(self, a: Kernel, b: Kernel, drop_rate: float = 0.0,
+                seed: int = 0) -> Link:
+        """Cable two machines together and teach them each other's MAC."""
+        if a.net is None or b.net is None:
+            raise ValueError("both kernels need networking")
+        link = Link(a.nic, b.nic, drop_rate=drop_rate, seed=seed)
+        a.net.add_neighbour(b.net.ip, b.nic.mac)
+        b.net.add_neighbour(a.net.ip, a.nic.mac)
+        self.links.append(link)
+        return link
+
+    def _pump(self) -> None:
+        for link in self.links:
+            link.pump()
+        for kernel in self.kernels:
+            kernel._pump_network()
+
+    def _alive(self) -> bool:
+        return any(
+            p.state is ProcessState.ALIVE
+            for kernel in self.kernels
+            for p in kernel.processes.values()
+        )
+
+    def run(self, max_rounds: int = 200_000) -> None:
+        """Interleave all kernels until every process everywhere exits."""
+        idle_rounds = 0
+        for _ in range(max_rounds):
+            if not self._alive():
+                return
+            progressed = False
+            for kernel in self.kernels:
+                if kernel.step(max_threads=8):
+                    progressed = True
+                self._pump()
+            if progressed:
+                idle_rounds = 0
+                continue
+            for kernel in self.kernels:
+                kernel.advance_time()
+            self._pump()
+            idle_rounds += 1
+            if idle_rounds > 10_000:
+                raise KernelPanic("cluster deadlock: no progress")
+        raise KernelPanic(f"cluster did not finish in {max_rounds} rounds")

@@ -1,0 +1,76 @@
+"""The block-device driver.
+
+Sits between the filesystem and the raw disk: satisfies the same interface
+as :class:`repro.nros.fs.blockdev.BlockDevice` (read/write/zero/num_blocks)
+while adding what a real driver adds — a bounded request queue with
+completion accounting and an interrupt line raised per completed request.
+The kernel mounts its filesystem over this driver.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.hw.devices.disk import Disk
+from repro.nros.fs.blockdev import BLOCK_SIZE
+
+
+@dataclass
+class BlockRequest:
+    kind: str          # "read" | "write"
+    sector: int
+    data: bytes | None = None
+    done: bool = False
+    result: bytes | None = None
+
+
+class BlockDriver:
+    """A synchronous-completion driver with real request bookkeeping."""
+
+    QUEUE_DEPTH = 32
+
+    def __init__(self, disk: Disk, irq_line=None) -> None:
+        self.disk = disk
+        self.irq_line = irq_line
+        self.completed: deque[BlockRequest] = deque(maxlen=64)
+        self.requests_submitted = 0
+        self.requests_completed = 0
+
+    @property
+    def num_blocks(self) -> int:
+        return self.disk.num_sectors
+
+    def submit(self, request: BlockRequest) -> BlockRequest:
+        """Submit and complete one request (the simulated device has no
+        seek latency, so completion is immediate; the queue discipline and
+        IRQ signalling still run)."""
+        self.requests_submitted += 1
+        if request.kind == "read":
+            request.result = self.disk.read_sector(request.sector)
+        elif request.kind == "write":
+            if request.data is None:
+                raise ValueError("write request without data")
+            data = request.data
+            if len(data) < BLOCK_SIZE:
+                data = data + bytes(BLOCK_SIZE - len(data))
+            self.disk.write_sector(request.sector, data)
+        else:
+            raise ValueError(f"unknown request kind {request.kind!r}")
+        request.done = True
+        self.requests_completed += 1
+        self.completed.append(request)
+        if self.irq_line is not None:
+            self.irq_line.raise_irq()
+        return request
+
+    # -- BlockDevice interface (what the filesystem mounts on) -----------------
+
+    def read(self, block: int) -> bytes:
+        return self.submit(BlockRequest("read", block)).result
+
+    def write(self, block: int, data: bytes) -> None:
+        self.submit(BlockRequest("write", block, data=data))
+
+    def zero(self, block: int) -> None:
+        self.write(block, bytes(BLOCK_SIZE))

@@ -1,0 +1,49 @@
+"""The console driver: kernel log over the serial port.
+
+Adds what the raw serial device lacks: severity levels, a bounded in-memory
+ring of recent messages (`dmesg`), and per-level counters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.hw.devices.serial import SerialPort
+
+LEVELS = ("debug", "info", "warn", "error")
+
+
+class Console:
+    """Levelled kernel logging."""
+
+    def __init__(self, serial: SerialPort, ring_size: int = 256,
+                 min_level: str = "debug") -> None:
+        if min_level not in LEVELS:
+            raise ValueError(f"unknown level {min_level!r}")
+        self.serial = serial
+        self.ring: deque[tuple[str, str]] = deque(maxlen=ring_size)
+        self.min_level = min_level
+        self.counts = {level: 0 for level in LEVELS}
+
+    def log(self, level: str, message: str) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}")
+        self.counts[level] += 1
+        self.ring.append((level, message))
+        if LEVELS.index(level) >= LEVELS.index(self.min_level):
+            self.serial.write(f"<{level}> {message}\n")
+
+    def debug(self, message: str) -> None:
+        self.log("debug", message)
+
+    def info(self, message: str) -> None:
+        self.log("info", message)
+
+    def warn(self, message: str) -> None:
+        self.log("warn", message)
+
+    def error(self, message: str) -> None:
+        self.log("error", message)
+
+    def dmesg(self) -> list[str]:
+        return [f"<{level}> {message}" for level, message in self.ring]

@@ -1,0 +1,35 @@
+"""The network-device driver: bottom half of the stack.
+
+Owns the NIC-to-stack pump that the kernel runs at scheduling boundaries
+(the polled equivalent of the receive interrupt's bottom half), and tracks
+driver-level statistics."""
+
+from __future__ import annotations
+
+from repro.hw.devices.nic import Nic
+from repro.nros.net.stack import NetStack
+
+
+class NetDriver:
+    """Polling receive driver for one NIC + stack pair."""
+
+    def __init__(self, nic: Nic, stack: NetStack, irq_line=None) -> None:
+        self.nic = nic
+        self.stack = stack
+        self.irq_line = irq_line
+        if irq_line is not None:
+            nic.irq_line = irq_line
+        self.polls = 0
+        self.datagrams_dispatched = 0
+
+    def poll(self) -> int:
+        """Drain the receive ring through the stack; returns datagrams
+        dispatched to sockets/connections."""
+        self.polls += 1
+        handled = self.stack.poll()
+        self.datagrams_dispatched += handled
+        return handled
+
+    def tick(self, now: int) -> None:
+        """Drive the stack's timers (RDP retransmission)."""
+        self.stack.tick(now)

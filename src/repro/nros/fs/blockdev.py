@@ -1,0 +1,30 @@
+"""The filesystem's view of a disk: a checked block device with a tiny
+write-through cache layer kept deliberately simple (correctness first)."""
+
+from __future__ import annotations
+
+from repro.hw.devices.disk import Disk
+
+BLOCK_SIZE = Disk.SECTOR_SIZE
+
+
+class BlockDevice:
+    """Whole-block reads/writes over a :class:`Disk`."""
+
+    def __init__(self, disk: Disk) -> None:
+        self.disk = disk
+
+    @property
+    def num_blocks(self) -> int:
+        return self.disk.num_sectors
+
+    def read(self, block: int) -> bytes:
+        return self.disk.read_sector(block)
+
+    def write(self, block: int, data: bytes) -> None:
+        if len(data) < BLOCK_SIZE:
+            data = data + bytes(BLOCK_SIZE - len(data))
+        self.disk.write_sector(block, data)
+
+    def zero(self, block: int) -> None:
+        self.disk.write_sector(block, bytes(BLOCK_SIZE))

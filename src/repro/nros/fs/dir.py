@@ -1,0 +1,61 @@
+"""Directory entry encoding.
+
+A directory's data is a flat sequence of variable-length records:
+``u32 inode | u16 name_len | name bytes``.  Rewritten wholesale on change —
+directories in our workloads are small, and wholesale rewrite keeps the
+format trivially crash-auditable."""
+
+from __future__ import annotations
+
+import struct
+
+_HEADER = struct.Struct("<IH")
+
+MAX_NAME = 255
+
+
+class DirFormatError(Exception):
+    """Corrupt directory data."""
+
+
+def encode_entries(entries: dict[str, int]) -> bytes:
+    """Serialize name -> inode mappings."""
+    out = bytearray()
+    for name in sorted(entries):
+        payload = name.encode("utf-8")
+        if not payload or len(payload) > MAX_NAME:
+            raise ValueError(f"bad directory entry name {name!r}")
+        out += _HEADER.pack(entries[name], len(payload))
+        out += payload
+    return bytes(out)
+
+
+def decode_entries(data: bytes) -> dict[str, int]:
+    """Parse directory data back into name -> inode mappings."""
+    entries: dict[str, int] = {}
+    offset = 0
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            raise DirFormatError("truncated directory entry header")
+        inum, name_len = _HEADER.unpack_from(data, offset)
+        offset += _HEADER.size
+        if name_len == 0 or name_len > MAX_NAME:
+            raise DirFormatError(f"bad name length {name_len}")
+        if offset + name_len > len(data):
+            raise DirFormatError("truncated directory entry name")
+        name = data[offset : offset + name_len].decode("utf-8")
+        if name in entries:
+            raise DirFormatError(f"duplicate entry {name!r}")
+        entries[name] = inum
+        offset += name_len
+    return entries
+
+
+def validate_name(name: str) -> None:
+    """Path-component validity shared by every namespace operation."""
+    if not name or name in (".", ".."):
+        raise ValueError(f"invalid file name {name!r}")
+    if "/" in name or "\x00" in name:
+        raise ValueError(f"invalid character in file name {name!r}")
+    if len(name.encode("utf-8")) > MAX_NAME:
+        raise ValueError("file name too long")

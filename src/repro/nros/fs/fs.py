@@ -1,0 +1,395 @@
+"""The filesystem proper: superblock, namespace, and file I/O.
+
+On-disk layout (4 KiB blocks):
+
+    block 0              superblock
+    blocks 1..b          block-allocation bitmap
+    blocks b+1..i        inode table
+    blocks i+1..         data
+
+Paths are absolute, '/'-separated.  The implementation favours simplicity
+and auditability: directories rewrite wholesale, metadata writes are
+write-through, and every operation leaves the volume mountable (checked by
+the remount tests)."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.nros.fs import dir as dirfmt
+from repro.nros.fs.alloc import BlockBitmap, NoSpace
+from repro.nros.fs.blockdev import BLOCK_SIZE, BlockDevice
+from repro.nros.fs.inode import (
+    INODES_PER_BLOCK,
+    INDIRECT_ENTRIES,
+    MAX_FILE_SIZE,
+    NUM_DIRECT,
+    Inode,
+    Stat,
+    TYPE_DIR,
+    TYPE_FILE,
+    TYPE_FREE,
+)
+
+MAGIC = 0x4E724F53  # "NrOS"
+ROOT_INUM = 0
+
+_SUPER = struct.Struct("<IIIIII")  # magic, blocks, bitmap_start, bitmap_len,
+                                   # itable_start, num_inodes
+
+
+class FsError(Exception):
+    """Base filesystem error."""
+
+
+class NotFound(FsError):
+    pass
+
+
+class Exists(FsError):
+    pass
+
+
+class NotADirectory(FsError):
+    pass
+
+
+class IsADirectory(FsError):
+    pass
+
+
+class DirectoryNotEmpty(FsError):
+    pass
+
+
+class FileTooBig(FsError):
+    pass
+
+
+class FileSystem:
+    """A mounted volume."""
+
+    def __init__(self, dev: BlockDevice) -> None:
+        super_data = dev.read(0)
+        magic, blocks, bitmap_start, bitmap_len, itable_start, num_inodes = (
+            _SUPER.unpack_from(super_data)
+        )
+        if magic != MAGIC:
+            raise FsError("bad superblock magic (not formatted?)")
+        if blocks != dev.num_blocks:
+            raise FsError("superblock block count does not match device")
+        self.dev = dev
+        self.bitmap = BlockBitmap(dev, bitmap_start, bitmap_len, blocks)
+        self.itable_start = itable_start
+        self.num_inodes = num_inodes
+
+    # -- formatting ------------------------------------------------------------
+
+    @staticmethod
+    def mkfs(dev: BlockDevice, num_inodes: int = 256) -> "FileSystem":
+        """Format the device and return the mounted filesystem."""
+        blocks = dev.num_blocks
+        bitmap_len = BlockBitmap.blocks_needed(blocks)
+        itable_blocks = (num_inodes + INODES_PER_BLOCK - 1) // INODES_PER_BLOCK
+        bitmap_start = 1
+        itable_start = bitmap_start + bitmap_len
+        data_start = itable_start + itable_blocks
+        if data_start >= blocks:
+            raise FsError("device too small")
+
+        for block in range(data_start):
+            dev.zero(block)
+        dev.write(0, _SUPER.pack(MAGIC, blocks, bitmap_start, bitmap_len,
+                                 itable_start, num_inodes))
+        fs = FileSystem.__new__(FileSystem)
+        fs.dev = dev
+        fs.bitmap = BlockBitmap(dev, bitmap_start, bitmap_len, blocks)
+        fs.itable_start = itable_start
+        fs.num_inodes = num_inodes
+        # reserve metadata blocks in the bitmap
+        for block in range(data_start):
+            fs.bitmap.set(block)
+        # root directory
+        root = Inode(itype=TYPE_DIR, nlink=1, size=0)
+        fs._write_inode(ROOT_INUM, root)
+        return fs
+
+    # -- inode table -----------------------------------------------------------------
+
+    def _read_inode(self, inum: int) -> Inode:
+        self._check_inum(inum)
+        block = self.itable_start + inum // INODES_PER_BLOCK
+        offset = (inum % INODES_PER_BLOCK) * 128
+        return Inode.decode(self.dev.read(block)[offset : offset + 128])
+
+    def _write_inode(self, inum: int, inode: Inode) -> None:
+        self._check_inum(inum)
+        block = self.itable_start + inum // INODES_PER_BLOCK
+        offset = (inum % INODES_PER_BLOCK) * 128
+        data = bytearray(self.dev.read(block))
+        data[offset : offset + 128] = inode.encode()
+        self.dev.write(block, bytes(data))
+
+    def _alloc_inode(self, itype: int) -> int:
+        for inum in range(self.num_inodes):
+            if self._read_inode(inum).itype == TYPE_FREE:
+                self._write_inode(inum, Inode(itype=itype, nlink=1, size=0))
+                return inum
+        raise NoSpace("inode table full")
+
+    def _check_inum(self, inum: int) -> None:
+        if not 0 <= inum < self.num_inodes:
+            raise FsError(f"inode {inum} out of range")
+
+    # -- block mapping ------------------------------------------------------------------
+
+    def _block_of(self, inode: Inode, index: int, allocate: bool) -> int:
+        """The data block holding file block `index`; 0 means a hole."""
+        if index < NUM_DIRECT:
+            block = inode.direct[index]
+            if block == 0 and allocate:
+                block = self.bitmap.alloc()
+                self.dev.zero(block)
+                inode.direct[index] = block
+            return block
+        index -= NUM_DIRECT
+        if index >= INDIRECT_ENTRIES:
+            raise FileTooBig(f"file block {index + NUM_DIRECT} beyond maximum")
+        if inode.indirect == 0:
+            if not allocate:
+                return 0
+            inode.indirect = self.bitmap.alloc()
+            self.dev.zero(inode.indirect)
+        table = bytearray(self.dev.read(inode.indirect))
+        block = struct.unpack_from("<I", table, index * 4)[0]
+        if block == 0 and allocate:
+            block = self.bitmap.alloc()
+            self.dev.zero(block)
+            struct.pack_into("<I", table, index * 4, block)
+            self.dev.write(inode.indirect, bytes(table))
+        return block
+
+    # -- file I/O by inode number ----------------------------------------------------------
+
+    def read_at(self, inum: int, offset: int, length: int) -> bytes:
+        inode = self._read_inode(inum)
+        if inode.itype == TYPE_FREE:
+            raise NotFound(f"inode {inum} is free")
+        if offset >= inode.size or length <= 0:
+            return b""
+        length = min(length, inode.size - offset)
+        out = bytearray()
+        while length > 0:
+            index, within = divmod(offset, BLOCK_SIZE)
+            chunk = min(length, BLOCK_SIZE - within)
+            block = self._block_of(inode, index, allocate=False)
+            if block == 0:
+                out += bytes(chunk)  # hole reads as zeros
+            else:
+                out += self.dev.read(block)[within : within + chunk]
+            offset += chunk
+            length -= chunk
+        return bytes(out)
+
+    def write_at(self, inum: int, offset: int, data: bytes) -> int:
+        inode = self._read_inode(inum)
+        if inode.itype == TYPE_FREE:
+            raise NotFound(f"inode {inum} is free")
+        if offset + len(data) > MAX_FILE_SIZE:
+            raise FileTooBig(
+                f"write to {offset + len(data)} exceeds {MAX_FILE_SIZE}"
+            )
+        remaining = data
+        position = offset
+        while remaining:
+            index, within = divmod(position, BLOCK_SIZE)
+            chunk = min(len(remaining), BLOCK_SIZE - within)
+            block = self._block_of(inode, index, allocate=True)
+            current = bytearray(self.dev.read(block))
+            current[within : within + chunk] = remaining[:chunk]
+            self.dev.write(block, bytes(current))
+            position += chunk
+            remaining = remaining[chunk:]
+        if position > inode.size:
+            inode.size = position
+        self._write_inode(inum, inode)
+        return len(data)
+
+    def truncate(self, inum: int, size: int = 0) -> None:
+        inode = self._read_inode(inum)
+        if inode.itype == TYPE_FREE:
+            raise NotFound(f"inode {inum} is free")
+        if size > inode.size:
+            raise FsError("truncate cannot extend")
+        first_kept = (size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        total = (inode.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        for index in range(first_kept, total):
+            block = self._block_of(inode, index, allocate=False)
+            if block:
+                self.bitmap.free(block)
+                self._clear_block_pointer(inode, index)
+        if inode.indirect and first_kept <= NUM_DIRECT:
+            self.bitmap.free(inode.indirect)
+            inode.indirect = 0
+        inode.size = size
+        self._write_inode(inum, inode)
+
+    def _clear_block_pointer(self, inode: Inode, index: int) -> None:
+        if index < NUM_DIRECT:
+            inode.direct[index] = 0
+            return
+        index -= NUM_DIRECT
+        table = bytearray(self.dev.read(inode.indirect))
+        struct.pack_into("<I", table, index * 4, 0)
+        self.dev.write(inode.indirect, bytes(table))
+
+    def stat_inum(self, inum: int) -> Stat:
+        inode = self._read_inode(inum)
+        if inode.itype == TYPE_FREE:
+            raise NotFound(f"inode {inum} is free")
+        return Stat(inum=inum, itype=inode.itype, size=inode.size,
+                    nlink=inode.nlink)
+
+    # -- namespace -------------------------------------------------------------------------
+
+    def _dir_entries(self, inum: int) -> dict[str, int]:
+        inode = self._read_inode(inum)
+        if not inode.is_dir:
+            raise NotADirectory(f"inode {inum} is not a directory")
+        return dirfmt.decode_entries(self.read_at(inum, 0, inode.size))
+
+    def _write_dir(self, inum: int, entries: dict[str, int]) -> None:
+        data = dirfmt.encode_entries(entries)
+        self.truncate(inum, 0)
+        if data:
+            self.write_at(inum, 0, data)
+        else:
+            inode = self._read_inode(inum)
+            inode.size = 0
+            self._write_inode(inum, inode)
+
+    def _split(self, path: str) -> tuple[int, str]:
+        """Resolve the parent directory of `path`; returns (parent inum,
+        final component)."""
+        parts = self._components(path)
+        if not parts:
+            raise FsError("path refers to the root directory")
+        parent = ROOT_INUM
+        for part in parts[:-1]:
+            entries = self._dir_entries(parent)
+            if part not in entries:
+                raise NotFound(f"no such directory {part!r}")
+            parent = entries[part]
+            if not self._read_inode(parent).is_dir:
+                raise NotADirectory(f"{part!r} is not a directory")
+        return parent, parts[-1]
+
+    @staticmethod
+    def _components(path: str) -> list[str]:
+        if not path.startswith("/"):
+            raise FsError(f"path must be absolute: {path!r}")
+        parts = [p for p in path.split("/") if p]
+        for part in parts:
+            dirfmt.validate_name(part)
+        return parts
+
+    def lookup(self, path: str) -> int:
+        """Resolve `path` to an inode number."""
+        parts = self._components(path)
+        inum = ROOT_INUM
+        for part in parts:
+            entries = self._dir_entries(inum)
+            if part not in entries:
+                raise NotFound(f"{path!r}: no entry {part!r}")
+            inum = entries[part]
+        return inum
+
+    def create(self, path: str) -> int:
+        """Create an empty regular file."""
+        return self._create(path, TYPE_FILE)
+
+    def mkdir(self, path: str) -> int:
+        return self._create(path, TYPE_DIR)
+
+    def _create(self, path: str, itype: int) -> int:
+        parent, name = self._split(path)
+        entries = self._dir_entries(parent)
+        if name in entries:
+            raise Exists(f"{path!r} already exists")
+        inum = self._alloc_inode(itype)
+        entries[name] = inum
+        self._write_dir(parent, entries)
+        return inum
+
+    def link(self, old_path: str, new_path: str) -> None:
+        """Create a hard link: `new_path` names the same inode as
+        `old_path`.  Directories cannot be hard-linked."""
+        inum = self.lookup(old_path)
+        inode = self._read_inode(inum)
+        if inode.is_dir:
+            raise IsADirectory(f"cannot hard-link directory {old_path!r}")
+        parent, name = self._split(new_path)
+        entries = self._dir_entries(parent)
+        if name in entries:
+            raise Exists(f"{new_path!r} already exists")
+        entries[name] = inum
+        self._write_dir(parent, entries)
+        inode = self._read_inode(inum)  # re-read: dir write may share blocks
+        inode.nlink += 1
+        self._write_inode(inum, inode)
+
+    def unlink(self, path: str) -> None:
+        parent, name = self._split(path)
+        entries = self._dir_entries(parent)
+        if name not in entries:
+            raise NotFound(f"{path!r} does not exist")
+        inum = entries[name]
+        inode = self._read_inode(inum)
+        if inode.is_dir:
+            if self._dir_entries(inum):
+                raise DirectoryNotEmpty(f"{path!r} is not empty")
+            self._write_inode(inum, Inode())  # free the directory inode
+        elif inode.nlink > 1:
+            inode.nlink -= 1
+            self._write_inode(inum, inode)  # other links keep the data
+        else:
+            self.truncate(inum, 0)
+            self._write_inode(inum, Inode())  # last link: free everything
+        del entries[name]
+        self._write_dir(parent, entries)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        old_parent, old_name = self._split(old_path)
+        old_entries = self._dir_entries(old_parent)
+        if old_name not in old_entries:
+            raise NotFound(f"{old_path!r} does not exist")
+        inum = old_entries[old_name]
+        new_parent, new_name = self._split(new_path)
+        new_entries = self._dir_entries(new_parent)
+        if new_name in new_entries:
+            raise Exists(f"{new_path!r} already exists")
+        if new_parent == old_parent:
+            del old_entries[old_name]
+            old_entries[new_name] = inum
+            self._write_dir(old_parent, old_entries)
+            return
+        del old_entries[old_name]
+        self._write_dir(old_parent, old_entries)
+        new_entries = self._dir_entries(new_parent)
+        new_entries[new_name] = inum
+        self._write_dir(new_parent, new_entries)
+
+    def readdir(self, path: str) -> list[str]:
+        inum = self.lookup(path) if path != "/" else ROOT_INUM
+        return sorted(self._dir_entries(inum))
+
+    def stat(self, path: str) -> Stat:
+        inum = self.lookup(path) if path != "/" else ROOT_INUM
+        return self.stat_inum(inum)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.lookup(path)
+            return True
+        except FsError:
+            return False

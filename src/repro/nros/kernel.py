@@ -1,0 +1,986 @@
+"""The kernel: processes, scheduling, syscalls, and device wiring.
+
+This is the NrOS-shaped substrate the paper's component list (Section 1)
+demands: scheduler, memory management, filesystem, drivers, process
+management, threads and synchronization, a network stack, and the syscall
+boundary with its marshalling / mapping / data-race-freedom obligations.
+
+User programs are generators yielding :class:`~repro.nros.syscall.abi.Syscall`
+requests.  Every request round-trips through the binary wire format of
+:mod:`repro.nros.syscall.marshal` before dispatch — the kernel genuinely
+cannot see anything the marshaller did not carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pt.defs import Flags, PageSize, PAGE_SIZE
+from repro.hw.devices.disk import Disk
+from repro.hw.devices.interrupts import InterruptController
+from repro.hw.devices.nic import Nic
+from repro.hw.devices.serial import SerialPort
+from repro.hw.devices.timer import Timer
+from repro.hw.mem import PhysicalMemory
+from repro.hw.mmu import Mmu, TranslationFault
+from repro.nros.drivers.block import BlockDriver
+from repro.nros.drivers.console import Console
+from repro.nros.drivers.netdev import NetDriver
+from repro.nros.fs import fd as fdmod
+from repro.nros.fs import fs as fsmod
+from repro.nros.fs.alloc import NoSpace
+from repro.nros.net.stack import NetError, NetStack
+from repro.nros.net.rdp import STATE_CLOSED, STATE_ESTABLISHED
+from repro.nros.pmem import BuddyAllocator, OutOfMemory
+from repro.nros.proc.pipe import PipeClosed, PipeTable
+from repro.nros.proc.process import (
+    BlockReason,
+    Process,
+    ProcessState,
+    Thread,
+    ThreadState,
+)
+from repro.nros.sched.scheduler import Scheduler
+from repro.nros.syscall import abi
+from repro.nros.syscall.abi import Syscall, SyscallError
+from repro.nros.syscall.marshal import marshal, marshal_call, unmarshal, unmarshal_call
+from repro.nros.syscall.usercopy import UserCopyFault, copy_from_user, copy_to_user
+from repro.nros.vspace import VSpace, VSpaceError
+from repro.verif.linear import OwnershipError, OwnershipTable
+
+MB = 1024 * 1024
+
+
+class KernelPanic(Exception):
+    """Unrecoverable kernel error (including detected deadlock)."""
+
+
+class _Block(Exception):
+    """Internal: a handler parks the calling thread."""
+
+    def __init__(self, reason: BlockReason) -> None:
+        super().__init__(reason.kind)
+        self.reason = reason
+
+
+class _SyscallFailure(Exception):
+    """Internal: a handler fails with an errno."""
+
+    def __init__(self, errno: int, message: str = "") -> None:
+        super().__init__(message)
+        self.errno = errno
+        self.message = message
+
+
+@dataclass
+class KernelStats:
+    syscalls: int = 0
+    marshalled_bytes: int = 0
+    thread_switches: int = 0
+    page_faults: int = 0
+
+
+class Kernel:
+    """One machine: memory, devices, kernel services, user processes."""
+
+    def __init__(
+        self,
+        num_cores: int = 2,
+        memory_bytes: int = 64 * MB,
+        disk_sectors: int = 1024,
+        ip: int | None = None,
+        mac: bytes | None = None,
+        hostname: str = "nros",
+    ) -> None:
+        self.hostname = hostname
+        self.num_cores = num_cores
+        self.memory = PhysicalMemory(memory_bytes)
+        self.frames = BuddyAllocator(self.memory)
+        self.mmu = Mmu(self.memory)
+        self.disk = Disk(disk_sectors)
+        self.scheduler = Scheduler(num_cores)
+        self.timer = Timer()
+        self.serial = SerialPort()
+        self.irq = InterruptController()
+        self.timer.irq_line = self.irq.line(0)
+        self.block_driver = BlockDriver(self.disk, irq_line=self.irq.line(2))
+        self.fs = fsmod.FileSystem.mkfs(self.block_driver)
+        self.console = Console(self.serial)
+        self.nic: Nic | None = None
+        self.net: NetStack | None = None
+        self.net_driver: NetDriver | None = None
+        if ip is not None:
+            self.nic = Nic(mac or self._default_mac(ip))
+            self.net = NetStack(ip, self.nic)
+            self.net_driver = NetDriver(self.nic, self.net,
+                                        irq_line=self.irq.line(1))
+        self.processes: dict[int, Process] = {}
+        self.programs: dict[int, object] = {}
+        self._registry: dict[str, object] = {}
+        self._next_pid = 1
+        self.pipes = PipeTable()
+        self._futex_waiters: dict[int, list[Thread]] = {}
+        self._threads_by_tid: dict[int, Thread] = {}
+        self.stats = KernelStats()
+        self._num_nodes = max(1, (num_cores + 13) // 14)
+        self._ownership: dict[int, OwnershipTable] = {}  # pid -> table
+        self._handlers = self._build_handlers()
+
+    @staticmethod
+    def _default_mac(ip: int) -> bytes:
+        return bytes([0x02, 0, (ip >> 24) & 0xFF, (ip >> 16) & 0xFF,
+                      (ip >> 8) & 0xFF, ip & 0xFF])
+
+    # -- program registry and process lifecycle ---------------------------------
+
+    def register_program(self, name: str, factory) -> None:
+        """Register a user program: `factory(*argv)` returns a generator."""
+        self._registry[name] = factory
+
+    def spawn(self, name: str, argv: tuple = (), parent: int | None = None) -> int:
+        if name not in self._registry:
+            raise KeyError(f"no program registered as {name!r}")
+        pid = self._next_pid
+        self._next_pid += 1
+        vspace = VSpace(self.memory, self.frames, num_nodes=self._num_nodes)
+        for core in range(self.num_cores):
+            vspace.attach_core(core, min(core // 14, self._num_nodes - 1))
+        process = Process(
+            pid=pid,
+            name=name,
+            vspace=vspace,
+            fdtable=fdmod.FdTable(self.fs),
+            parent=parent,
+        )
+        self.processes[pid] = process
+        self._ownership[pid] = OwnershipTable()
+        if parent is not None and parent in self.processes:
+            self.processes[parent].children.add(pid)
+        gen = self._registry[name](*argv)
+        thread = process.add_thread(gen, name=f"{name}:{pid}")
+        self._threads_by_tid[thread.tid] = thread
+        self.scheduler.ready(thread)
+        return pid
+
+    # -- main loop ------------------------------------------------------------------
+
+    def step(self, max_threads: int = 1) -> bool:
+        """Resume up to `max_threads` runnable threads; True if any ran."""
+        ran = False
+        for _ in range(max_threads):
+            self._pump_network()
+            thread = self.scheduler.next_thread()
+            if thread is None:
+                break
+            self._resume(thread)
+            ran = True
+        return ran
+
+    def run(self, max_ticks: int = 100_000) -> None:
+        """Run until every process has exited (or panic on deadlock)."""
+        idle_ticks = 0
+        while any(p.state is ProcessState.ALIVE for p in self.processes.values()):
+            if self.step(max_threads=16):
+                idle_ticks = 0
+                continue
+            # nothing runnable: advance time so sleeps and timers fire
+            self.advance_time()
+            idle_ticks += 1
+            if idle_ticks > max_ticks:
+                blocked = [
+                    f"{t.name} {t.block_reason}"
+                    for p in self.processes.values()
+                    for t in p.threads.values()
+                    if t.state is ThreadState.BLOCKED
+                ]
+                raise KernelPanic(
+                    "deadlock: no runnable threads; blocked: "
+                    + "; ".join(blocked)
+                )
+
+    def advance_time(self) -> None:
+        """One timer tick: wake sleepers, drive network timers."""
+        self.timer.tick()
+        if self.net_driver is not None:
+            self.net_driver.tick(self.timer.ticks)
+        self._pump_network()
+        self._wake_sleepers()
+        self._wake_net_waiters()
+
+    def _pump_network(self) -> None:
+        if self.net_driver is not None:
+            if self.net_driver.poll():
+                self._wake_net_waiters()
+        for irq in self.irq.pending():
+            self.irq.acknowledge(irq)
+
+    def _wake_sleepers(self) -> None:
+        now = self.timer.ticks
+        for thread in list(self._blocked_threads("sleep")):
+            if thread.block_reason.key <= now:
+                self.scheduler.wake(thread)
+
+    def _wake_net_waiters(self) -> None:
+        for thread in list(self._blocked_threads("net")):
+            poll_fn = thread.block_reason.key
+            result = poll_fn()
+            if result is not None:
+                status, value = result
+                if status == "err":
+                    errno, message = value
+                    self.scheduler.wake(
+                        thread, ("error", SyscallError(errno, message))
+                    )
+                else:
+                    self.scheduler.wake(thread, ("value", value))
+
+    def _blocked_threads(self, kind: str):
+        for process in self.processes.values():
+            for thread in process.threads.values():
+                if (thread.state is ThreadState.BLOCKED
+                        and thread.block_reason is not None
+                        and thread.block_reason.kind == kind):
+                    yield thread
+
+    # -- thread resumption and the syscall boundary ------------------------------------
+
+    def _resume(self, thread: Thread) -> None:
+        self.stats.thread_switches += 1
+        kind, payload = thread.pending
+        thread.pending = ("value", None)
+        try:
+            if kind == "error":
+                request = thread.gen.throw(payload)
+            else:
+                request = thread.gen.send(payload)
+        except StopIteration as stop:
+            self._thread_exited(thread, stop.value)
+            return
+        except SyscallError:
+            # user code let a syscall error escape: kill the process
+            self._process_exit(thread.process, exit_code=70)
+            return
+        except Exception as exc:  # user bug: kill the process, log it
+            self.serial.write(
+                f"[kernel] {thread.name} crashed: "
+                f"{type(exc).__name__}: {exc}\n"
+            )
+            self._process_exit(thread.process, exit_code=70)
+            return
+
+        if not isinstance(request, Syscall):
+            thread.pending = (
+                "error",
+                SyscallError(abi.EINVAL, f"yielded non-syscall {request!r}"),
+            )
+            self.scheduler.ready(thread)
+            return
+
+        result = self._syscall(thread, request)
+        if result is None:
+            return  # blocked or exited; do not requeue
+        thread.pending = result
+        if thread.state is not ThreadState.EXITED:
+            self.scheduler.ready(thread)
+
+    def _syscall(self, thread: Thread, request: Syscall):
+        """Marshal, dispatch, and marshal back.  Returns the pending tuple
+        for the thread, or None when the thread blocked / exited."""
+        self.stats.syscalls += 1
+        wire = marshal_call(abi.SYSCALLS[request.name], request.args)
+        self.stats.marshalled_bytes += len(wire)
+        number, args = unmarshal_call(wire)
+        name = abi.NUMBER_TO_NAME.get(number)
+        handler = self._handlers.get(name)
+        if handler is None:
+            return ("error", SyscallError(abi.ENOSYS, name or str(number)))
+        try:
+            value = handler(thread, *args)
+        except _Block as block:
+            self.scheduler.block(thread, block.reason)
+            if block.reason.kind == "futex":
+                self._futex_waiters.setdefault(block.reason.key, []).append(thread)
+            return None
+        except _SyscallFailure as failure:
+            return ("error", SyscallError(failure.errno, failure.message))
+        except _ProcessExited:
+            return None
+        # response crosses the boundary too
+        response = marshal(value)
+        self.stats.marshalled_bytes += len(response)
+        return ("value", unmarshal(response))
+
+    def _thread_exited(self, thread: Thread, value) -> None:
+        thread.state = ThreadState.EXITED
+        thread.exit_value = value
+        self.scheduler.forget(thread)
+        # wake joiners
+        for other in list(self._blocked_threads("join")):
+            if other.block_reason.key == thread.tid:
+                self.scheduler.wake(other, ("value", value))
+        process = thread.process
+        if not process.alive_threads and process.state is ProcessState.ALIVE:
+            self._process_exit(process, exit_code=0)
+
+    def _process_exit(self, process: Process, exit_code: int) -> None:
+        if process.state is not ProcessState.ALIVE:
+            return
+        process.state = ProcessState.ZOMBIE
+        process.exit_code = exit_code
+        for thread in process.threads.values():
+            if thread.state is not ThreadState.EXITED:
+                thread.state = ThreadState.EXITED
+                self.scheduler.forget(thread)
+        process.fdtable.close_all()
+        process.vspace.sync()
+        # wake a parent blocked in wait()
+        if process.parent is not None and process.parent in self.processes:
+            for thread in self.processes[process.parent].threads.values():
+                if (thread.state is ThreadState.BLOCKED
+                        and thread.block_reason is not None
+                        and thread.block_reason.kind == "wait"
+                        and thread.block_reason.key in (process.pid, -1)):
+                    process.state = ProcessState.REAPED
+                    self.scheduler.wake(
+                        thread, ("value", (process.pid, exit_code))
+                    )
+                    break
+
+    # -- handler helpers ------------------------------------------------------------------
+
+    def _process_of(self, thread: Thread) -> Process:
+        return thread.process
+
+    def _core_of(self, thread: Thread) -> int:
+        return self.scheduler.core_of(thread)
+
+    def _translate(self, thread: Thread, vaddr: int, write: bool) -> int:
+        try:
+            return thread.process.vspace.translate(
+                self._core_of(thread), vaddr, write=write
+            )
+        except TranslationFault as fault:
+            self.stats.page_faults += 1
+            raise _SyscallFailure(abi.EFAULT, str(fault)) from fault
+
+    # -- syscall handlers ----------------------------------------------------------------------
+
+    def _build_handlers(self) -> dict:
+        return {
+            "vm_map": self._sys_vm_map,
+            "vm_unmap": self._sys_vm_unmap,
+            "vm_resolve": self._sys_vm_resolve,
+            "mmap_file": self._sys_mmap_file,
+            "msync": self._sys_msync,
+            "peek": self._sys_peek,
+            "poke": self._sys_poke,
+            "cas": self._sys_cas,
+            "open": self._sys_open,
+            "close": self._sys_close,
+            "read": self._sys_read,
+            "write": self._sys_write,
+            "seek": self._sys_seek,
+            "stat": self._sys_stat,
+            "mkdir": self._sys_mkdir,
+            "readdir": self._sys_readdir,
+            "unlink": self._sys_unlink,
+            "rename": self._sys_rename,
+            "read_into": self._sys_read_into,
+            "write_from": self._sys_write_from,
+            "link": self._sys_link,
+            "truncate": self._sys_truncate,
+            "signal": self._sys_signal,
+            "sigwait": self._sys_sigwait,
+            "sigpending": self._sys_sigpending,
+            "setpriority": self._sys_setpriority,
+            "spawn": self._sys_spawn,
+            "wait": self._sys_wait,
+            "exit": self._sys_exit,
+            "getpid": self._sys_getpid,
+            "kill": self._sys_kill,
+            "sched_yield": self._sys_yield,
+            "thread_spawn": self._sys_thread_spawn,
+            "thread_join": self._sys_thread_join,
+            "sleep": self._sys_sleep,
+            "futex_wait": self._sys_futex_wait,
+            "futex_wake": self._sys_futex_wake,
+            "socket": self._sys_socket,
+            "bind": self._sys_bind,
+            "sendto": self._sys_sendto,
+            "recvfrom": self._sys_recvfrom,
+            "rdp_listen": self._sys_rdp_listen,
+            "rdp_connect": self._sys_rdp_connect,
+            "rdp_accept": self._sys_rdp_accept,
+            "rdp_send": self._sys_rdp_send,
+            "rdp_recv": self._sys_rdp_recv,
+            "rdp_close": self._sys_rdp_close,
+            "pipe": self._sys_pipe,
+            "pipe_read": self._sys_pipe_read,
+            "pipe_write": self._sys_pipe_write,
+            "pipe_close": self._sys_pipe_close,
+            "log": self._sys_log,
+        }
+
+    # pipes -----------------------------------------------------------------------
+
+    def _sys_pipe(self, thread: Thread, capacity: int = 16 * 1024) -> int:
+        if capacity <= 0:
+            raise _SyscallFailure(abi.EINVAL, "pipe capacity must be positive")
+        return self.pipes.create(capacity).pipe_id
+
+    def _pipe(self, pipe_id: int):
+        pipe = self.pipes.get(pipe_id)
+        if pipe is None:
+            raise _SyscallFailure(abi.EBADF, f"no pipe {pipe_id}")
+        return pipe
+
+    def _sys_pipe_read(self, thread: Thread, pipe_id: int, length: int):
+        pipe = self._pipe(pipe_id)
+
+        def poll():
+            data = pipe.try_read(length)
+            if data is None:
+                return None
+            return ("ok", data)
+
+        ready = poll()
+        if ready is not None:
+            self._wake_net_waiters()  # a blocked writer may now have space
+            return ready[1]
+        raise _Block(BlockReason("net", poll))
+
+    def _sys_pipe_write(self, thread: Thread, pipe_id: int, data: bytes):
+        pipe = self._pipe(pipe_id)
+
+        def poll():
+            try:
+                written = pipe.try_write(data)
+            except PipeClosed as exc:
+                return ("err", (abi.EPIPE, str(exc)))
+            if written is None:
+                return None
+            return ("ok", written)
+
+        ready = poll()
+        if ready is not None:
+            if ready[0] == "err":
+                raise _SyscallFailure(*ready[1])
+            self._wake_net_waiters()  # a blocked reader may now have data
+            return ready[1]
+        raise _Block(BlockReason("net", poll))
+
+    def _sys_pipe_close(self, thread: Thread, pipe_id: int, end: str) -> None:
+        pipe = self._pipe(pipe_id)
+        if end not in ("r", "w"):
+            raise _SyscallFailure(abi.EINVAL, f"bad pipe end {end!r}")
+        pipe.close(end)
+        self._wake_net_waiters()  # EOF / EPIPE now observable
+        self.pipes.reap()
+
+    # memory ----------------------------------------------------------------------
+
+    def _sys_vm_map(self, thread: Thread, npages: int) -> int:
+        if npages <= 0:
+            raise _SyscallFailure(abi.EINVAL, "npages must be positive")
+        process = thread.process
+        base = process.heap_next
+        core = self._core_of(thread)
+        mapped = []
+        try:
+            for i in range(npages):
+                frame = self.frames.alloc_frame()
+                self.memory.zero_frame(frame)
+                process.vspace.map(
+                    base + i * PAGE_SIZE, frame, PageSize.SIZE_4K,
+                    Flags.user_rw(), core=core,
+                )
+                mapped.append((base + i * PAGE_SIZE, frame))
+        except (OutOfMemory, VSpaceError) as exc:
+            for vaddr, frame in reversed(mapped):
+                process.vspace.unmap(vaddr, core=core)
+                self.frames.free_frame(frame)
+            raise _SyscallFailure(abi.ENOMEM, str(exc)) from exc
+        process.heap_next = base + npages * PAGE_SIZE
+        return base
+
+    def _sys_vm_unmap(self, thread: Thread, vaddr: int) -> None:
+        try:
+            removed = thread.process.vspace.unmap(
+                vaddr, core=self._core_of(thread)
+            )
+        except VSpaceError as exc:
+            raise _SyscallFailure(abi.ENOENT, str(exc)) from exc
+        self.frames.free_frame(removed.paddr)
+
+    def _sys_vm_resolve(self, thread: Thread, vaddr: int) -> int:
+        mapping = thread.process.vspace.resolve(
+            vaddr, core=self._core_of(thread)
+        )
+        if mapping is None:
+            raise _SyscallFailure(abi.ENOENT, f"{vaddr:#x} not mapped")
+        return mapping.paddr + (vaddr - mapping.vaddr)
+
+    def _sys_mmap_file(self, thread: Thread, path: str,
+                       writable: bool = False) -> tuple:
+        """Map a file's contents into user memory.
+
+        Allocates frames, copies the file in, and maps the pages (read-only
+        unless `writable`).  Returns (vaddr, file_length).  Writable
+        mappings are flushed back with msync — a deliberate simplification
+        of demand paging (no page-fault-driven laziness)."""
+        inum = self._fs_call(self.fs.lookup, path)
+        stat = self.fs.stat_inum(inum)
+        if stat.is_dir:
+            raise _SyscallFailure(abi.EISDIR, f"cannot mmap directory {path!r}")
+        npages = max(1, (stat.size + PAGE_SIZE - 1) // PAGE_SIZE)
+        process = thread.process
+        base = process.heap_next
+        core = self._core_of(thread)
+        flags = Flags(writable=writable, user=True, executable=False)
+        mapped = []
+        try:
+            for i in range(npages):
+                frame = self.frames.alloc_frame()
+                self.memory.zero_frame(frame)
+                chunk = self._fs_call(
+                    self.fs.read_at, inum, i * PAGE_SIZE, PAGE_SIZE
+                )
+                if chunk:
+                    self.memory.write(frame, chunk)
+                process.vspace.map(base + i * PAGE_SIZE, frame,
+                                   PageSize.SIZE_4K, flags, core=core)
+                mapped.append((base + i * PAGE_SIZE, frame))
+        except (OutOfMemory, VSpaceError) as exc:
+            for vaddr, frame in reversed(mapped):
+                process.vspace.unmap(vaddr, core=core)
+                self.frames.free_frame(frame)
+            raise _SyscallFailure(abi.ENOMEM, str(exc)) from exc
+        process.heap_next = base + npages * PAGE_SIZE
+        return (base, stat.size)
+
+    def _sys_msync(self, thread: Thread, path: str, vaddr: int,
+                   length: int) -> int:
+        """Flush a writable file mapping back to the file."""
+        if length < 0:
+            raise _SyscallFailure(abi.EINVAL, "negative length")
+        inum = self._fs_call(self.fs.lookup, path)
+        process = thread.process
+        root = process.vspace.root_for(self._core_of(thread))
+        try:
+            data = copy_from_user(self.memory, self.mmu, root, vaddr, length)
+        except UserCopyFault as exc:
+            raise _SyscallFailure(abi.EFAULT, str(exc)) from exc
+        self._fs_call(self.fs.truncate, inum, 0)
+        if data:
+            self._fs_call(self.fs.write_at, inum, 0, data)
+        return len(data)
+
+    def _sys_peek(self, thread: Thread, vaddr: int) -> int:
+        paddr = self._translate(thread, vaddr, write=False)
+        return self.memory.load_u64(paddr)
+
+    def _sys_poke(self, thread: Thread, vaddr: int, value: int) -> None:
+        paddr = self._translate(thread, vaddr, write=True)
+        self.memory.store_u64(paddr, value)
+
+    def _sys_cas(self, thread: Thread, vaddr: int, expected: int,
+                 new: int) -> tuple:
+        paddr = self._translate(thread, vaddr, write=True)
+        old = self.memory.load_u64(paddr)
+        if old == expected:
+            self.memory.store_u64(paddr, new)
+            return (True, old)
+        return (False, old)
+
+    # files --------------------------------------------------------------------------
+
+    def _fs_call(self, fn, *args):
+        try:
+            return fn(*args)
+        except fsmod.NotFound as exc:
+            raise _SyscallFailure(abi.ENOENT, str(exc)) from exc
+        except fsmod.Exists as exc:
+            raise _SyscallFailure(abi.EEXIST, str(exc)) from exc
+        except fsmod.NotADirectory as exc:
+            raise _SyscallFailure(abi.ENOTDIR, str(exc)) from exc
+        except fsmod.IsADirectory as exc:
+            raise _SyscallFailure(abi.EISDIR, str(exc)) from exc
+        except fsmod.DirectoryNotEmpty as exc:
+            raise _SyscallFailure(abi.EINVAL, str(exc)) from exc
+        except fdmod.BadFd as exc:
+            raise _SyscallFailure(abi.EBADF, str(exc)) from exc
+        except fdmod.PermissionDenied as exc:
+            raise _SyscallFailure(abi.EPERM, str(exc)) from exc
+        except NoSpace as exc:
+            raise _SyscallFailure(abi.ENOSPC, str(exc)) from exc
+        except fsmod.FileTooBig as exc:
+            raise _SyscallFailure(abi.EINVAL, str(exc)) from exc
+        except ValueError as exc:
+            raise _SyscallFailure(abi.EINVAL, str(exc)) from exc
+        except fsmod.FsError as exc:
+            raise _SyscallFailure(abi.EINVAL, str(exc)) from exc
+
+    def _sys_open(self, thread: Thread, path: str, flags: int = 0) -> int:
+        return self._fs_call(thread.process.fdtable.open, path, flags)
+
+    def _sys_close(self, thread: Thread, fd: int) -> None:
+        self._fs_call(thread.process.fdtable.close, fd)
+
+    def _sys_read(self, thread: Thread, fd: int, length: int) -> bytes:
+        return self._fs_call(thread.process.fdtable.read, fd, length)
+
+    def _sys_write(self, thread: Thread, fd: int, data: bytes) -> int:
+        return self._fs_call(thread.process.fdtable.write, fd, data)
+
+    def _sys_seek(self, thread: Thread, fd: int, offset: int) -> int:
+        return self._fs_call(thread.process.fdtable.seek, fd, offset)
+
+    def _sys_stat(self, thread: Thread, path: str) -> tuple:
+        stat = self._fs_call(self.fs.stat, path)
+        return (stat.inum, stat.itype, stat.size, stat.nlink)
+
+    def _sys_mkdir(self, thread: Thread, path: str) -> None:
+        self._fs_call(self.fs.mkdir, path)
+
+    def _sys_readdir(self, thread: Thread, path: str) -> tuple:
+        return tuple(self._fs_call(self.fs.readdir, path))
+
+    def _sys_unlink(self, thread: Thread, path: str) -> None:
+        self._fs_call(self.fs.unlink, path)
+
+    def _sys_rename(self, thread: Thread, old: str, new: str) -> None:
+        self._fs_call(self.fs.rename, old, new)
+
+    def _sys_link(self, thread: Thread, old_path: str, new_path: str) -> None:
+        self._fs_call(self.fs.link, old_path, new_path)
+
+    def _sys_truncate(self, thread: Thread, path: str, size: int = 0) -> None:
+        inum = self._fs_call(self.fs.lookup, path)
+        self._fs_call(self.fs.truncate, inum, size)
+
+    def _sys_read_into(self, thread: Thread, fd: int, vaddr: int,
+                       length: int) -> int:
+        """Read file data directly into user memory: the mapping and
+        data-race-freedom obligations in action."""
+        process = thread.process
+        table = self._ownership[process.pid]
+        try:
+            token = table.claim_unique(vaddr, max(length, 1),
+                                       f"read_into:t{thread.tid}")
+        except OwnershipError as exc:
+            raise _SyscallFailure(abi.EAGAIN, str(exc)) from exc
+        try:
+            data = self._fs_call(process.fdtable.read, fd, length)
+            root = process.vspace.root_for(self._core_of(thread))
+            copy_to_user(self.memory, self.mmu, root, vaddr, data)
+            return len(data)
+        except UserCopyFault as exc:
+            raise _SyscallFailure(abi.EFAULT, str(exc)) from exc
+        finally:
+            table.release(token)
+
+    def _sys_write_from(self, thread: Thread, fd: int, vaddr: int,
+                        length: int) -> int:
+        process = thread.process
+        table = self._ownership[process.pid]
+        try:
+            token = table.claim_shared(vaddr, max(length, 1),
+                                       f"write_from:t{thread.tid}")
+        except OwnershipError as exc:
+            raise _SyscallFailure(abi.EAGAIN, str(exc)) from exc
+        try:
+            root = process.vspace.root_for(self._core_of(thread))
+            data = copy_from_user(self.memory, self.mmu, root, vaddr, length)
+            return self._fs_call(process.fdtable.write, fd, data)
+        except UserCopyFault as exc:
+            raise _SyscallFailure(abi.EFAULT, str(exc)) from exc
+        finally:
+            table.release(token)
+
+    # processes and threads --------------------------------------------------------------
+
+    def _sys_spawn(self, thread: Thread, name: str, argv: tuple = ()) -> int:
+        if name not in self._registry:
+            raise _SyscallFailure(abi.ENOENT, f"no program {name!r}")
+        return self.spawn(name, argv, parent=thread.process.pid)
+
+    def _sys_wait(self, thread: Thread, pid: int = -1) -> tuple:
+        process = thread.process
+        candidates = (
+            [pid] if pid != -1 else sorted(process.children)
+        )
+        zombie = None
+        for child_pid in candidates:
+            child = self.processes.get(child_pid)
+            if child is None or child.parent != process.pid:
+                continue
+            if child.state is ProcessState.ZOMBIE:
+                zombie = child
+                break
+        if zombie is not None:
+            zombie.state = ProcessState.REAPED
+            return (zombie.pid, zombie.exit_code)
+        if pid != -1:
+            child = self.processes.get(pid)
+            if child is None or child.parent != process.pid:
+                raise _SyscallFailure(abi.ECHILD, f"no child {pid}")
+            if child.state is ProcessState.REAPED:
+                raise _SyscallFailure(abi.ECHILD, f"child {pid} already reaped")
+        elif not any(
+            self.processes[c].state in (ProcessState.ALIVE, ProcessState.ZOMBIE)
+            for c in process.children if c in self.processes
+        ):
+            raise _SyscallFailure(abi.ECHILD, "no children to wait for")
+        raise _Block(BlockReason("wait", pid))
+
+    def _sys_exit(self, thread: Thread, code: int = 0) -> None:
+        self._process_exit(thread.process, exit_code=code)
+        raise _ProcessExited()
+
+    def _sys_getpid(self, thread: Thread) -> int:
+        return thread.process.pid
+
+    def _sys_kill(self, thread: Thread, pid: int, sig: int = abi.SIGKILL) -> None:
+        """SIGKILL terminates; any other signal is queued for sigwait."""
+        target = self.processes.get(pid)
+        if target is None or target.state is not ProcessState.ALIVE:
+            raise _SyscallFailure(abi.ESRCH, f"no such process {pid}")
+        if sig == abi.SIGKILL:
+            self._process_exit(target, exit_code=137)
+            if target is thread.process:
+                raise _ProcessExited()
+            return
+        target.pending_signals.append(sig)
+        for waiter in target.threads.values():
+            if (waiter.state is ThreadState.BLOCKED
+                    and waiter.block_reason is not None
+                    and waiter.block_reason.kind == "sigwait"
+                    and target.pending_signals):
+                delivered = target.pending_signals.pop(0)
+                self.scheduler.wake(waiter, ("value", delivered))
+
+    def _sys_signal(self, thread: Thread, pid: int, sig: int) -> None:
+        """Alias of kill() for non-fatal signals (readability in user
+        code)."""
+        if sig == abi.SIGKILL:
+            raise _SyscallFailure(abi.EINVAL, "use kill() for SIGKILL")
+        self._sys_kill(thread, pid, sig)
+
+    def _sys_sigwait(self, thread: Thread):
+        process = thread.process
+        if process.pending_signals:
+            return process.pending_signals.pop(0)
+        raise _Block(BlockReason("sigwait", process.pid))
+
+    def _sys_sigpending(self, thread: Thread) -> tuple:
+        return tuple(thread.process.pending_signals)
+
+    def _sys_setpriority(self, thread: Thread, priority: int) -> None:
+        try:
+            self.scheduler.set_priority(thread, priority)
+        except ValueError as exc:
+            raise _SyscallFailure(abi.EINVAL, str(exc)) from exc
+
+    def _sys_yield(self, thread: Thread) -> None:
+        return None
+
+    def _sys_thread_spawn(self, thread: Thread, entry: str,
+                          argv: tuple = ()) -> int:
+        if entry not in self._registry:
+            raise _SyscallFailure(abi.ENOENT, f"no entry point {entry!r}")
+        gen = self._registry[entry](*argv)
+        new_thread = thread.process.add_thread(gen)
+        self._threads_by_tid[new_thread.tid] = new_thread
+        self.scheduler.ready(new_thread)
+        return new_thread.tid
+
+    def _sys_thread_join(self, thread: Thread, tid: int):
+        target = self._threads_by_tid.get(tid)
+        if target is None or target.process is not thread.process:
+            raise _SyscallFailure(abi.ESRCH, f"no such thread {tid}")
+        if target is thread:
+            raise _SyscallFailure(abi.EINVAL, "cannot join self")
+        if target.state is ThreadState.EXITED:
+            return target.exit_value
+        raise _Block(BlockReason("join", tid))
+
+    def _sys_sleep(self, thread: Thread, ticks: int) -> None:
+        if ticks < 0:
+            raise _SyscallFailure(abi.EINVAL, "negative sleep")
+        if ticks == 0:
+            return None
+        raise _Block(BlockReason("sleep", self.timer.ticks + ticks))
+
+    # synchronization -----------------------------------------------------------------------
+
+    def _sys_futex_wait(self, thread: Thread, vaddr: int, expected: int):
+        paddr = self._translate(thread, vaddr, write=False)
+        current = self.memory.load_u64(paddr)
+        if current != expected:
+            raise _SyscallFailure(abi.EAGAIN,
+                                  f"futex value {current} != {expected}")
+        raise _Block(BlockReason("futex", paddr))
+
+    def _sys_futex_wake(self, thread: Thread, vaddr: int, count: int = 1) -> int:
+        paddr = self._translate(thread, vaddr, write=False)
+        waiters = self._futex_waiters.get(paddr, [])
+        woken = 0
+        while waiters and woken < count:
+            waiter = waiters.pop(0)
+            if waiter.state is ThreadState.BLOCKED:
+                self.scheduler.wake(waiter)
+                woken += 1
+        if not waiters:
+            self._futex_waiters.pop(paddr, None)
+        return woken
+
+    # networking -------------------------------------------------------------------------------
+
+    def _require_net(self) -> NetStack:
+        if self.net is None:
+            raise _SyscallFailure(abi.ENOSYS, "no network configured")
+        return self.net
+
+    def _sys_socket(self, thread: Thread) -> int:
+        self._require_net()
+        process = thread.process
+        sid = process.new_sid()
+        process.sockets[sid] = None  # bound later
+        return sid
+
+    def _sys_bind(self, thread: Thread, sid: int, port: int) -> None:
+        net = self._require_net()
+        process = thread.process
+        if sid not in process.sockets:
+            raise _SyscallFailure(abi.EBADF, f"no socket {sid}")
+        try:
+            process.sockets[sid] = net.udp_bind(port)
+        except NetError as exc:
+            raise _SyscallFailure(abi.EINVAL, str(exc)) from exc
+
+    def _sys_sendto(self, thread: Thread, sid: int, dst_ip: int,
+                    dst_port: int, payload: bytes) -> None:
+        net = self._require_net()
+        sock = thread.process.sockets.get(sid)
+        src_port = sock.port if sock is not None else 0
+        try:
+            net.udp_send(src_port, dst_ip, dst_port, payload)
+        except NetError as exc:
+            raise _SyscallFailure(abi.EINVAL, str(exc)) from exc
+
+    def _sys_recvfrom(self, thread: Thread, sid: int):
+        self._require_net()
+        sock = thread.process.sockets.get(sid)
+        if sock is None:
+            raise _SyscallFailure(abi.EINVAL, f"socket {sid} not bound")
+
+        def poll():
+            if sock.recv_queue:
+                src_ip, src_port, payload = sock.recv_queue.popleft()
+                return ("ok", (src_ip, src_port, payload))
+            return None
+
+        ready = poll()
+        if ready is not None:
+            return ready[1]
+        raise _Block(BlockReason("net", poll))
+
+    def _sys_rdp_listen(self, thread: Thread, port: int) -> int:
+        net = self._require_net()
+        process = thread.process
+        try:
+            listener = net.rdp_listen(port)
+        except NetError as exc:
+            raise _SyscallFailure(abi.EINVAL, str(exc)) from exc
+        sid = process.new_sid()
+        process.sockets[sid] = listener
+        return sid
+
+    def _sys_rdp_connect(self, thread: Thread, dst_ip: int,
+                         dst_port: int):
+        net = self._require_net()
+        process = thread.process
+        conn = net.rdp_connect(dst_ip, dst_port)
+        sid = process.new_sid()
+        process.sockets[sid] = conn
+        net.tick(self.timer.ticks)  # send the SYN promptly
+
+        def poll():
+            if conn.state == STATE_ESTABLISHED:
+                return ("ok", sid)
+            if conn.state == STATE_CLOSED:
+                return ("err", (abi.ECONNREFUSED, "connect failed"))
+            return None
+
+        ready = poll()
+        if ready is not None and ready[0] == "ok":
+            return ready[1]
+        raise _Block(BlockReason("net", poll))
+
+    def _sys_rdp_accept(self, thread: Thread, sid: int):
+        self._require_net()
+        process = thread.process
+        listener = process.sockets.get(sid)
+        if listener is None or not hasattr(listener, "pending"):
+            raise _SyscallFailure(abi.EINVAL, f"socket {sid} not listening")
+
+        def poll():
+            if listener.pending:
+                conn = listener.pending.popleft()
+                conn_sid = process.new_sid()
+                process.sockets[conn_sid] = conn
+                return ("ok", conn_sid)
+            return None
+
+        ready = poll()
+        if ready is not None:
+            return ready[1]
+        raise _Block(BlockReason("net", poll))
+
+    def _get_conn(self, thread: Thread, sid: int):
+        conn = thread.process.sockets.get(sid)
+        if conn is None or not hasattr(conn, "recv_queue"):
+            raise _SyscallFailure(abi.EBADF, f"socket {sid} is not a connection")
+        return conn
+
+    def _sys_rdp_send(self, thread: Thread, sid: int, payload: bytes) -> None:
+        net = self._require_net()
+        conn = self._get_conn(thread, sid)
+        if conn.state == STATE_CLOSED:
+            raise _SyscallFailure(abi.ENOTCONN, "connection closed")
+        net.rdp_send(conn, payload)
+        net.tick(self.timer.ticks)  # opportunistic transmit
+
+    def _sys_rdp_recv(self, thread: Thread, sid: int):
+        self._require_net()
+        conn = self._get_conn(thread, sid)
+
+        def poll():
+            if conn.recv_queue:
+                return ("ok", conn.recv_queue.popleft())
+            if conn.state == STATE_CLOSED:
+                return ("err", (abi.ENOTCONN, "connection closed"))
+            return None
+
+        ready = poll()
+        if ready is not None:
+            if ready[0] == "err":
+                raise _SyscallFailure(*ready[1])
+            return ready[1]
+        raise _Block(BlockReason("net", poll))
+
+    def _sys_rdp_close(self, thread: Thread, sid: int) -> None:
+        net = self._require_net()
+        conn = self._get_conn(thread, sid)
+        net.rdp_close(conn)
+
+    # console ----------------------------------------------------------------------------------------
+
+    def _sys_log(self, thread: Thread, message: str) -> None:
+        self.console.info(
+            f"[{thread.process.name}:{thread.process.pid}] {message}"
+        )
+
+
+class _ProcessExited(Exception):
+    """Internal: the calling process exited inside a handler."""

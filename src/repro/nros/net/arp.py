@@ -1,0 +1,62 @@
+"""ARP: address resolution on the simulated fabric.
+
+Before this module the stack used a static neighbour table; with it, a
+host that lacks a MAC for a destination IP broadcasts a real ARP request,
+queues the outbound datagram, and transmits it when the reply arrives —
+including the classic gratuitous-learning behaviour (requests teach the
+responder the requester's mapping).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+ETHERTYPE_ARP = 0x0806
+OP_REQUEST = 1
+OP_REPLY = 2
+
+# hardware type 1 (ethernet), proto 0x0800 (ipv4), hlen 6, plen 4, op
+_HEADER = struct.Struct(">HHBBH6sI6sI")
+
+
+class ArpError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    op: int
+    sender_mac: bytes
+    sender_ip: int
+    target_mac: bytes
+    target_ip: int
+
+    def encode(self) -> bytes:
+        return _HEADER.pack(
+            1, 0x0800, 6, 4, self.op,
+            self.sender_mac, self.sender_ip,
+            self.target_mac, self.target_ip,
+        )
+
+    @staticmethod
+    def decode(data: bytes) -> "ArpPacket":
+        if len(data) < _HEADER.size:
+            raise ArpError("short ARP packet")
+        (htype, ptype, hlen, plen, op,
+         sender_mac, sender_ip, target_mac, target_ip) = _HEADER.unpack_from(data)
+        if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
+            raise ArpError(f"unsupported ARP header {htype}/{ptype:#x}")
+        if op not in (OP_REQUEST, OP_REPLY):
+            raise ArpError(f"bad ARP op {op}")
+        return ArpPacket(op, sender_mac, sender_ip, target_mac, target_ip)
+
+
+def request(sender_mac: bytes, sender_ip: int, target_ip: int) -> ArpPacket:
+    return ArpPacket(OP_REQUEST, sender_mac, sender_ip, b"\x00" * 6,
+                     target_ip)
+
+
+def reply(sender_mac: bytes, sender_ip: int, target_mac: bytes,
+          target_ip: int) -> ArpPacket:
+    return ArpPacket(OP_REPLY, sender_mac, sender_ip, target_mac, target_ip)

@@ -1,0 +1,42 @@
+"""Ethernet framing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ETHERTYPE_IPV4 = 0x0800
+BROADCAST = b"\xff" * 6
+HEADER_LEN = 14
+
+
+class FrameError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class EthFrame:
+    dst: bytes
+    src: bytes
+    ethertype: int
+    payload: bytes
+
+    def __post_init__(self):
+        if len(self.dst) != 6 or len(self.src) != 6:
+            raise FrameError("MAC addresses are 6 bytes")
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise FrameError(f"bad ethertype {self.ethertype:#x}")
+
+    def encode(self) -> bytes:
+        return (self.dst + self.src
+                + self.ethertype.to_bytes(2, "big") + self.payload)
+
+    @staticmethod
+    def decode(data: bytes) -> "EthFrame":
+        if len(data) < HEADER_LEN:
+            raise FrameError(f"frame too short: {len(data)} bytes")
+        return EthFrame(
+            dst=data[0:6],
+            src=data[6:12],
+            ethertype=int.from_bytes(data[12:14], "big"),
+            payload=data[14:],
+        )

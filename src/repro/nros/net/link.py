@@ -1,0 +1,77 @@
+"""Virtual cables between NICs, optionally lossy.
+
+`pump()` moves frames queued in each NIC's tx ring into the peer's rx ring;
+a seeded drop rate models an unreliable fabric (what RDP's retransmission
+is for).  A :class:`Hub` connects more than two NICs by flooding, with MAC
+filtering at delivery."""
+
+from __future__ import annotations
+
+import random
+
+from repro.hw.devices.nic import Nic
+from repro.nros.net.eth import BROADCAST, EthFrame, FrameError
+
+
+class Link:
+    """A point-to-point cable."""
+
+    def __init__(self, a: Nic, b: Nic, drop_rate: float = 0.0,
+                 seed: int = 0) -> None:
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError("drop rate must be in [0, 1)")
+        self.a = a
+        self.b = b
+        self.drop_rate = drop_rate
+        self._rng = random.Random(seed)
+        self.delivered = 0
+        self.dropped = 0
+
+    def pump(self) -> int:
+        """Move pending frames in both directions; returns frames moved."""
+        moved = 0
+        for src, dst in ((self.a, self.b), (self.b, self.a)):
+            for frame in src.drain_tx():
+                if self.drop_rate and self._rng.random() < self.drop_rate:
+                    self.dropped += 1
+                    continue
+                dst.deliver(frame)
+                self.delivered += 1
+                moved += 1
+        return moved
+
+
+class Hub:
+    """A flooding hub joining several NICs (MAC-filtered delivery)."""
+
+    def __init__(self, nics: list[Nic], drop_rate: float = 0.0,
+                 seed: int = 0) -> None:
+        if len(nics) < 2:
+            raise ValueError("a hub needs at least two NICs")
+        self.nics = list(nics)
+        self.drop_rate = drop_rate
+        self._rng = random.Random(seed)
+        self.delivered = 0
+        self.dropped = 0
+
+    def pump(self) -> int:
+        moved = 0
+        for src in self.nics:
+            for raw in src.drain_tx():
+                try:
+                    frame = EthFrame.decode(raw)
+                except FrameError:
+                    self.dropped += 1
+                    continue
+                for dst in self.nics:
+                    if dst is src:
+                        continue
+                    if frame.dst not in (dst.mac, BROADCAST):
+                        continue
+                    if self.drop_rate and self._rng.random() < self.drop_rate:
+                        self.dropped += 1
+                        continue
+                    dst.deliver(raw)
+                    self.delivered += 1
+                    moved += 1
+        return moved

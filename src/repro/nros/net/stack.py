@@ -1,0 +1,278 @@
+"""The per-host network stack.
+
+Wires the layers together: Ethernet framing over the NIC, IPv4 with a
+static neighbour table (ARP is a lookup, not a protocol, on our fabric),
+UDP sockets, and RDP reliable connections multiplexed over UDP ports.
+
+The stack is polled: `poll()` drains the NIC receive ring and dispatches;
+`tick(now)` drives RDP (re)transmission.  The kernel calls both from its
+scheduler loop, the way a driver bottom-half would run."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.hw.devices.nic import Nic
+from repro.nros.net import arp, rdp
+from repro.nros.net.arp import ETHERTYPE_ARP, ArpError, ArpPacket
+from repro.nros.net.eth import BROADCAST, ETHERTYPE_IPV4, EthFrame, FrameError
+from repro.nros.net.ip import Ipv4Packet, PacketError, PROTO_UDP
+from repro.nros.net.rdp import (
+    RdpConnection,
+    RdpError,
+    RdpSegment,
+    STATE_ESTABLISHED,
+)
+from repro.nros.net.udp import DatagramError, UdpDatagram
+
+
+class NetError(Exception):
+    pass
+
+
+@dataclass
+class UdpSocket:
+    port: int = 0
+    recv_queue: deque = field(default_factory=deque)  # (src_ip, src_port, data)
+
+
+@dataclass
+class RdpListener:
+    port: int
+    pending: deque = field(default_factory=deque)  # newly accepted conns
+
+
+class NetStack:
+    """One host's stack."""
+
+    EPHEMERAL_BASE = 49152
+
+    def __init__(self, ip: int, nic: Nic) -> None:
+        self.ip = ip
+        self.nic = nic
+        self.neighbours: dict[int, bytes] = {ip: nic.mac}
+        self._udp_ports: dict[int, UdpSocket] = {}
+        self._listeners: dict[int, RdpListener] = {}
+        self._conns: dict[tuple, RdpConnection] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+        self._next_conn_id = 1
+        self._arp_pending: dict[int, list[bytes]] = {}  # ip -> queued UDP
+        self.now = 0
+        self.stats_rx = 0
+        self.stats_tx = 0
+        self.stats_bad = 0
+        self.stats_arp_requests = 0
+        self.stats_arp_replies = 0
+
+    # -- neighbours ---------------------------------------------------------------
+
+    def add_neighbour(self, ip: int, mac: bytes) -> None:
+        self.neighbours[ip] = mac
+
+    # -- UDP ----------------------------------------------------------------------
+
+    def udp_bind(self, port: int) -> UdpSocket:
+        if port in self._udp_ports or port in self._listeners:
+            raise NetError(f"port {port} already bound")
+        sock = UdpSocket(port=port)
+        self._udp_ports[port] = sock
+        return sock
+
+    def udp_send(self, src_port: int, dst_ip: int, dst_port: int,
+                 payload: bytes) -> None:
+        datagram = UdpDatagram(src_port, dst_port, payload)
+        self._send_ip(dst_ip, datagram.encode(self.ip, dst_ip))
+
+    def _send_ip(self, dst_ip: int, udp_bytes: bytes) -> None:
+        dst_mac = self.neighbours.get(dst_ip)
+        if dst_mac is None:
+            # resolve via ARP: queue the datagram, broadcast a request
+            pending = self._arp_pending.setdefault(dst_ip, [])
+            if len(pending) < 16:
+                pending.append(udp_bytes)
+            self._send_arp(arp.request(self.nic.mac, self.ip, dst_ip))
+            self.stats_arp_requests += 1
+            return
+        packet = Ipv4Packet(src=self.ip, dst=dst_ip, proto=PROTO_UDP,
+                            payload=udp_bytes)
+        frame = EthFrame(dst=dst_mac, src=self.nic.mac,
+                         ethertype=ETHERTYPE_IPV4, payload=packet.encode())
+        if dst_ip == self.ip:
+            # loopback: short-circuit into our own receive ring
+            self.nic.deliver(frame.encode())
+        else:
+            self.nic.transmit(frame.encode())
+        self.stats_tx += 1
+
+    # -- RDP ---------------------------------------------------------------------------
+
+    def rdp_listen(self, port: int) -> RdpListener:
+        if port in self._listeners or port in self._udp_ports:
+            raise NetError(f"port {port} already bound")
+        listener = RdpListener(port=port)
+        self._listeners[port] = listener
+        return listener
+
+    def rdp_connect(self, dst_ip: int, dst_port: int) -> RdpConnection:
+        local_port = self._alloc_ephemeral()
+        conn = RdpConnection(
+            conn_id=self._next_conn_id,
+            local_port=local_port,
+            remote_ip=dst_ip,
+            remote_port=dst_port,
+        )
+        self._next_conn_id += 1
+        self._conns[(local_port, dst_ip, dst_port, conn.conn_id)] = conn
+        return conn
+
+    def rdp_send(self, conn: RdpConnection, payload: bytes) -> None:
+        conn.queue_send(payload)
+
+    def rdp_recv(self, conn: RdpConnection) -> bytes | None:
+        if conn.recv_queue:
+            return conn.recv_queue.popleft()
+        return None
+
+    def rdp_close(self, conn: RdpConnection) -> None:
+        if conn.state != rdp.STATE_CLOSED:
+            segment = RdpSegment(rdp.TYPE_FIN, conn.conn_id, 0, 0)
+            self._send_segment(conn, segment)
+            conn.state = rdp.STATE_CLOSED
+
+    def _alloc_ephemeral(self) -> int:
+        while (self._next_ephemeral in self._udp_ports
+               or self._next_ephemeral in self._listeners):
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def _send_segment(self, conn: RdpConnection, segment: RdpSegment) -> None:
+        datagram = UdpDatagram(conn.local_port, conn.remote_port,
+                               segment.encode())
+        self._send_ip(conn.remote_ip, datagram.encode(self.ip, conn.remote_ip))
+
+    # -- receive path -------------------------------------------------------------------
+
+    def poll(self) -> int:
+        """Drain the NIC rx ring; returns datagrams dispatched."""
+        handled = 0
+        while True:
+            raw = self.nic.receive()
+            if raw is None:
+                return handled
+            handled += self._handle_frame(raw)
+
+    def _send_arp(self, packet: ArpPacket) -> None:
+        frame = EthFrame(dst=BROADCAST, src=self.nic.mac,
+                         ethertype=ETHERTYPE_ARP, payload=packet.encode())
+        self.nic.transmit(frame.encode())
+
+    def _handle_arp(self, payload: bytes) -> None:
+        try:
+            packet = ArpPacket.decode(payload)
+        except ArpError:
+            self.stats_bad += 1
+            return
+        # learn the sender's mapping either way
+        self.neighbours[packet.sender_ip] = packet.sender_mac
+        if packet.op == arp.OP_REQUEST and packet.target_ip == self.ip:
+            self._send_arp(arp.reply(self.nic.mac, self.ip,
+                                     packet.sender_mac, packet.sender_ip))
+            self.stats_arp_replies += 1
+        # flush datagrams that were waiting on this resolution
+        queued = self._arp_pending.pop(packet.sender_ip, [])
+        for udp_bytes in queued:
+            self._send_ip(packet.sender_ip, udp_bytes)
+
+    def _handle_frame(self, raw: bytes) -> int:
+        try:
+            frame = EthFrame.decode(raw)
+            if frame.ethertype == ETHERTYPE_ARP:
+                self._handle_arp(frame.payload)
+                return 0
+            if frame.ethertype != ETHERTYPE_IPV4:
+                return 0
+            packet = Ipv4Packet.decode(frame.payload)
+            if packet.dst != self.ip or packet.proto != PROTO_UDP:
+                return 0
+            datagram = UdpDatagram.decode(packet.payload, packet.src,
+                                          packet.dst)
+        except (FrameError, PacketError, DatagramError):
+            self.stats_bad += 1
+            return 0
+        self.stats_rx += 1
+        port = datagram.dst_port
+
+        # RDP listener or connection traffic?
+        if port in self._listeners:
+            self._handle_rdp_server(packet.src, datagram)
+            return 1
+        conn = self._find_conn(port, packet.src, datagram.src_port,
+                               datagram.payload)
+        if conn is not None:
+            try:
+                segment = RdpSegment.decode(datagram.payload)
+            except RdpError:
+                self.stats_bad += 1
+                return 0
+            for reply in conn.on_segment(segment):
+                self._send_segment(conn, reply)
+            return 1
+        sock = self._udp_ports.get(port)
+        if sock is not None:
+            sock.recv_queue.append(
+                (packet.src, datagram.src_port, datagram.payload)
+            )
+            return 1
+        return 0  # no listener: drop
+
+    def _find_conn(self, local_port: int, remote_ip: int, remote_port: int,
+                   payload: bytes) -> RdpConnection | None:
+        try:
+            segment = RdpSegment.decode(payload)
+        except RdpError:
+            return None
+        key = (local_port, remote_ip, remote_port, segment.conn_id)
+        return self._conns.get(key)
+
+    def _handle_rdp_server(self, src_ip: int, datagram: UdpDatagram) -> None:
+        listener = self._listeners[datagram.dst_port]
+        try:
+            segment = RdpSegment.decode(datagram.payload)
+        except RdpError:
+            self.stats_bad += 1
+            return
+        key = (datagram.dst_port, src_ip, datagram.src_port, segment.conn_id)
+        conn = self._conns.get(key)
+        if segment.kind == rdp.TYPE_SYN:
+            if conn is None:
+                conn = RdpConnection(
+                    conn_id=segment.conn_id,
+                    local_port=datagram.dst_port,
+                    remote_ip=src_ip,
+                    remote_port=datagram.src_port,
+                    state=STATE_ESTABLISHED,
+                )
+                self._conns[key] = conn
+                listener.pending.append(conn)
+            # (re)confirm: SYNACK is idempotent
+            self._send_segment(
+                conn, RdpSegment(rdp.TYPE_SYNACK, conn.conn_id, 0, 0)
+            )
+            return
+        if conn is None:
+            return  # segment for an unknown connection: drop
+        for reply in conn.on_segment(segment):
+            self._send_segment(conn, reply)
+
+    # -- timers ------------------------------------------------------------------------------
+
+    def tick(self, now: int | None = None) -> None:
+        """Advance RDP timers; (re)transmit whatever is due."""
+        self.now = self.now + 1 if now is None else now
+        for conn in list(self._conns.values()):
+            segment = conn.next_outgoing(self.now)
+            if segment is not None:
+                self._send_segment(conn, segment)

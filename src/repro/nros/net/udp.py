@@ -1,0 +1,44 @@
+"""UDP datagrams with the pseudo-header checksum."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.nros.net.ip import PROTO_UDP, checksum16
+
+HEADER_LEN = 8
+
+
+class DatagramError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    def encode(self, src_ip: int, dst_ip: int) -> bytes:
+        length = HEADER_LEN + len(self.payload)
+        header = struct.pack(">HHHH", self.src_port, self.dst_port, length, 0)
+        pseudo = struct.pack(">IIBBH", src_ip, dst_ip, 0, PROTO_UDP, length)
+        cksum = checksum16(pseudo + header + self.payload)
+        header = header[:6] + cksum.to_bytes(2, "big")
+        return header + self.payload
+
+    @staticmethod
+    def decode(data: bytes, src_ip: int, dst_ip: int) -> "UdpDatagram":
+        if len(data) < HEADER_LEN:
+            raise DatagramError("datagram shorter than UDP header")
+        src_port, dst_port, length, cksum = struct.unpack(">HHHH", data[:8])
+        if length > len(data):
+            raise DatagramError("truncated datagram")
+        payload = data[HEADER_LEN:length]
+        pseudo = struct.pack(">IIBBH", src_ip, dst_ip, 0, PROTO_UDP, length)
+        zeroed = data[:6] + b"\x00\x00" + payload
+        if checksum16(pseudo + zeroed) != cksum:
+            raise DatagramError("UDP checksum mismatch")
+        return UdpDatagram(src_port=src_port, dst_port=dst_port,
+                           payload=payload)

@@ -1,0 +1,161 @@
+"""Physical memory management: a buddy frame allocator.
+
+The kernel-grade allocator behind address spaces and the filesystem's block
+cache.  Supports power-of-two block sizes from one 4 KiB frame up to
+`max_order` frames, with splitting on allocation and buddy coalescing on
+free.  Satisfies the allocator protocol of :class:`repro.core.pt.impl.PageTable`
+(`alloc_frame` / `free_frame`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import wordlib
+from repro.core.pt import defs
+from repro.hw.mem import PhysicalMemory
+
+
+class OutOfMemory(Exception):
+    """No block of the requested order is available."""
+
+
+@dataclass
+class PmemStats:
+    total_frames: int = 0
+    free_frames: int = 0
+    allocations: int = 0
+    frees: int = 0
+    splits: int = 0
+    merges: int = 0
+
+
+class BuddyAllocator:
+    """A binary-buddy allocator over a frame range.
+
+    Orders are frame counts: order k blocks hold 2**k frames.
+    """
+
+    MAX_ORDER = 10  # 4 MiB blocks
+
+    def __init__(self, memory: PhysicalMemory, start: int = 0,
+                 end: int | None = None) -> None:
+        if end is None:
+            end = memory.size
+        if not wordlib.is_aligned(start, defs.PAGE_SIZE):
+            raise ValueError("start must be page-aligned")
+        if not wordlib.is_aligned(end, defs.PAGE_SIZE):
+            raise ValueError("end must be page-aligned")
+        if not start <= end <= memory.size:
+            raise ValueError("allocator range outside physical memory")
+        self.memory = memory
+        self.start = start
+        self.end = end
+        self._free: list[set[int]] = [set() for _ in range(self.MAX_ORDER + 1)]
+        # allocated block -> order (needed to free without a size argument)
+        self._allocated: dict[int, int] = {}
+        self.stats = PmemStats(total_frames=(end - start) // defs.PAGE_SIZE)
+        self.stats.free_frames = self.stats.total_frames
+        self._seed_free_lists()
+
+    def _seed_free_lists(self) -> None:
+        current = self.start
+        while current < self.end:
+            order = self.MAX_ORDER
+            while order > 0 and (
+                current % (defs.PAGE_SIZE << order)
+                or current + (defs.PAGE_SIZE << order) > self.end
+            ):
+                order -= 1
+            self._free[order].add(current)
+            current += defs.PAGE_SIZE << order
+
+    # -- core interface --------------------------------------------------------
+
+    def alloc_block(self, order: int) -> int:
+        """Allocate a block of 2**order frames; returns its base paddr."""
+        if not 0 <= order <= self.MAX_ORDER:
+            raise ValueError(f"order {order} out of range")
+        found = None
+        for k in range(order, self.MAX_ORDER + 1):
+            if self._free[k]:
+                found = k
+                break
+        if found is None:
+            raise OutOfMemory(f"no free block of order {order}")
+        block = min(self._free[found])
+        self._free[found].discard(block)
+        while found > order:
+            found -= 1
+            buddy = block + (defs.PAGE_SIZE << found)
+            self._free[found].add(buddy)
+            self.stats.splits += 1
+        self._allocated[block] = order
+        self.stats.allocations += 1
+        self.stats.free_frames -= 1 << order
+        return block
+
+    def free_block(self, paddr: int) -> None:
+        """Free a previously allocated block, coalescing with its buddy."""
+        order = self._allocated.pop(paddr, None)
+        if order is None:
+            raise ValueError(f"free of unallocated block {paddr:#x}")
+        self.stats.frees += 1
+        self.stats.free_frames += 1 << order
+        block = paddr
+        while order < self.MAX_ORDER:
+            size = defs.PAGE_SIZE << order
+            buddy = block ^ size
+            if buddy < self.start or buddy >= self.end:
+                break
+            if buddy not in self._free[order]:
+                break
+            self._free[order].discard(buddy)
+            block = min(block, buddy)
+            order += 1
+            self.stats.merges += 1
+        self._free[order].add(block)
+
+    # -- PageTable allocator protocol ----------------------------------------------
+
+    def alloc_frame(self) -> int:
+        return self.alloc_block(0)
+
+    def free_frame(self, paddr: int) -> None:
+        self.free_block(paddr)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def free_blocks(self) -> dict[int, int]:
+        """order -> count of free blocks (for tests and stats)."""
+        return {k: len(blocks) for k, blocks in enumerate(self._free) if blocks}
+
+    def check_integrity(self) -> str | None:
+        """Structural invariant check; returns a description or None.
+
+        * free blocks are disjoint and inside [start, end)
+        * free blocks are aligned to their order
+        * free + allocated frames account for the whole range
+        """
+        covered: set[int] = set()
+        for order, blocks in enumerate(self._free):
+            size = defs.PAGE_SIZE << order
+            for block in blocks:
+                if block % size:
+                    return f"free block {block:#x} misaligned for order {order}"
+                if block < self.start or block + size > self.end:
+                    return f"free block {block:#x} out of range"
+                frames = set(range(block, block + size, defs.PAGE_SIZE))
+                if covered & frames:
+                    return f"free block {block:#x} overlaps another"
+                covered |= frames
+        for block, order in self._allocated.items():
+            size = defs.PAGE_SIZE << order
+            frames = set(range(block, block + size, defs.PAGE_SIZE))
+            if covered & frames:
+                return f"allocated block {block:#x} overlaps a free block"
+            covered |= frames
+        expected = set(range(self.start, self.end, defs.PAGE_SIZE))
+        if covered != expected:
+            return "free + allocated frames do not cover the range"
+        return None

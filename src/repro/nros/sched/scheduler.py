@@ -1,0 +1,131 @@
+"""The kernel scheduler: per-core multi-level run queues.
+
+Cooperative in the Python sense (threads run until their next syscall), but
+structurally the real thing: per-core queues with three priority levels,
+aging so low-priority threads cannot starve, core affinity, blocking and
+waking, and an idle detector that tells the kernel when only blocked
+threads remain (so the main loop can advance the timer instead of
+spinning).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.nros.proc.process import BlockReason, Thread, ThreadState
+
+NUM_PRIORITIES = 3  # 0 = high, 2 = low
+AGING_THRESHOLD = 8  # skips before a waiting thread is promoted one level
+
+
+class Scheduler:
+    """Priority round-robin over per-core queues; threads keep affinity."""
+
+    def __init__(self, num_cores: int = 1) -> None:
+        if num_cores <= 0:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+        self._queues: list[list[deque[Thread]]] = [
+            [deque() for _ in range(NUM_PRIORITIES)]
+            for _ in range(num_cores)
+        ]
+        self._affinity: dict[int, int] = {}
+        self._priority: dict[int, int] = {}
+        self._skips: dict[int, int] = {}
+        self._blocked: set[int] = set()
+        self._next_core = 0
+        self.context_switches = 0
+        self.promotions = 0
+
+    # -- priorities ------------------------------------------------------------
+
+    def set_priority(self, thread: Thread, priority: int) -> None:
+        if not 0 <= priority < NUM_PRIORITIES:
+            raise ValueError(f"priority {priority} out of range")
+        self._priority[thread.tid] = priority
+
+    def priority_of(self, thread: Thread) -> int:
+        return self._priority.get(thread.tid, 1)  # default: middle
+
+    def assign_core(self, thread: Thread) -> int:
+        """Pick (and remember) the core for a thread: least-loaded."""
+        if thread.tid in self._affinity:
+            return self._affinity[thread.tid]
+        core = min(
+            range(self.num_cores),
+            key=lambda c: sum(len(q) for q in self._queues[c]),
+        )
+        self._affinity[thread.tid] = core
+        return core
+
+    def core_of(self, thread: Thread) -> int:
+        return self._affinity.get(thread.tid, 0)
+
+    def ready(self, thread: Thread) -> None:
+        if thread.state is ThreadState.EXITED:
+            return
+        core = self.assign_core(thread)
+        self._blocked.discard(thread.tid)
+        thread.state = ThreadState.READY
+        self._queues[core][self.priority_of(thread)].append(thread)
+
+    def block(self, thread: Thread, reason: BlockReason) -> None:
+        thread.block(reason)
+        self._blocked.add(thread.tid)
+
+    def wake(self, thread: Thread, result=("value", None)) -> None:
+        if thread.state is not ThreadState.BLOCKED:
+            return
+        thread.wake(result)
+        self.ready(thread)
+
+    def next_thread(self) -> Thread | None:
+        """The next runnable thread: highest priority level on the next
+        core (the starting core rotates so a busy-looping thread on one
+        core cannot starve the others).  Threads passed over accumulate
+        skips and are promoted one level when they age out."""
+        for offset in range(self.num_cores):
+            core = (self._next_core + offset) % self.num_cores
+            for level, queue in enumerate(self._queues[core]):
+                while queue:
+                    thread = queue.popleft()
+                    if thread.state is ThreadState.READY:
+                        self._next_core = (core + 1) % self.num_cores
+                        self.context_switches += 1
+                        self._skips.pop(thread.tid, None)
+                        self._age(core, level)
+                        return thread
+        return None
+
+    def _age(self, core: int, chosen_level: int) -> None:
+        """Skipped lower-priority threads on this core age toward
+        promotion (starvation freedom)."""
+        for level in range(chosen_level + 1, NUM_PRIORITIES):
+            queue = self._queues[core][level]
+            for thread in list(queue):
+                skips = self._skips.get(thread.tid, 0) + 1
+                if skips >= AGING_THRESHOLD:
+                    queue.remove(thread)
+                    self._queues[core][level - 1].append(thread)
+                    self._priority[thread.tid] = level - 1
+                    self._skips.pop(thread.tid, None)
+                    self.promotions += 1
+                else:
+                    self._skips[thread.tid] = skips
+
+    def has_runnable(self) -> bool:
+        return any(
+            t.state is ThreadState.READY
+            for levels in self._queues
+            for queue in levels
+            for t in queue
+        )
+
+    def blocked_count(self) -> int:
+        return len(self._blocked)
+
+    def forget(self, thread: Thread) -> None:
+        self._affinity.pop(thread.tid, None)
+        self._priority.pop(thread.tid, None)
+        self._skips.pop(thread.tid, None)
+        self._blocked.discard(thread.tid)

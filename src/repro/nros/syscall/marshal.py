@@ -1,0 +1,138 @@
+"""Syscall argument marshalling (the paper's *marshalling obligation*).
+
+"We can prove that values correctly round-trip through serialization and
+deserialization so that syscall arguments are consistent between user-space
+and kernel-space."  This module is that serialization library: a small,
+self-describing binary format for the types syscalls exchange (unsigned
+words, booleans, byte strings, UTF-8 strings, and flat tuples thereof).
+
+Layout: every value is a 1-byte tag followed by its payload; integers are
+little-endian u64, byte strings are length-prefixed (u64).  The roundtrip
+property is checked three ways: hypothesis tests, SMT lemmas over the word
+encoding (`marshal-lemmas`), and the contract VCs that marshal real syscall
+argument tuples.
+"""
+
+from __future__ import annotations
+
+TAG_U64 = 0x01
+TAG_BOOL = 0x02
+TAG_BYTES = 0x03
+TAG_STR = 0x04
+TAG_TUPLE = 0x05
+TAG_NONE = 0x06
+TAG_I64 = 0x07
+
+U64_MAX = (1 << 64) - 1
+
+
+class MarshalError(Exception):
+    """Unsupported value or malformed buffer."""
+
+
+def _pack_u64(value: int) -> bytes:
+    return value.to_bytes(8, "little")
+
+
+def _unpack_u64(buf: bytes, offset: int) -> tuple[int, int]:
+    if offset + 8 > len(buf):
+        raise MarshalError(f"truncated u64 at offset {offset}")
+    return int.from_bytes(buf[offset : offset + 8], "little"), offset + 8
+
+
+def marshal(value) -> bytes:
+    """Serialize a supported value to bytes."""
+    if value is None:
+        return bytes([TAG_NONE])
+    if isinstance(value, bool):  # before int: bool is an int subtype
+        return bytes([TAG_BOOL, 1 if value else 0])
+    if isinstance(value, int):
+        if 0 <= value <= U64_MAX:
+            return bytes([TAG_U64]) + _pack_u64(value)
+        if -(1 << 63) <= value < (1 << 63):
+            return bytes([TAG_I64]) + _pack_u64(value & U64_MAX)
+        raise MarshalError(f"integer {value} does not fit in 64 bits")
+    if isinstance(value, bytes):
+        return bytes([TAG_BYTES]) + _pack_u64(len(value)) + value
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return bytes([TAG_STR]) + _pack_u64(len(payload)) + payload
+    if isinstance(value, tuple):
+        out = bytearray([TAG_TUPLE])
+        out += _pack_u64(len(value))
+        for item in value:
+            out += marshal(item)
+        return bytes(out)
+    raise MarshalError(f"cannot marshal {type(value).__name__}")
+
+
+def unmarshal(buf: bytes) -> object:
+    """Deserialize one value; the whole buffer must be consumed."""
+    value, offset = _unmarshal_at(buf, 0)
+    if offset != len(buf):
+        raise MarshalError(
+            f"{len(buf) - offset} trailing bytes after value"
+        )
+    return value
+
+
+def _unmarshal_at(buf: bytes, offset: int) -> tuple[object, int]:
+    if offset >= len(buf):
+        raise MarshalError("empty buffer")
+    tag = buf[offset]
+    offset += 1
+    if tag == TAG_NONE:
+        return None, offset
+    if tag == TAG_BOOL:
+        if offset >= len(buf):
+            raise MarshalError("truncated bool")
+        flag = buf[offset]
+        if flag not in (0, 1):
+            raise MarshalError(f"bad bool payload {flag}")
+        return bool(flag), offset + 1
+    if tag == TAG_U64:
+        return _unpack_u64(buf, offset)
+    if tag == TAG_I64:
+        raw, offset = _unpack_u64(buf, offset)
+        if raw >= 1 << 63:
+            raw -= 1 << 64
+        return raw, offset
+    if tag == TAG_BYTES:
+        length, offset = _unpack_u64(buf, offset)
+        if offset + length > len(buf):
+            raise MarshalError("truncated bytes payload")
+        return bytes(buf[offset : offset + length]), offset + length
+    if tag == TAG_STR:
+        length, offset = _unpack_u64(buf, offset)
+        if offset + length > len(buf):
+            raise MarshalError("truncated string payload")
+        try:
+            return buf[offset : offset + length].decode("utf-8"), offset + length
+        except UnicodeDecodeError as exc:
+            raise MarshalError(f"bad UTF-8: {exc}") from exc
+    if tag == TAG_TUPLE:
+        count, offset = _unpack_u64(buf, offset)
+        if count > len(buf):  # cheap sanity bound
+            raise MarshalError(f"implausible tuple arity {count}")
+        items = []
+        for _ in range(count):
+            item, offset = _unmarshal_at(buf, offset)
+            items.append(item)
+        return tuple(items), offset
+    raise MarshalError(f"unknown tag {tag:#x} at offset {offset - 1}")
+
+
+def marshal_call(syscall_number: int, args: tuple) -> bytes:
+    """Encode a complete syscall request (number + argument tuple)."""
+    return marshal((syscall_number,) + args)
+
+
+def unmarshal_call(buf: bytes) -> tuple[int, tuple]:
+    """Decode a syscall request; returns (number, args)."""
+    value = unmarshal(buf)
+    if not isinstance(value, tuple) or not value:
+        raise MarshalError("syscall request must be a non-empty tuple")
+    number = value[0]
+    if not isinstance(number, int):
+        raise MarshalError("syscall number must be an integer")
+    return number, value[1:]

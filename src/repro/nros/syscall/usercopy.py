@@ -1,0 +1,65 @@
+"""Copying between user buffers and kernel memory — the *mapping obligation*.
+
+"The mapping obligation is that the process memory for the buffer appear at
+a known location in kernel space."  The kernel never trusts user pointers:
+every access translates the user virtual address through the process's page
+table (handling page-crossing buffers), enforcing the user and writable
+permission bits as appropriate for the direction of the copy.
+"""
+
+from __future__ import annotations
+
+from repro.core.pt import defs
+from repro.hw.mem import PhysicalMemory
+from repro.hw.mmu import AccessType, Mmu, TranslationFault
+
+
+class UserCopyFault(Exception):
+    """The user buffer is unmapped or lacks the required permissions."""
+
+    def __init__(self, vaddr: int, reason: str) -> None:
+        super().__init__(f"usercopy fault at {vaddr:#x}: {reason}")
+        self.vaddr = vaddr
+
+
+def _chunks(vaddr: int, length: int):
+    """Split [vaddr, vaddr+length) at 4 KiB page boundaries."""
+    end = vaddr + length
+    current = vaddr
+    while current < end:
+        page_end = defs.vaddr_base(current, defs.PageSize.SIZE_4K) + defs.PAGE_SIZE
+        chunk_end = min(end, page_end)
+        yield current, chunk_end - current
+        current = chunk_end
+
+
+def copy_from_user(
+    memory: PhysicalMemory, mmu: Mmu, root_paddr: int, vaddr: int, length: int
+) -> bytes:
+    """Read `length` bytes from the user buffer at `vaddr`."""
+    if length < 0:
+        raise ValueError("negative length")
+    out = bytearray()
+    for chunk_vaddr, chunk_len in _chunks(vaddr, length):
+        try:
+            t = mmu.translate(root_paddr, chunk_vaddr, AccessType.READ,
+                              user_mode=True)
+        except TranslationFault as exc:
+            raise UserCopyFault(chunk_vaddr, exc.reason) from exc
+        out += memory.read(t.paddr, chunk_len)
+    return bytes(out)
+
+
+def copy_to_user(
+    memory: PhysicalMemory, mmu: Mmu, root_paddr: int, vaddr: int, data: bytes
+) -> None:
+    """Write `data` to the user buffer at `vaddr`."""
+    offset = 0
+    for chunk_vaddr, chunk_len in _chunks(vaddr, len(data)):
+        try:
+            t = mmu.translate(root_paddr, chunk_vaddr, AccessType.WRITE,
+                              user_mode=True)
+        except TranslationFault as exc:
+            raise UserCopyFault(chunk_vaddr, exc.reason) from exc
+        memory.write(t.paddr, data[offset : offset + chunk_len])
+        offset += chunk_len

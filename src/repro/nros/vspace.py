@@ -1,0 +1,183 @@
+"""NR-replicated address spaces with TLB shootdown.
+
+NrOS replicates kernel state — including address-space structures — per
+NUMA node through node replication.  A :class:`VSpace` therefore owns one
+page table *per node* (the NR replicas), all kept consistent through the
+operation log; each core's MMU walks its own node's tree, and unmap performs
+a TLB shootdown across every registered core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pt.defs import Flags, PageSize
+from repro.core.pt.impl import (
+    AlreadyMapped,
+    BadRequest,
+    Mapping,
+    NotMapped,
+    PageTable,
+)
+from repro.hw.mem import PhysicalMemory
+from repro.hw.mmu import Mmu, TranslationFault
+from repro.hw.tlb import Tlb
+from repro.nr.core import NodeReplicated
+
+
+class VSpaceError(Exception):
+    """An address-space operation failed (wraps the page-table error)."""
+
+
+@dataclass
+class _PtDs:
+    """The sequential data structure NR replicates: one page-table tree.
+
+    Results are ("ok", payload) / ("err", kind) tuples because NR transports
+    results through the log rather than exceptions."""
+
+    pt: object
+
+    def apply(self, op):
+        kind = op[0]
+        try:
+            if kind == "map":
+                _, vaddr, frame, size, flags = op
+                self.pt.map_frame(vaddr, frame, size, flags)
+                return ("ok", None)
+            if kind == "unmap":
+                _, vaddr = op
+                return ("ok", self.pt.unmap(vaddr))
+        except AlreadyMapped as exc:
+            return ("err", "already_mapped", str(exc))
+        except NotMapped as exc:
+            return ("err", "not_mapped", str(exc))
+        except BadRequest as exc:
+            return ("err", "bad_request", str(exc))
+        raise ValueError(f"unknown vspace op {op!r}")
+
+    def query(self, op):
+        kind, vaddr = op
+        if kind != "resolve":
+            raise ValueError(f"unknown vspace query {op!r}")
+        try:
+            return ("ok", self.pt.resolve(vaddr))
+        except BadRequest as exc:
+            return ("err", "bad_request", str(exc))
+
+
+class VSpace:
+    """One process address space, replicated across NUMA nodes."""
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        allocator,
+        num_nodes: int = 1,
+        pt_factory=PageTable,
+        asid: int = 0,
+    ) -> None:
+        self.memory = memory
+        self.allocator = allocator
+        self.asid = asid
+        self.nr = NodeReplicated(
+            lambda: _PtDs(pt_factory(memory, allocator)), num_nodes=num_nodes
+        )
+        self._tlbs: dict[int, Tlb] = {}       # core -> TLB
+        self._core_node: dict[int, int] = {}  # core -> NUMA node
+        self.shootdowns = 0
+
+    # -- core registration ------------------------------------------------------
+
+    def attach_core(self, core: int, node: int, tlb: Tlb | None = None) -> None:
+        """Register a core (and its TLB) as using this address space."""
+        if node >= self.nr.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        self._core_node[core] = node
+        self._tlbs[core] = tlb if tlb is not None else Tlb()
+
+    def detach_core(self, core: int) -> None:
+        self._core_node.pop(core, None)
+        tlb = self._tlbs.pop(core, None)
+        if tlb is not None:
+            tlb.flush()
+
+    def root_for(self, core: int) -> int:
+        """The page-table root the given core's CR3 points at."""
+        node = self._core_node.get(core, 0)
+        return self.nr.replicas[node].ds.pt.root_paddr
+
+    # -- operations -----------------------------------------------------------------
+
+    def map(self, vaddr: int, frame: int, size: PageSize, flags: Flags,
+            core: int = 0) -> None:
+        node = self._core_node.get(core, 0)
+        result = self.nr.execute(("map", vaddr, frame, size, flags),
+                                 node=node, thread=core)
+        if result[0] != "ok":
+            raise VSpaceError(result[2])
+
+    def unmap(self, vaddr: int, core: int = 0) -> Mapping:
+        node = self._core_node.get(core, 0)
+        result = self.nr.execute(("unmap", vaddr), node=node, thread=core)
+        if result[0] != "ok":
+            raise VSpaceError(result[2])
+        removed = result[1]
+        # The unmap is only safe once *every* replica has applied it (no
+        # core may keep translating through its stale tree) and every TLB
+        # entry is gone — this full sync + shootdown is what makes unmap
+        # more expensive than map (Figure 1c vs 1b).
+        self.nr.sync_all()
+        self._shootdown(removed.vaddr, int(removed.size))
+        return removed
+
+    def resolve(self, vaddr: int, core: int = 0) -> Mapping | None:
+        node = self._core_node.get(core, 0)
+        result = self.nr.execute_ro(("resolve", vaddr), node=node, thread=core)
+        if result[0] != "ok":
+            raise VSpaceError(result[2])
+        return result[1]
+
+    def _shootdown(self, vaddr: int, size: int) -> None:
+        """Invalidate the unmapped range in every registered core's TLB
+        (the mandatory protocol established by the `tlb` VCs)."""
+        self.shootdowns += 1
+        for tlb in self._tlbs.values():
+            tlb.invalidate_page(vaddr)
+
+    # -- translation (what instruction execution uses) -------------------------------
+
+    def translate(self, core: int, vaddr: int, write: bool = False):
+        """Translate through the core's TLB, walking on a miss."""
+        if core not in self._core_node:
+            raise ValueError(f"core {core} not attached")
+        tlb = self._tlbs[core]
+        cached = tlb.lookup(vaddr)
+        if cached is not None:
+            if write and not cached.flags.writable:
+                raise TranslationFault(vaddr, "write to read-only page")
+            offset = vaddr - cached.page_base_vaddr
+            return cached.frame_paddr + offset
+        mmu = Mmu(self.memory)
+        node = self._core_node[core]
+        try:
+            translation = mmu.walk(self.root_for(core), vaddr)
+        except TranslationFault:
+            # The local replica may simply lag the log (NrOS handles this
+            # page fault by syncing the replica and retrying the access).
+            self._sync_node(node, core)
+            translation = mmu.walk(self.root_for(core), vaddr)
+        if write and not translation.flags.writable:
+            raise TranslationFault(vaddr, "write to read-only page")
+        tlb.insert(translation)
+        return translation.paddr
+
+    def _sync_node(self, node: int, core: int) -> None:
+        """Apply any outstanding log entries to this node's replica."""
+        steps = self.nr.sync_steps(node, thread=core)
+        for _ in steps:
+            pass
+
+    def sync(self) -> None:
+        """Quiesce: apply the log everywhere (used before teardown)."""
+        self.nr.sync_all()

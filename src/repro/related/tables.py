@@ -1,0 +1,47 @@
+"""Renderers for Tables 1 and 2."""
+
+from __future__ import annotations
+
+from repro.related.projects import (
+    MARKS,
+    PROJECTS,
+    TABLE1_ROWS,
+    TABLE2_ROWS,
+    THIS_WORK,
+    Project,
+)
+
+
+def _render(rows, attribute: str, include_this_work: bool) -> list[str]:
+    projects = list(PROJECTS) + ([THIS_WORK] if include_this_work else [])
+    names = [p.name for p in projects]
+    label_width = max(len(r) for r in rows) + 2
+    col_widths = [max(len(n), 3) + 2 for n in names]
+    header = " " * label_width + "".join(
+        n.rjust(w) for n, w in zip(names, col_widths)
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for project, width in zip(projects, col_widths):
+            value = getattr(project, attribute)[row]
+            cells.append(MARKS[value].rjust(width))
+        lines.append(row.ljust(label_width) + "".join(cells))
+    return lines
+
+
+def table1(include_this_work: bool = True) -> list[str]:
+    """Table 1: comparison of OS verification projects."""
+    return _render(TABLE1_ROWS, "properties", include_this_work)
+
+
+def table2(include_this_work: bool = True) -> list[str]:
+    """Table 2: verified OS components."""
+    return _render(TABLE2_ROWS, "components", include_this_work)
+
+
+def project_by_name(name: str) -> Project:
+    for project in list(PROJECTS) + [THIS_WORK]:
+        if project.name == name:
+            return project
+    raise KeyError(name)

@@ -1,0 +1,29 @@
+"""Discrete-event simulation of a NUMA multicore machine.
+
+The paper's latency figures (1b/1c) come from a 28-core NUMA machine; this
+package provides the simulated equivalent: an event loop
+(:mod:`repro.sim.kernel`), simulated locks and cache lines with a coherence
+cost model (:mod:`repro.sim.resources`), the NUMA topology and its transfer
+costs (:mod:`repro.sim.topology`), and latency statistics
+(:mod:`repro.sim.stats`).
+"""
+
+from repro.sim.kernel import Simulator, Delay, Acquire, Release, Wait, Fire, Event
+from repro.sim.topology import Topology, CostModel
+from repro.sim.resources import SimLock, CacheLine
+from repro.sim.stats import LatencyRecorder
+
+__all__ = [
+    "Simulator",
+    "Delay",
+    "Acquire",
+    "Release",
+    "Wait",
+    "Fire",
+    "Event",
+    "Topology",
+    "CostModel",
+    "SimLock",
+    "CacheLine",
+    "LatencyRecorder",
+]

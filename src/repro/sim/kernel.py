@@ -1,0 +1,122 @@
+"""The discrete-event simulation kernel.
+
+Simulated processes are Python generators that yield *commands*:
+
+* ``Delay(ns)`` — advance this process's local time,
+* ``Acquire(lock)`` / ``Release(lock)`` — FIFO mutual exclusion,
+* ``Wait(event)`` — block until the event fires,
+* ``Fire(event, value)`` — wake all waiters, delivering `value`.
+
+Time is in integer nanoseconds.  The kernel is deterministic: ties are
+broken by spawn order, which keeps every benchmark reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Generator
+
+
+@dataclass(frozen=True)
+class Delay:
+    ns: int
+
+
+@dataclass(frozen=True)
+class Acquire:
+    lock: "object"
+
+
+@dataclass(frozen=True)
+class Release:
+    lock: "object"
+
+
+@dataclass(frozen=True)
+class Wait:
+    event: "Event"
+
+
+@dataclass(frozen=True)
+class Fire:
+    event: "Event"
+    value: object = None
+
+
+@dataclass
+class Event:
+    """A broadcast event processes can wait on."""
+
+    name: str = ""
+    waiters: list = field(default_factory=list)
+
+
+class _Process:
+    __slots__ = ("gen", "pid", "name")
+
+    def __init__(self, gen: Generator, pid: int, name: str) -> None:
+        self.gen = gen
+        self.pid = pid
+        self.name = name
+
+
+class SimulationError(Exception):
+    """A process yielded an unknown command or misused a resource."""
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._queue: list[tuple[int, int, _Process, object]] = []
+        self._seq = 0
+        self._next_pid = 0
+        self.completed = 0
+
+    def spawn(self, gen: Generator, name: str = "", at: int | None = None):
+        """Schedule a new process; returns its pid."""
+        process = _Process(gen, self._next_pid, name or f"proc{self._next_pid}")
+        self._next_pid += 1
+        self._schedule(at if at is not None else self.now, process, None)
+        return process.pid
+
+    def _schedule(self, when: int, process: _Process, value) -> None:
+        heapq.heappush(self._queue, (when, self._seq, process, value))
+        self._seq += 1
+
+    def run(self, until: int | None = None) -> None:
+        """Run until the queue drains (or simulated time passes `until`)."""
+        while self._queue:
+            when, _, process, value = self._queue[0]
+            if until is not None and when > until:
+                return
+            heapq.heappop(self._queue)
+            self.now = when
+            self._step(process, value)
+
+    def _step(self, process: _Process, value) -> None:
+        try:
+            command = process.gen.send(value)
+        except StopIteration:
+            self.completed += 1
+            return
+        if isinstance(command, Delay):
+            if command.ns < 0:
+                raise SimulationError(f"negative delay {command.ns}")
+            self._schedule(self.now + command.ns, process, None)
+        elif isinstance(command, Acquire):
+            command.lock._acquire(self, process)
+        elif isinstance(command, Release):
+            command.lock._release(self, process)
+        elif isinstance(command, Wait):
+            command.event.waiters.append(process)
+        elif isinstance(command, Fire):
+            waiters = command.event.waiters
+            command.event.waiters = []
+            for waiter in waiters:
+                self._schedule(self.now, waiter, command.value)
+            self._schedule(self.now, process, None)
+        else:
+            raise SimulationError(f"unknown command {command!r}")

@@ -1,0 +1,55 @@
+"""Latency statistics for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects per-operation latencies (ns) and summarises them."""
+
+    samples: list[int] = field(default_factory=list)
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        self.samples.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean_ns(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean_ns / 1000.0
+
+    def percentile_ns(self, p: float) -> int:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self.samples:
+            return 0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, int(round(p / 100 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    @property
+    def p50_us(self) -> float:
+        return self.percentile_ns(50) / 1000.0
+
+    @property
+    def p99_us(self) -> float:
+        return self.percentile_ns(99) / 1000.0
+
+    @property
+    def max_us(self) -> float:
+        return max(self.samples, default=0) / 1000.0
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        self.samples.extend(other.samples)

@@ -1,0 +1,53 @@
+"""A from-scratch QF_BV SMT stack.
+
+This package stands in for the Verus/Z3 toolchain used by the paper.  It
+provides:
+
+* :mod:`repro.smt.ast` — hash-consed terms over booleans and bitvectors
+* :mod:`repro.smt.rewrite` — a rule-based simplifier
+* :mod:`repro.smt.aig` — an and-inverter graph with structural hashing
+* :mod:`repro.smt.bitblast` — lowering of bitvector terms to AIG literals
+* :mod:`repro.smt.cnf` — Tseitin transformation of AIG cones to CNF
+* :mod:`repro.smt.sat` — a CDCL SAT solver (watched literals, VSIDS, 1UIP)
+* :mod:`repro.smt.solver` — the user-facing Solver / prove() API
+* :mod:`repro.smt.interp` — a concrete evaluator used as a test oracle
+"""
+
+from repro.smt.ast import (
+    BV,
+    BOOL,
+    Term,
+    bv_const,
+    bv_var,
+    bool_var,
+    true,
+    false,
+    and_,
+    or_,
+    not_,
+    xor_,
+    implies,
+    ite,
+)
+from repro.smt.solver import Solver, SolverResult, prove, counterexample
+
+__all__ = [
+    "BV",
+    "BOOL",
+    "Term",
+    "bv_const",
+    "bv_var",
+    "bool_var",
+    "true",
+    "false",
+    "and_",
+    "or_",
+    "not_",
+    "xor_",
+    "implies",
+    "ite",
+    "Solver",
+    "SolverResult",
+    "prove",
+    "counterexample",
+]

@@ -1,0 +1,636 @@
+"""Hash-consed term AST for the QF_BV fragment.
+
+Terms are immutable and interned: structurally equal terms are the same
+Python object, so identity comparison and dict lookups are O(1).  Because of
+interning, ``Term`` does *not* overload ``__eq__`` to build equations; use
+:meth:`Term.eq` for that, and ``is`` (or plain ``==``, which falls back to
+identity) to compare term objects.
+
+Sorts are either :data:`BOOL` or ``BV(width)``.  Construction performs light
+constant folding; the heavier rewriting lives in :mod:`repro.smt.rewrite`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import wordlib
+
+# ---------------------------------------------------------------------------
+# Sorts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Sort:
+    """A term sort: ``width == 0`` means Bool, otherwise a bitvector width."""
+
+    width: int
+
+    @property
+    def is_bool(self) -> bool:
+        return self.width == 0
+
+    @property
+    def is_bv(self) -> bool:
+        return self.width > 0
+
+    def __repr__(self) -> str:
+        return "Bool" if self.is_bool else f"BV{self.width}"
+
+
+BOOL = Sort(0)
+
+_BV_CACHE: dict[int, Sort] = {}
+
+
+def BV(width: int) -> Sort:
+    """Return the (cached) bitvector sort of the given width."""
+    if width <= 0:
+        raise ValueError(f"bitvector width must be positive, got {width}")
+    sort = _BV_CACHE.get(width)
+    if sort is None:
+        sort = Sort(width)
+        _BV_CACHE[width] = sort
+    return sort
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+# Leaf ops
+CONST = "const"
+VAR = "var"
+
+# Bool connectives
+NOT = "not"
+AND = "and"
+OR = "or"
+XOR = "xor"
+IMPLIES = "implies"
+
+# Polymorphic
+ITE = "ite"
+EQ = "eq"
+
+# Bitvector ops
+BVNOT = "bvnot"
+BVAND = "bvand"
+BVOR = "bvor"
+BVXOR = "bvxor"
+BVADD = "bvadd"
+BVSUB = "bvsub"
+BVNEG = "bvneg"
+BVMUL = "bvmul"
+BVSHL = "bvshl"
+BVLSHR = "bvlshr"
+BVASHR = "bvashr"
+EXTRACT = "extract"
+CONCAT = "concat"
+ZEXT = "zext"
+SEXT = "sext"
+ULT = "ult"
+ULE = "ule"
+
+_COMMUTATIVE = {AND, OR, XOR, BVAND, BVOR, BVXOR, BVADD, BVMUL, EQ}
+
+
+class Term:
+    """An interned term node.
+
+    Attributes:
+        op: operator tag (one of the module-level constants).
+        args: child terms.
+        sort: the term's sort.
+        value: constant value (for ``CONST``) — bool or int.
+        name: variable name (for ``VAR``).
+        params: extra integer parameters (``EXTRACT`` hi/lo, ``ZEXT`` width).
+    """
+
+    __slots__ = ("op", "args", "sort", "value", "name", "params", "_id")
+
+    _intern: dict[tuple, "Term"] = {}
+    _next_id = 0
+
+    def __new__(
+        cls,
+        op: str,
+        args: tuple["Term", ...] = (),
+        sort: Sort = BOOL,
+        value=None,
+        name: str | None = None,
+        params: tuple[int, ...] = (),
+    ) -> "Term":
+        key = (op, tuple(id(a) for a in args), sort, value, name, params)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        term = object.__new__(cls)
+        term.op = op
+        term.args = args
+        term.sort = sort
+        term.value = value
+        term.name = name
+        term.params = params
+        term._id = cls._next_id
+        Term._next_id += 1
+        cls._intern[key] = term
+        return term
+
+    # Interning makes identity the right notion of equality.
+    def __hash__(self) -> int:
+        return self._id
+
+    @property
+    def width(self) -> int:
+        return self.sort.width
+
+    @property
+    def is_const(self) -> bool:
+        return self.op == CONST
+
+    # -- equation / comparison builders (not operator overloads; see module
+    #    docstring for why __eq__ stays as identity) ------------------------
+
+    def eq(self, other: "Term | int | bool") -> "Term":
+        return eq(self, _coerce(other, self.sort))
+
+    def neq(self, other: "Term | int | bool") -> "Term":
+        return not_(self.eq(other))
+
+    def ult(self, other: "Term | int") -> "Term":
+        return ult(self, _coerce(other, self.sort))
+
+    def ule(self, other: "Term | int") -> "Term":
+        return ule(self, _coerce(other, self.sort))
+
+    def ugt(self, other: "Term | int") -> "Term":
+        return ult(_coerce(other, self.sort), self)
+
+    def uge(self, other: "Term | int") -> "Term":
+        return ule(_coerce(other, self.sort), self)
+
+    # -- arithmetic / bitwise operator sugar --------------------------------
+
+    def __and__(self, other):
+        if self.sort.is_bool:
+            return and_(self, _coerce(other, BOOL))
+        return bvand(self, _coerce(other, self.sort))
+
+    def __or__(self, other):
+        if self.sort.is_bool:
+            return or_(self, _coerce(other, BOOL))
+        return bvor(self, _coerce(other, self.sort))
+
+    def __xor__(self, other):
+        if self.sort.is_bool:
+            return xor_(self, _coerce(other, BOOL))
+        return bvxor(self, _coerce(other, self.sort))
+
+    def __invert__(self):
+        if self.sort.is_bool:
+            return not_(self)
+        return bvnot(self)
+
+    def __add__(self, other):
+        return bvadd(self, _coerce(other, self.sort))
+
+    def __sub__(self, other):
+        return bvsub(self, _coerce(other, self.sort))
+
+    def __mul__(self, other):
+        return bvmul(self, _coerce(other, self.sort))
+
+    def __lshift__(self, other):
+        return bvshl(self, _coerce(other, self.sort))
+
+    def __rshift__(self, other):
+        return bvlshr(self, _coerce(other, self.sort))
+
+    def __neg__(self):
+        return bvneg(self)
+
+    def extract(self, hi: int, lo: int) -> "Term":
+        return extract(self, hi, lo)
+
+    def zext(self, to_width: int) -> "Term":
+        return zext(self, to_width)
+
+    def sext(self, to_width: int) -> "Term":
+        return sext(self, to_width)
+
+    def __repr__(self) -> str:
+        if self.op == CONST:
+            if self.sort.is_bool:
+                return "true" if self.value else "false"
+            return f"{self.value:#x}:{self.width}"
+        if self.op == VAR:
+            return f"{self.name}:{self.sort!r}"
+        if self.op == EXTRACT:
+            return f"(extract[{self.params[0]}:{self.params[1]}] {self.args[0]!r})"
+        inner = " ".join(repr(a) for a in self.args)
+        return f"({self.op} {inner})"
+
+
+def _coerce(value, sort: Sort) -> Term:
+    """Turn a Python bool/int into a constant of `sort` (terms pass through)."""
+    if isinstance(value, Term):
+        return value
+    if sort.is_bool:
+        return true() if value else false()
+    return bv_const(value, sort.width)
+
+
+# ---------------------------------------------------------------------------
+# Leaf constructors
+# ---------------------------------------------------------------------------
+
+
+def true() -> Term:
+    return Term(CONST, sort=BOOL, value=True)
+
+
+def false() -> Term:
+    return Term(CONST, sort=BOOL, value=False)
+
+
+def bool_const(value: bool) -> Term:
+    return true() if value else false()
+
+
+def bv_const(value: int, width: int) -> Term:
+    if not isinstance(value, int):
+        raise TypeError(f"bitvector constant must be int, got {type(value)}")
+    return Term(CONST, sort=BV(width), value=wordlib.truncate(value, width))
+
+
+def bool_var(name: str) -> Term:
+    return Term(VAR, sort=BOOL, name=name)
+
+
+def bv_var(name: str, width: int) -> Term:
+    return Term(VAR, sort=BV(width), name=name)
+
+
+# ---------------------------------------------------------------------------
+# Boolean connectives (with constant folding)
+# ---------------------------------------------------------------------------
+
+
+def not_(a: Term) -> Term:
+    _expect_bool(a, "not")
+    if a.is_const:
+        return bool_const(not a.value)
+    if a.op == NOT:
+        return a.args[0]
+    return Term(NOT, (a,), BOOL)
+
+
+def and_(*terms: Term) -> Term:
+    return _nary_bool(AND, terms, identity=True, absorbing=False)
+
+
+def or_(*terms: Term) -> Term:
+    return _nary_bool(OR, terms, identity=False, absorbing=True)
+
+
+def _nary_bool(op: str, terms, identity: bool, absorbing: bool) -> Term:
+    flat: list[Term] = []
+    for t in terms:
+        _expect_bool(t, op)
+        if t.is_const:
+            if t.value == absorbing:
+                return bool_const(absorbing)
+            continue  # identity element: drop
+        if t.op == op:
+            flat.extend(t.args)
+        else:
+            flat.append(t)
+    seen: dict[Term, None] = {}
+    for t in flat:
+        seen[t] = None
+    flat = list(seen)
+    if not flat:
+        return bool_const(identity)
+    if len(flat) == 1:
+        return flat[0]
+    flat.sort(key=lambda t: t._id)
+    return Term(op, tuple(flat), BOOL)
+
+
+def xor_(a: Term, b: Term) -> Term:
+    _expect_bool(a, "xor")
+    _expect_bool(b, "xor")
+    if a.is_const and b.is_const:
+        return bool_const(a.value != b.value)
+    if a.is_const:
+        return not_(b) if a.value else b
+    if b.is_const:
+        return not_(a) if b.value else a
+    if a is b:
+        return false()
+    if a._id > b._id:
+        a, b = b, a
+    return Term(XOR, (a, b), BOOL)
+
+
+def implies(a: Term, b: Term) -> Term:
+    _expect_bool(a, "implies")
+    _expect_bool(b, "implies")
+    if a.is_const:
+        return b if a.value else true()
+    if b.is_const:
+        return true() if b.value else not_(a)
+    if a is b:
+        return true()
+    return Term(IMPLIES, (a, b), BOOL)
+
+
+def ite(cond: Term, then: Term, other: Term) -> Term:
+    _expect_bool(cond, "ite")
+    if then.sort != other.sort:
+        raise TypeError(f"ite branch sorts differ: {then.sort!r} vs {other.sort!r}")
+    if cond.is_const:
+        return then if cond.value else other
+    if then is other:
+        return then
+    if then.sort.is_bool and then.is_const and other.is_const:
+        # then/other differ (previous check), so this is cond or !cond.
+        return cond if then.value else not_(cond)
+    return Term(ITE, (cond, then, other), then.sort)
+
+
+def eq(a: Term, b: Term) -> Term:
+    if a.sort != b.sort:
+        raise TypeError(f"eq on different sorts: {a.sort!r} vs {b.sort!r}")
+    if a is b:
+        return true()
+    if a.is_const and b.is_const:
+        return bool_const(a.value == b.value)
+    if a.sort.is_bool:
+        if a.is_const:
+            return b if a.value else not_(b)
+        if b.is_const:
+            return a if b.value else not_(a)
+    if a._id > b._id:
+        a, b = b, a
+    return Term(EQ, (a, b), BOOL)
+
+
+# ---------------------------------------------------------------------------
+# Bitvector operations (with constant folding)
+# ---------------------------------------------------------------------------
+
+
+def _expect_bool(t: Term, op: str) -> None:
+    if not isinstance(t, Term) or not t.sort.is_bool:
+        raise TypeError(f"{op} expects Bool terms, got {t!r}")
+
+
+def _expect_bv(t: Term, op: str) -> None:
+    if not isinstance(t, Term) or not t.sort.is_bv:
+        raise TypeError(f"{op} expects bitvector terms, got {t!r}")
+
+
+def _expect_same_width(a: Term, b: Term, op: str) -> None:
+    _expect_bv(a, op)
+    _expect_bv(b, op)
+    if a.width != b.width:
+        raise TypeError(f"{op} width mismatch: {a.width} vs {b.width}")
+
+
+def bvnot(a: Term) -> Term:
+    _expect_bv(a, "bvnot")
+    if a.is_const:
+        return bv_const(~a.value, a.width)
+    if a.op == BVNOT:
+        return a.args[0]
+    return Term(BVNOT, (a,), a.sort)
+
+
+def bvneg(a: Term) -> Term:
+    _expect_bv(a, "bvneg")
+    if a.is_const:
+        return bv_const(-a.value, a.width)
+    return Term(BVNEG, (a,), a.sort)
+
+
+def _binop(op: str, a: Term, b: Term, fold) -> Term:
+    _expect_same_width(a, b, op)
+    if a.is_const and b.is_const:
+        return bv_const(fold(a.value, b.value), a.width)
+    if op in _COMMUTATIVE and a._id > b._id:
+        a, b = b, a
+    return Term(op, (a, b), a.sort)
+
+
+def bvand(a: Term, b: Term) -> Term:
+    _expect_same_width(a, b, BVAND)
+    if a.is_const and b.is_const:
+        return bv_const(a.value & b.value, a.width)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const:
+            if x.value == 0:
+                return bv_const(0, a.width)
+            if x.value == wordlib.mask(a.width):
+                return y
+    if a is b:
+        return a
+    return _binop(BVAND, a, b, lambda x, y: x & y)
+
+
+def bvor(a: Term, b: Term) -> Term:
+    _expect_same_width(a, b, BVOR)
+    if a.is_const and b.is_const:
+        return bv_const(a.value | b.value, a.width)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const:
+            if x.value == 0:
+                return y
+            if x.value == wordlib.mask(a.width):
+                return bv_const(wordlib.mask(a.width), a.width)
+    if a is b:
+        return a
+    return _binop(BVOR, a, b, lambda x, y: x | y)
+
+
+def bvxor(a: Term, b: Term) -> Term:
+    _expect_same_width(a, b, BVXOR)
+    if a is b:
+        return bv_const(0, a.width)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const and x.value == 0:
+            return y
+        if x.is_const and x.value == wordlib.mask(a.width):
+            return bvnot(y)
+    return _binop(BVXOR, a, b, lambda x, y: x ^ y)
+
+
+def bvadd(a: Term, b: Term) -> Term:
+    _expect_same_width(a, b, BVADD)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const and x.value == 0:
+            return y
+    return _binop(BVADD, a, b, lambda x, y: x + y)
+
+
+def bvsub(a: Term, b: Term) -> Term:
+    _expect_same_width(a, b, BVSUB)
+    if b.is_const and b.value == 0:
+        return a
+    if a is b:
+        return bv_const(0, a.width)
+    if a.is_const and b.is_const:
+        return bv_const(a.value - b.value, a.width)
+    return Term(BVSUB, (a, b), a.sort)
+
+
+def bvmul(a: Term, b: Term) -> Term:
+    _expect_same_width(a, b, BVMUL)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const:
+            if x.value == 0:
+                return bv_const(0, a.width)
+            if x.value == 1:
+                return y
+    return _binop(BVMUL, a, b, lambda x, y: x * y)
+
+
+def bvshl(a: Term, b: Term) -> Term:
+    _expect_same_width(a, b, BVSHL)
+    if b.is_const:
+        if b.value == 0:
+            return a
+        if b.value >= a.width:
+            return bv_const(0, a.width)
+        if a.is_const:
+            return bv_const(a.value << b.value, a.width)
+    return Term(BVSHL, (a, b), a.sort)
+
+
+def bvlshr(a: Term, b: Term) -> Term:
+    _expect_same_width(a, b, BVLSHR)
+    if b.is_const:
+        if b.value == 0:
+            return a
+        if b.value >= a.width:
+            return bv_const(0, a.width)
+        if a.is_const:
+            return bv_const(a.value >> b.value, a.width)
+    return Term(BVLSHR, (a, b), a.sort)
+
+
+def bvashr(a: Term, b: Term) -> Term:
+    _expect_same_width(a, b, BVASHR)
+    if b.is_const:
+        if b.value == 0:
+            return a
+        if a.is_const:
+            shift = min(b.value, a.width)
+            signed = wordlib.to_signed(a.value, a.width)
+            return bv_const(signed >> shift, a.width)
+    return Term(BVASHR, (a, b), a.sort)
+
+
+def extract(a: Term, hi: int, lo: int) -> Term:
+    _expect_bv(a, EXTRACT)
+    if not 0 <= lo <= hi < a.width:
+        raise ValueError(f"extract [{hi}:{lo}] out of range for width {a.width}")
+    if lo == 0 and hi == a.width - 1:
+        return a
+    if a.is_const:
+        return bv_const(wordlib.extract(a.value, hi, lo), hi - lo + 1)
+    return Term(EXTRACT, (a,), BV(hi - lo + 1), params=(hi, lo))
+
+
+def concat(hi_part: Term, lo_part: Term) -> Term:
+    """Concatenate: `hi_part` becomes the most-significant bits."""
+    _expect_bv(hi_part, CONCAT)
+    _expect_bv(lo_part, CONCAT)
+    width = hi_part.width + lo_part.width
+    if hi_part.is_const and lo_part.is_const:
+        return bv_const((hi_part.value << lo_part.width) | lo_part.value, width)
+    return Term(CONCAT, (hi_part, lo_part), BV(width))
+
+
+def zext(a: Term, to_width: int) -> Term:
+    _expect_bv(a, ZEXT)
+    if to_width < a.width:
+        raise ValueError(f"zext must widen ({a.width} -> {to_width})")
+    if to_width == a.width:
+        return a
+    if a.is_const:
+        return bv_const(a.value, to_width)
+    return Term(ZEXT, (a,), BV(to_width), params=(to_width,))
+
+
+def sext(a: Term, to_width: int) -> Term:
+    _expect_bv(a, SEXT)
+    if to_width < a.width:
+        raise ValueError(f"sext must widen ({a.width} -> {to_width})")
+    if to_width == a.width:
+        return a
+    if a.is_const:
+        return bv_const(wordlib.sign_extend(a.value, a.width, to_width), to_width)
+    return Term(SEXT, (a,), BV(to_width), params=(to_width,))
+
+
+def ult(a: Term, b: Term) -> Term:
+    _expect_same_width(a, b, ULT)
+    if a.is_const and b.is_const:
+        return bool_const(a.value < b.value)
+    if a is b:
+        return false()
+    if b.is_const and b.value == 0:
+        return false()
+    return Term(ULT, (a, b), BOOL)
+
+
+def ule(a: Term, b: Term) -> Term:
+    _expect_same_width(a, b, ULE)
+    if a.is_const and b.is_const:
+        return bool_const(a.value <= b.value)
+    if a is b:
+        return true()
+    if a.is_const and a.value == 0:
+        return true()
+    if b.is_const and b.value == wordlib.mask(b.width):
+        return true()
+    return Term(ULE, (a, b), BOOL)
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def free_vars(term: Term) -> list[Term]:
+    """All distinct VAR leaves of `term` in first-seen (deterministic) order."""
+    seen: set[int] = set()
+    out: list[Term] = []
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if node._id in seen:
+            continue
+        seen.add(node._id)
+        if node.op == VAR:
+            out.append(node)
+        else:
+            stack.extend(reversed(node.args))
+    out.sort(key=lambda t: (t.name or ""))
+    return out
+
+
+def term_size(term: Term) -> int:
+    """Number of distinct nodes in the DAG rooted at `term`."""
+    seen: set[int] = set()
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if node._id in seen:
+            continue
+        seen.add(node._id)
+        stack.extend(node.args)
+    return len(seen)

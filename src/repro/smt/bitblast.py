@@ -1,0 +1,211 @@
+"""Lowering of QF_BV terms to AIG literals.
+
+Bool terms become one literal; a bitvector term of width ``w`` becomes a list
+of ``w`` literals, least-significant bit first.  Variables become AIG primary
+inputs named ``name[i]`` so SAT models can be lifted back to integers.
+"""
+
+from __future__ import annotations
+
+from repro.smt import ast
+from repro.smt.aig import Aig, neg
+from repro.smt.ast import Term
+
+
+class BitBlaster:
+    """Stateful lowering context tied to one :class:`Aig`."""
+
+    def __init__(self, aig: Aig | None = None) -> None:
+        self.aig = aig if aig is not None else Aig()
+        self._cache: dict[Term, int | list[int]] = {}
+        self._var_bits: dict[str, list[int]] = {}
+
+    def var_bits(self, name: str) -> list[int] | None:
+        """The input literals allocated for a variable, if it was blasted."""
+        return self._var_bits.get(name)
+
+    def blast_bool(self, term: Term) -> int:
+        if not term.sort.is_bool:
+            raise TypeError(f"expected Bool term, got {term!r}")
+        result = self._blast(term)
+        assert isinstance(result, int)
+        return result
+
+    def blast_bv(self, term: Term) -> list[int]:
+        if not term.sort.is_bv:
+            raise TypeError(f"expected bitvector term, got {term!r}")
+        result = self._blast(term)
+        assert isinstance(result, list)
+        return result
+
+    # -- core lowering ---------------------------------------------------------
+
+    def _blast(self, root: Term) -> int | list[int]:
+        stack: list[tuple[Term, bool]] = [(root, False)]
+        cache = self._cache
+        while stack:
+            node, ready = stack.pop()
+            if node in cache:
+                continue
+            if not ready:
+                stack.append((node, True))
+                for arg in node.args:
+                    if arg not in cache:
+                        stack.append((arg, False))
+                continue
+            cache[node] = self._lower(node)
+        return cache[root]
+
+    def _lower(self, node: Term) -> int | list[int]:
+        g = self.aig
+        op = node.op
+        args = [self._cache[a] for a in node.args]
+
+        if op == ast.CONST:
+            if node.sort.is_bool:
+                return 0 if node.value else 1  # TRUE / FALSE literals
+            return [0 if (node.value >> i) & 1 else 1 for i in range(node.width)]
+        if op == ast.VAR:
+            if node.sort.is_bool:
+                bits = self._var_bits.setdefault(
+                    node.name, [g.new_input(node.name)]
+                )
+                return bits[0]
+            bits = self._var_bits.get(node.name)
+            if bits is None:
+                bits = [g.new_input(f"{node.name}[{i}]") for i in range(node.width)]
+                self._var_bits[node.name] = bits
+            return list(bits)
+
+        if op == ast.NOT:
+            return neg(args[0])
+        if op == ast.AND:
+            return g.and_many(list(args))
+        if op == ast.OR:
+            return g.or_many(list(args))
+        if op == ast.XOR:
+            return g.xor_(args[0], args[1])
+        if op == ast.IMPLIES:
+            return g.implies_(args[0], args[1])
+        if op == ast.ITE:
+            cond = args[0]
+            if node.sort.is_bool:
+                return g.mux(cond, args[1], args[2])
+            return [g.mux(cond, t, e) for t, e in zip(args[1], args[2])]
+        if op == ast.EQ:
+            if node.args[0].sort.is_bool:
+                return g.xnor_(args[0], args[1])
+            pairs = [g.xnor_(a, b) for a, b in zip(args[0], args[1])]
+            return g.and_many(pairs)
+        if op == ast.ULT:
+            return self._less_than(args[0], args[1], strict=True)
+        if op == ast.ULE:
+            return self._less_than(args[0], args[1], strict=False)
+
+        if op == ast.BVNOT:
+            return [neg(b) for b in args[0]]
+        if op == ast.BVAND:
+            return [g.and_(a, b) for a, b in zip(args[0], args[1])]
+        if op == ast.BVOR:
+            return [g.or_(a, b) for a, b in zip(args[0], args[1])]
+        if op == ast.BVXOR:
+            return [g.xor_(a, b) for a, b in zip(args[0], args[1])]
+        if op == ast.BVADD:
+            return self._adder(args[0], args[1], carry_in=1)[0]  # FALSE carry
+        if op == ast.BVSUB:
+            return self._adder(args[0], [neg(b) for b in args[1]], carry_in=0)[0]
+        if op == ast.BVNEG:
+            zero = [1] * len(args[0])
+            return self._adder(zero, [neg(b) for b in args[0]], carry_in=0)[0]
+        if op == ast.BVMUL:
+            return self._multiplier(args[0], args[1])
+        if op == ast.BVSHL:
+            return self._shifter(args[0], node.args[1], args[1], direction="left")
+        if op == ast.BVLSHR:
+            return self._shifter(args[0], node.args[1], args[1], direction="right")
+        if op == ast.BVASHR:
+            return self._shifter(args[0], node.args[1], args[1], direction="arith")
+        if op == ast.EXTRACT:
+            hi, lo = node.params
+            return args[0][lo : hi + 1]
+        if op == ast.CONCAT:
+            return list(args[1]) + list(args[0])
+        if op == ast.ZEXT:
+            pad = node.width - len(args[0])
+            return list(args[0]) + [1] * pad
+        if op == ast.SEXT:
+            sign = args[0][-1]
+            pad = node.width - len(args[0])
+            return list(args[0]) + [sign] * pad
+
+        raise ValueError(f"cannot bit-blast operator {op!r}")
+
+    # -- circuit building blocks ---------------------------------------------
+
+    def _adder(
+        self, a: list[int], b: list[int], carry_in: int
+    ) -> tuple[list[int], int]:
+        """Ripple-carry adder.  `carry_in` is an AIG literal (0=TRUE, 1=FALSE
+        per the AIG constant convention).  Returns (sum bits, carry out)."""
+        g = self.aig
+        carry = carry_in
+        out = []
+        for abit, bbit in zip(a, b):
+            total, carry = g.full_adder(abit, bbit, carry)
+            out.append(total)
+        return out, carry
+
+    def _less_than(self, a: list[int], b: list[int], strict: bool) -> int:
+        g = self.aig
+        # From LSB to MSB: lt = (~a & b) | ((a == b) & lt_prev)
+        lt = 1 if strict else 0  # FALSE for ULT, TRUE for ULE at width 0
+        for abit, bbit in zip(a, b):
+            borrow = g.and_(neg(abit), bbit)
+            equal = g.xnor_(abit, bbit)
+            lt = g.or_(borrow, g.and_(equal, lt))
+        return lt
+
+    def _shifter(
+        self, bits: list[int], amount_term: Term, amount_bits: list[int], direction: str
+    ) -> list[int]:
+        width = len(bits)
+        if amount_term.is_const:
+            return self._shift_const(bits, amount_term.value, direction)
+        g = self.aig
+        fill = bits[-1] if direction == "arith" else 1  # FALSE fill
+        current = list(bits)
+        stages = max(1, (width - 1).bit_length())
+        for stage in range(stages):
+            sel = amount_bits[stage] if stage < len(amount_bits) else 1
+            step = 1 << stage
+            shifted = self._shift_const(current, step, direction, fill)
+            current = [g.mux(sel, s, c) for s, c in zip(shifted, current)]
+        # Shift amounts >= width force zero (or sign fill for arithmetic).
+        overflow_bits = amount_bits[stages:]
+        if overflow_bits:
+            too_big = g.or_many(list(overflow_bits))
+            current = [g.mux(too_big, fill, c) for c in current]
+        return current
+
+    def _shift_const(
+        self, bits: list[int], amount: int, direction: str, fill: int | None = None
+    ) -> list[int]:
+        width = len(bits)
+        if fill is None:
+            fill = bits[-1] if direction == "arith" else 1
+        if amount >= width:
+            return [fill if direction == "arith" else 1] * width
+        if direction == "left":
+            return [1] * amount + bits[: width - amount]
+        # right shifts (logical or arithmetic)
+        return bits[amount:] + [fill] * amount
+
+    def _multiplier(self, a: list[int], b: list[int]) -> list[int]:
+        """Shift-add multiplier (kept simple; lemmas avoid wide multiplies)."""
+        g = self.aig
+        width = len(a)
+        acc = [1] * width  # zero
+        for i in range(width):
+            partial = [1] * i + [g.and_(b[i], abit) for abit in a[: width - i]]
+            acc, _ = self._adder(acc, partial, carry_in=1)
+        return acc

@@ -1,0 +1,61 @@
+"""Tseitin transformation from AIG cones to CNF.
+
+Only the transitive fan-in of the requested output literals is encoded, so
+lemmas that collapse structurally in the AIG produce tiny CNFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.smt.aig import Aig, is_complement, node_of
+from repro.smt.sat import SatSolver
+
+
+@dataclass
+class CnfMapping:
+    """Mapping from AIG nodes to SAT variables produced by encoding."""
+
+    node_to_var: dict[int, int] = field(default_factory=dict)
+    num_clauses: int = 0
+
+
+def _sat_lit(mapping: CnfMapping, lit: int) -> int:
+    var = mapping.node_to_var[node_of(lit)]
+    return -var if is_complement(lit) else var
+
+
+def encode(aig: Aig, outputs: list[int], solver: SatSolver) -> CnfMapping:
+    """Encode the cones of `outputs` into `solver` and assert each output.
+
+    Constant outputs are handled directly: TRUE is a no-op, FALSE makes the
+    problem trivially unsatisfiable.
+    """
+    mapping = CnfMapping()
+    cone = aig.cone(outputs)
+
+    for node in cone:
+        mapping.node_to_var[node] = solver.new_var()
+
+    for node in cone:
+        definition = aig.definition(node)
+        if definition is None:
+            continue  # primary input: free variable
+        left, right = definition
+        out = mapping.node_to_var[node]
+        a = _sat_lit(mapping, left)
+        b = _sat_lit(mapping, right)
+        solver.add_clause([-out, a])
+        solver.add_clause([-out, b])
+        solver.add_clause([out, -a, -b])
+        mapping.num_clauses += 3
+
+    for lit in outputs:
+        node = node_of(lit)
+        if node == 0:
+            if is_complement(lit):  # constant FALSE asserted
+                solver.add_clause([])  # forces UNSAT via empty clause path
+            continue
+        solver.add_clause([_sat_lit(mapping, lit)])
+        mapping.num_clauses += 1
+    return mapping

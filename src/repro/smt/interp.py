@@ -1,0 +1,117 @@
+"""Concrete evaluation of terms — the semantic ground truth.
+
+Everything else in the SMT stack (rewriter, bit-blaster, SAT models) is
+tested against this evaluator, in the same way the paper validates its
+hardware spec against the intended MMU semantics.
+"""
+
+from __future__ import annotations
+
+from repro import wordlib
+from repro.smt import ast
+from repro.smt.ast import Term
+
+
+class EvalError(Exception):
+    """Raised when a term mentions a variable missing from the environment."""
+
+
+def evaluate(term: Term, env: dict[str, int | bool]) -> int | bool:
+    """Evaluate `term` under `env` (mapping variable names to values).
+
+    Bool terms evaluate to Python bools; bitvector terms to unsigned ints of
+    the term's width.  Uses an explicit stack so deep DAGs do not overflow
+    Python's recursion limit.
+    """
+    cache: dict[Term, int | bool] = {}
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node in cache:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for arg in node.args:
+                if arg not in cache:
+                    stack.append((arg, False))
+            continue
+        cache[node] = _eval_node(node, cache, env)
+    return cache[term]
+
+
+def _eval_node(node: Term, cache: dict[Term, int | bool], env) -> int | bool:
+    op = node.op
+    if op == ast.CONST:
+        return node.value
+    if op == ast.VAR:
+        if node.name not in env:
+            raise EvalError(f"unbound variable {node.name!r}")
+        value = env[node.name]
+        if node.sort.is_bool:
+            return bool(value)
+        return wordlib.truncate(int(value), node.width)
+
+    args = [cache[a] for a in node.args]
+    width = node.width
+
+    if op == ast.NOT:
+        return not args[0]
+    if op == ast.AND:
+        return all(args)
+    if op == ast.OR:
+        return any(args)
+    if op == ast.XOR:
+        return args[0] != args[1]
+    if op == ast.IMPLIES:
+        return (not args[0]) or args[1]
+    if op == ast.ITE:
+        return args[1] if args[0] else args[2]
+    if op == ast.EQ:
+        return args[0] == args[1]
+    if op == ast.ULT:
+        return args[0] < args[1]
+    if op == ast.ULE:
+        return args[0] <= args[1]
+
+    if op == ast.BVNOT:
+        return wordlib.truncate(~args[0], width)
+    if op == ast.BVNEG:
+        return wordlib.truncate(-args[0], width)
+    if op == ast.BVAND:
+        return args[0] & args[1]
+    if op == ast.BVOR:
+        return args[0] | args[1]
+    if op == ast.BVXOR:
+        return args[0] ^ args[1]
+    if op == ast.BVADD:
+        return wordlib.truncate(args[0] + args[1], width)
+    if op == ast.BVSUB:
+        return wordlib.truncate(args[0] - args[1], width)
+    if op == ast.BVMUL:
+        return wordlib.truncate(args[0] * args[1], width)
+    if op == ast.BVSHL:
+        shift = args[1]
+        if shift >= width:
+            return 0
+        return wordlib.truncate(args[0] << shift, width)
+    if op == ast.BVLSHR:
+        shift = args[1]
+        if shift >= width:
+            return 0
+        return args[0] >> shift
+    if op == ast.BVASHR:
+        shift = min(args[1], width)
+        signed = wordlib.to_signed(args[0], width)
+        return wordlib.truncate(signed >> shift, width)
+    if op == ast.EXTRACT:
+        hi, lo = node.params
+        return wordlib.extract(args[0], hi, lo)
+    if op == ast.CONCAT:
+        lo_width = node.args[1].width
+        return (args[0] << lo_width) | args[1]
+    if op == ast.ZEXT:
+        return args[0]
+    if op == ast.SEXT:
+        return wordlib.sign_extend(args[0], node.args[0].width, width)
+
+    raise EvalError(f"unknown operator {op!r}")

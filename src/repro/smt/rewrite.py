@@ -1,0 +1,255 @@
+"""Rule-based term simplification.
+
+The constructors in :mod:`repro.smt.ast` already fold constants; this module
+adds the structural rules that make bit-manipulation lemmas (the bulk of the
+page-table proof) cheap to discharge: pushing extracts through masks and
+shifts, collapsing shift chains, and normalising comparisons.
+
+The rewriter is deliberately a separate, optional pass so the ablation
+benchmark (`bench_ablation_smt`) can measure its effect on VC times.
+"""
+
+from __future__ import annotations
+
+from repro import wordlib
+from repro.smt import ast
+from repro.smt.ast import Term
+
+
+def simplify(term: Term) -> Term:
+    """Rewrite `term` bottom-up to a fixpoint (single bottom-up pass per
+    iteration, at most a few iterations in practice)."""
+    cache: dict[Term, Term] = {}
+    for _ in range(8):
+        result = _simplify_pass(term, cache)
+        if result is term:
+            return result
+        term = result
+        cache = {}
+    return term
+
+
+def _simplify_pass(term: Term, cache: dict[Term, Term]) -> Term:
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node in cache:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for arg in node.args:
+                if arg not in cache:
+                    stack.append((arg, False))
+            continue
+        new_args = tuple(cache[a] for a in node.args)
+        rebuilt = _rebuild(node, new_args)
+        cache[node] = _rewrite_node(rebuilt)
+    return cache[term]
+
+
+def _rebuild(node: Term, args: tuple[Term, ...]) -> Term:
+    """Re-run the smart constructor for `node` with simplified children."""
+    if args == node.args:
+        return node
+    op = node.op
+    if op == ast.NOT:
+        return ast.not_(args[0])
+    if op == ast.AND:
+        return ast.and_(*args)
+    if op == ast.OR:
+        return ast.or_(*args)
+    if op == ast.XOR:
+        return ast.xor_(args[0], args[1])
+    if op == ast.IMPLIES:
+        return ast.implies(args[0], args[1])
+    if op == ast.ITE:
+        return ast.ite(args[0], args[1], args[2])
+    if op == ast.EQ:
+        return ast.eq(args[0], args[1])
+    if op == ast.ULT:
+        return ast.ult(args[0], args[1])
+    if op == ast.ULE:
+        return ast.ule(args[0], args[1])
+    if op == ast.BVNOT:
+        return ast.bvnot(args[0])
+    if op == ast.BVNEG:
+        return ast.bvneg(args[0])
+    if op == ast.BVAND:
+        return ast.bvand(args[0], args[1])
+    if op == ast.BVOR:
+        return ast.bvor(args[0], args[1])
+    if op == ast.BVXOR:
+        return ast.bvxor(args[0], args[1])
+    if op == ast.BVADD:
+        return ast.bvadd(args[0], args[1])
+    if op == ast.BVSUB:
+        return ast.bvsub(args[0], args[1])
+    if op == ast.BVMUL:
+        return ast.bvmul(args[0], args[1])
+    if op == ast.BVSHL:
+        return ast.bvshl(args[0], args[1])
+    if op == ast.BVLSHR:
+        return ast.bvlshr(args[0], args[1])
+    if op == ast.BVASHR:
+        return ast.bvashr(args[0], args[1])
+    if op == ast.EXTRACT:
+        return ast.extract(args[0], node.params[0], node.params[1])
+    if op == ast.CONCAT:
+        return ast.concat(args[0], args[1])
+    if op == ast.ZEXT:
+        return ast.zext(args[0], node.params[0])
+    if op == ast.SEXT:
+        return ast.sext(args[0], node.params[0])
+    return node
+
+
+def _rewrite_node(node: Term) -> Term:
+    op = node.op
+    if op == ast.EXTRACT:
+        return _rewrite_extract(node)
+    if op == ast.BVLSHR:
+        return _rewrite_lshr(node)
+    if op == ast.BVSHL:
+        return _rewrite_shl(node)
+    if op == ast.BVAND:
+        return _rewrite_and(node)
+    if op == ast.EQ:
+        return _rewrite_eq(node)
+    if op == ast.ZEXT:
+        return _rewrite_zext(node)
+    return node
+
+
+def _rewrite_extract(node: Term) -> Term:
+    hi, lo = node.params
+    inner = node.args[0]
+    # extract of extract composes.
+    if inner.op == ast.EXTRACT:
+        ihi, ilo = inner.params
+        del ihi
+        return ast.extract(inner.args[0], hi + ilo, lo + ilo)
+    # extract distributes into concat when fully inside one side.
+    if inner.op == ast.CONCAT:
+        hi_part, lo_part = inner.args
+        if hi >= lo_part.width and lo >= lo_part.width:
+            return ast.extract(hi_part, hi - lo_part.width, lo - lo_part.width)
+        if hi < lo_part.width:
+            return ast.extract(lo_part, hi, lo)
+    # extract of zext: inside original -> extract original; above -> zeros;
+    # straddling the boundary -> zext of the original's top part.
+    if inner.op == ast.ZEXT:
+        orig = inner.args[0]
+        if hi < orig.width:
+            return ast.extract(orig, hi, lo)
+        if lo >= orig.width:
+            return ast.bv_const(0, hi - lo + 1)
+        return ast.zext(ast.extract(orig, orig.width - 1, lo), hi - lo + 1)
+    # extract of a right-shift by constant composes into one extract.
+    if inner.op == ast.BVLSHR and inner.args[1].is_const:
+        shift = inner.args[1].value
+        if hi + shift < inner.width:
+            return ast.extract(inner.args[0], hi + shift, lo + shift)
+    # extract of a left-shift by constant: fully above the shifted-in zeros.
+    if inner.op == ast.BVSHL and inner.args[1].is_const:
+        shift = inner.args[1].value
+        if lo >= shift:
+            return ast.extract(inner.args[0], hi - shift, lo - shift)
+        if hi < shift:
+            return ast.bv_const(0, hi - lo + 1)
+    # extract distributes over bitwise ops.
+    if inner.op in (ast.BVAND, ast.BVOR, ast.BVXOR):
+        left = ast.extract(inner.args[0], hi, lo)
+        right = ast.extract(inner.args[1], hi, lo)
+        if inner.op == ast.BVAND:
+            return ast.bvand(left, right)
+        if inner.op == ast.BVOR:
+            return ast.bvor(left, right)
+        return ast.bvxor(left, right)
+    if inner.op == ast.BVNOT:
+        return ast.bvnot(ast.extract(inner.args[0], hi, lo))
+    if inner.op == ast.ITE:
+        return ast.ite(
+            inner.args[0],
+            ast.extract(inner.args[1], hi, lo),
+            ast.extract(inner.args[2], hi, lo),
+        )
+    return node
+
+
+def _rewrite_lshr(node: Term) -> Term:
+    a, b = node.args
+    if not b.is_const:
+        return node
+    shift = b.value
+    # (x >> c1) >> c2 == x >> (c1+c2)
+    if a.op == ast.BVLSHR and a.args[1].is_const:
+        total = shift + a.args[1].value
+        return ast.bvlshr(a.args[0], ast.bv_const(total, a.width))
+    # (x << c) >> c when we can't cancel in general; handled via extract rules.
+    # Rewrite x >> c as zext(extract(x, w-1, c)) to expose structure.
+    if 0 < shift < a.width:
+        return ast.zext(ast.extract(a, a.width - 1, shift), a.width)
+    return node
+
+
+def _rewrite_shl(node: Term) -> Term:
+    a, b = node.args
+    if not b.is_const:
+        return node
+    shift = b.value
+    if a.op == ast.BVSHL and a.args[1].is_const:
+        total = shift + a.args[1].value
+        return ast.bvshl(a.args[0], ast.bv_const(total, a.width))
+    # Rewrite x << c as concat(extract(x, w-1-c, 0), zeros) to expose structure.
+    if 0 < shift < a.width:
+        low = ast.extract(a, a.width - 1 - shift, 0)
+        return ast.concat(low, ast.bv_const(0, shift))
+    return node
+
+
+def _rewrite_and(node: Term) -> Term:
+    a, b = node.args
+    const, other = (a, b) if a.is_const else ((b, a) if b.is_const else (None, None))
+    if const is None:
+        return node
+    value = const.value
+    width = node.width
+    # Contiguous mask starting at bit 0: x & 0..01..1 == zext(extract(x)).
+    if value != 0 and value == wordlib.mask(value.bit_length()):
+        keep = value.bit_length()
+        if keep < width:
+            return ast.zext(ast.extract(other, keep - 1, 0), width)
+    # Contiguous mask at higher bits: x & (1..10..0) == concat(extract, zeros).
+    low_zeros = (value & -value).bit_length() - 1 if value else 0
+    shifted = value >> low_zeros
+    if value != 0 and shifted == wordlib.mask(shifted.bit_length()):
+        hi = low_zeros + shifted.bit_length() - 1
+        if hi == width - 1 and low_zeros > 0:
+            field = ast.extract(other, hi, low_zeros)
+            return ast.concat(field, ast.bv_const(0, low_zeros))
+        if hi < width - 1 and low_zeros > 0:
+            field = ast.extract(other, hi, low_zeros)
+            return ast.zext(
+                ast.concat(field, ast.bv_const(0, low_zeros)), width
+            )
+    return node
+
+
+def _rewrite_zext(node: Term) -> Term:
+    inner = node.args[0]
+    if inner.op == ast.ZEXT:
+        return ast.zext(inner.args[0], node.width)
+    return node
+
+
+def _rewrite_eq(node: Term) -> Term:
+    a, b = node.args
+    if a.sort.is_bv and a.op == ast.ZEXT and b.op == ast.ZEXT:
+        if a.args[0].width == b.args[0].width:
+            return ast.eq(a.args[0], b.args[0])
+    if a.sort.is_bv and a.op == ast.CONCAT and b.op == ast.CONCAT:
+        a_hi, a_lo = a.args
+        b_hi, b_lo = b.args
+        if a_lo.width == b_lo.width:
+            return ast.and_(ast.eq(a_hi, b_hi), ast.eq(a_lo, b_lo))
+    return node

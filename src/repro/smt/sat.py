@@ -1,0 +1,412 @@
+"""A CDCL SAT solver.
+
+Implements the standard modern architecture: two-watched-literal propagation,
+first-UIP conflict analysis with clause learning, VSIDS-style variable
+activities with phase saving, Luby restarts, and periodic deletion of
+low-activity learnt clauses.
+
+Variables are positive integers; literals are non-zero signed integers
+(DIMACS convention).  The solver is deliberately dependency-free so it can be
+tested exhaustively against brute-force enumeration.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+UNDEF = -1
+
+
+@dataclass
+class SatStats:
+    """Counters exposed for the evaluation harness."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learnt_clauses: int = 0
+    deleted_clauses: int = 0
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: list[int], learnt: bool = False) -> None:
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solve call."""
+
+    sat: bool
+    model: dict[int, bool] = field(default_factory=dict)
+    stats: SatStats = field(default_factory=SatStats)
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ..."""
+    while True:
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+class SatSolver:
+    """CDCL solver over a fixed number of variables."""
+
+    def __init__(self, num_vars: int = 0) -> None:
+        self.num_vars = 0
+        self._assign: list[int] = [UNDEF]
+        self._level: list[int] = [0]
+        self._reason: list[_Clause | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._polarity: list[bool] = [False]
+        self._watches: dict[int, list[_Clause]] = {}
+        self._clauses: list[_Clause] = []
+        self._learnts: list[_Clause] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._order_heap: list[tuple[float, int]] = []
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._unsat = False
+        self.stats = SatStats()
+        if num_vars:
+            self.ensure_vars(num_vars)
+
+    # -- problem construction ------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self._assign.append(UNDEF)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._polarity.append(False)
+        self._watches[self.num_vars] = []
+        self._watches[-self.num_vars] = []
+        heapq.heappush(self._order_heap, (0.0, self.num_vars))
+        return self.num_vars
+
+    def ensure_vars(self, count: int) -> None:
+        while self.num_vars < count:
+            self.new_var()
+
+    def add_clause(self, lits: list[int]) -> None:
+        """Add a problem clause; duplicate literals are removed and
+        tautologies dropped."""
+        if self._unsat:
+            return
+        seen: set[int] = set()
+        cleaned: list[int] = []
+        for lit in lits:
+            var = abs(lit)
+            if var == 0 or var > self.num_vars:
+                raise ValueError(f"literal {lit} out of range")
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value == 1 and self._level[var] == 0:
+                return  # already satisfied at root
+            if value == 0 and self._level[var] == 0:
+                continue  # falsified at root: drop literal
+            seen.add(lit)
+            cleaned.append(lit)
+        if not cleaned:
+            self._unsat = True
+            return
+        if len(cleaned) == 1:
+            if not self._enqueue(cleaned[0], None):
+                self._unsat = True
+            elif self._propagate() is not None:
+                self._unsat = True
+            return
+        clause = _Clause(cleaned)
+        self._clauses.append(clause)
+        self._watch(clause)
+
+    def _watch(self, clause: _Clause) -> None:
+        self._watches[clause.lits[0]].append(clause)
+        self._watches[clause.lits[1]].append(clause)
+
+    # -- assignment primitives -------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        """1 = true, 0 = false, UNDEF = unassigned."""
+        value = self._assign[abs(lit)]
+        if value == UNDEF:
+            return UNDEF
+        return value if lit > 0 else 1 - value
+
+    def _enqueue(self, lit: int, reason: _Clause | None) -> bool:
+        value = self._value(lit)
+        if value != UNDEF:
+            return value == 1
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> _Clause | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            false_lit = -lit
+            watchers = self._watches[false_lit]
+            i = 0
+            end = len(watchers)
+            while i < end:
+                clause = watchers[i]
+                lits = clause.lits
+                # Normalise: the false literal goes to position 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    i += 1
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[lits[1]].append(clause)
+                        watchers[i] = watchers[end - 1]
+                        end -= 1
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                if self._value(first) == 0:
+                    del watchers[end:]
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(first, clause)
+                i += 1
+            del watchers[end:]
+        return None
+
+    # -- conflict analysis -------------------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """First-UIP analysis: returns (learnt clause, backjump level); the
+        asserting literal is placed first."""
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        reason: _Clause | None = conflict
+        index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            start = 0 if lit is None else 1
+            for other in reason.lits[start:]:
+                var = abs(other)
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_var(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(other)
+            # Walk back the trail to the next marked literal.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+        learnt[0] = -lit
+
+        # Clause minimisation: drop literals implied by the rest.
+        marked = set(abs(l) for l in learnt)
+        kept = [learnt[0]]
+        for other in learnt[1:]:
+            reason = self._reason[abs(other)]
+            if reason is None:
+                kept.append(other)
+                continue
+            if all(
+                abs(x) in marked or self._level[abs(x)] == 0
+                for x in reason.lits
+                if x != -other
+            ):
+                continue
+            kept.append(other)
+        learnt = kept
+
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest decision level in the clause.
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if self._level[abs(learnt[i])] > self._level[abs(learnt[max_i])]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self._level[abs(learnt[1])]
+
+    def _backtrack(self, target_level: int) -> None:
+        if len(self._trail_lim) <= target_level:
+            return
+        boundary = self._trail_lim[target_level]
+        for lit in reversed(self._trail[boundary:]):
+            var = abs(lit)
+            self._polarity[var] = self._assign[var] == 1
+            self._assign[var] = UNDEF
+            self._reason[var] = None
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[target_level:]
+        self._qhead = len(self._trail)
+
+    # -- heuristics ---------------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._assign[var] == UNDEF:
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        if self._activity[var] > 1e100:
+            for i in range(1, self.num_vars + 1):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+            self._order_heap = [
+                (-self._activity[v], v)
+                for v in range(1, self.num_vars + 1)
+                if self._assign[v] == UNDEF
+            ]
+            heapq.heapify(self._order_heap)
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if not clause.learnt:
+            return
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learnts:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decide(self) -> int:
+        """Pick an unassigned variable with (approximately) highest activity
+        using a lazy heap: stale entries are skipped on pop."""
+        while self._order_heap:
+            _, var = heapq.heappop(self._order_heap)
+            if self._assign[var] == UNDEF:
+                return var
+        # Heap exhausted by staleness; fall back to a scan (rare).
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] == UNDEF:
+                return var
+        return 0
+
+    def _reduce_learnts(self) -> None:
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        removed: list[_Clause] = []
+        kept: list[_Clause] = []
+        for i, clause in enumerate(self._learnts):
+            is_reason = any(
+                self._reason[abs(l)] is clause for l in clause.lits[:1]
+            )
+            if i < keep_from and len(clause.lits) > 2 and not is_reason:
+                removed.append(clause)
+            else:
+                kept.append(clause)
+        for clause in removed:
+            for lit in clause.lits[:2]:
+                try:
+                    self._watches[lit].remove(clause)
+                except ValueError:
+                    pass
+            self.stats.deleted_clauses += 1
+        self._learnts = kept
+
+    # -- main loop -------------------------------------------------------------------
+
+    def solve(self, max_conflicts: int | None = None) -> SatResult:
+        """Run the CDCL loop.  Returns a :class:`SatResult`; if
+        `max_conflicts` is hit a RuntimeError is raised (our VCs are expected
+        to be decided)."""
+        if self._unsat:
+            return SatResult(sat=False, stats=self.stats)
+        if self._propagate() is not None:
+            self._unsat = True
+            return SatResult(sat=False, stats=self.stats)
+
+        restart_count = 0
+        conflicts_until_restart = 100 * _luby(1)
+        conflicts_in_run = 0
+        max_learnts = max(1000, len(self._clauses) // 2)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_in_run += 1
+                if len(self._trail_lim) == 0:
+                    return SatResult(sat=False, stats=self.stats)
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        return SatResult(sat=False, stats=self.stats)
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    self._learnts.append(clause)
+                    self._watch(clause)
+                    self._bump_clause(clause)
+                    self.stats.learnt_clauses += 1
+                    self._enqueue(learnt[0], clause)
+                self._var_inc *= self._var_decay
+                self._cla_inc *= 1.001
+                if max_conflicts is not None and self.stats.conflicts > max_conflicts:
+                    raise RuntimeError("SAT solver exceeded conflict budget")
+                continue
+
+            if conflicts_in_run >= conflicts_until_restart:
+                restart_count += 1
+                self.stats.restarts += 1
+                conflicts_in_run = 0
+                conflicts_until_restart = 100 * _luby(restart_count + 1)
+                self._backtrack(0)
+                continue
+
+            if len(self._learnts) > max_learnts:
+                self._reduce_learnts()
+                max_learnts = int(max_learnts * 1.3)
+
+            var = self._decide()
+            if var == 0:
+                model = {
+                    v: self._assign[v] == 1 for v in range(1, self.num_vars + 1)
+                }
+                return SatResult(sat=True, model=model, stats=self.stats)
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            lit = var if self._polarity[var] else -var
+            self._enqueue(lit, None)

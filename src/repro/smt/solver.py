@@ -1,0 +1,176 @@
+"""User-facing SMT solving API.
+
+Pipeline: term rewriting -> bit-blasting into an AIG (structural hashing) ->
+Tseitin CNF of the output cone -> CDCL SAT.  Models are lifted back to a
+mapping from variable names to Python ints/bools and re-checked against the
+concrete evaluator before being returned, so a buggy lower layer can never
+produce a bogus counterexample silently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.smt import ast, interp, rewrite
+from repro.smt.aig import FALSE, TRUE
+from repro.smt.bitblast import BitBlaster
+from repro.smt.cnf import encode
+from repro.smt.sat import SatSolver
+from repro.smt.ast import Term
+
+
+@dataclass
+class SolverStats:
+    """Breakdown of where solving time went, for the evaluation harness."""
+
+    rewrite_seconds: float = 0.0
+    blast_seconds: float = 0.0
+    sat_seconds: float = 0.0
+    aig_nodes: int = 0
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    decided_structurally: bool = False
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a `check()` call."""
+
+    sat: bool
+    model: dict[str, int | bool] = field(default_factory=dict)
+    stats: SolverStats = field(default_factory=SolverStats)
+
+
+class Solver:
+    """An incremental-ish solver: collect assertions, then `check()`.
+
+    `simplify=False` disables the rewriting pass (used by the SMT ablation
+    benchmark to quantify how much the rewriter buys).
+    """
+
+    def __init__(self, simplify: bool = True) -> None:
+        self._assertions: list[Term] = []
+        self.simplify = simplify
+
+    def add(self, term: Term) -> None:
+        if not term.sort.is_bool:
+            raise TypeError(f"assertions must be Bool, got {term!r}")
+        self._assertions.append(term)
+
+    def check(self, max_conflicts: int | None = None) -> SolverResult:
+        stats = SolverStats()
+        original = ast.and_(*self._assertions) if self._assertions else ast.true()
+        formula = original
+
+        start = time.perf_counter()
+        if self.simplify:
+            formula = rewrite.simplify(formula)
+        stats.rewrite_seconds = time.perf_counter() - start
+
+        if formula.is_const:
+            stats.decided_structurally = True
+            if formula.value:
+                return SolverResult(
+                    sat=True, model=self._arbitrary_model(original), stats=stats
+                )
+            return SolverResult(sat=False, stats=stats)
+
+        start = time.perf_counter()
+        blaster = BitBlaster()
+        out = blaster.blast_bool(formula)
+        stats.blast_seconds = time.perf_counter() - start
+        stats.aig_nodes = len(blaster.aig)
+
+        if out == TRUE:
+            stats.decided_structurally = True
+            model = self._arbitrary_model(original)
+            return SolverResult(sat=True, model=model, stats=stats)
+        if out == FALSE:
+            stats.decided_structurally = True
+            return SolverResult(sat=False, stats=stats)
+
+        sat_solver = SatSolver()
+        mapping = encode(blaster.aig, [out], sat_solver)
+        stats.cnf_vars = sat_solver.num_vars
+        stats.cnf_clauses = mapping.num_clauses
+
+        start = time.perf_counter()
+        result = sat_solver.solve(max_conflicts=max_conflicts)
+        stats.sat_seconds = time.perf_counter() - start
+        stats.sat_conflicts = result.stats.conflicts
+        stats.sat_decisions = result.stats.decisions
+
+        if not result.sat:
+            return SolverResult(sat=False, stats=stats)
+
+        model = self._lift_model(formula, blaster, mapping, result.model)
+        # Variables the simplifier eliminated are unconstrained: default them
+        # so the model covers the *original* assertions.
+        for var in ast.free_vars(original):
+            if var.name not in model:
+                model[var.name] = False if var.sort.is_bool else 0
+        value = interp.evaluate(original, model)
+        if value is not True:
+            raise RuntimeError(
+                "internal solver error: SAT model fails concrete evaluation"
+            )
+        return SolverResult(sat=True, model=model, stats=stats)
+
+    @staticmethod
+    def _arbitrary_model(formula: Term) -> dict[str, int | bool]:
+        """When the formula is structurally TRUE any assignment works."""
+        model: dict[str, int | bool] = {}
+        for var in ast.free_vars(formula):
+            model[var.name] = False if var.sort.is_bool else 0
+        return model
+
+    @staticmethod
+    def _lift_model(
+        formula: Term,
+        blaster: BitBlaster,
+        mapping,
+        sat_model: dict[int, bool],
+    ) -> dict[str, int | bool]:
+        from repro.smt.aig import node_of  # local import to avoid cycle noise
+
+        model: dict[str, int | bool] = {}
+        for var in ast.free_vars(formula):
+            bits = blaster.var_bits(var.name)
+            if bits is None:
+                model[var.name] = False if var.sort.is_bool else 0
+                continue
+            bit_values = []
+            for lit in bits:
+                node = node_of(lit)
+                sat_var = mapping.node_to_var.get(node)
+                bit_values.append(
+                    False if sat_var is None else sat_model.get(sat_var, False)
+                )
+            if var.sort.is_bool:
+                model[var.name] = bit_values[0]
+            else:
+                value = 0
+                for i, bv in enumerate(bit_values):
+                    if bv:
+                        value |= 1 << i
+                model[var.name] = value
+        return model
+
+
+def prove(goal: Term, simplify: bool = True) -> SolverResult:
+    """Attempt to prove `goal` valid: returns sat=False when proved
+    (the negation is unsatisfiable), else a counterexample model."""
+    solver = Solver(simplify=simplify)
+    solver.add(ast.not_(goal))
+    return solver.check()
+
+
+def counterexample(goal: Term) -> dict[str, int | bool] | None:
+    """None when `goal` is valid, otherwise a falsifying assignment."""
+    result = prove(goal)
+    if result.sat:
+        return result.model
+    return None

@@ -1,0 +1,19 @@
+"""The userspace library -- the paper's "verified standard library" layer.
+
+"It is also possible to implement and verify core 'standard library'
+features like those in glibc and pthreads ... for example, we might expose
+futexes from the kernel and then verify a userspace mutex implementation on
+top."  That is exactly this package: synchronization built on the kernel's
+futex syscalls (following Drepper's *Futexes are Tricky*, the paper's
+citation [14]), a user-level heap over `vm_map`, user-level threads, and
+file/IO convenience wrappers.
+
+All library routines are generators: user code invokes them with
+``yield from`` so their syscalls flow through the calling thread.
+"""
+
+from repro.ulib.sync import Mutex, Condvar, Semaphore
+from repro.ulib.alloc import Heap
+from repro.ulib.uthread import UScheduler, uyield
+
+__all__ = ["Mutex", "Condvar", "Semaphore", "Heap", "UScheduler", "uyield"]

@@ -1,0 +1,69 @@
+"""A user-level heap allocator over `vm_map`.
+
+First-fit free list with splitting and coalescing over pages obtained from
+the kernel — the `malloc` of our libc layer.  Word-granular (8-byte)
+allocation; the free list lives in Python (the allocator's *data* is user
+memory, its *metadata* is library state, which keeps the example honest
+without simulating pointer-chasing in simulated memory)."""
+
+from __future__ import annotations
+
+from repro.nros.syscall.abi import sys
+
+PAGE_SIZE = 4096
+ALIGN = 8
+
+
+class Heap:
+    """Per-process user heap."""
+
+    def __init__(self) -> None:
+        # free list of (vaddr, size), kept sorted by vaddr
+        self._free: list[tuple[int, int]] = []
+        self.pages_mapped = 0
+
+    def alloc(self, size: int):
+        """Allocate `size` bytes; returns the vaddr (generator)."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        size = (size + ALIGN - 1) & ~(ALIGN - 1)
+        for index, (vaddr, block_size) in enumerate(self._free):
+            if block_size >= size:
+                return self._take(index, size)
+        npages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        base = yield sys("vm_map", npages)
+        self.pages_mapped += npages
+        self._insert(base, npages * PAGE_SIZE)
+        for index, (vaddr, block_size) in enumerate(self._free):
+            if block_size >= size:
+                return self._take(index, size)
+        raise AssertionError("fresh pages cannot be too small")
+
+    def _take(self, index: int, size: int) -> int:
+        vaddr, block_size = self._free.pop(index)
+        if block_size > size:
+            self._free.insert(index, (vaddr + size, block_size - size))
+        return vaddr
+
+    def free(self, vaddr: int, size: int):
+        """Return a block; coalesces with neighbours (generator for
+        interface symmetry — frees never syscall)."""
+        size = (size + ALIGN - 1) & ~(ALIGN - 1)
+        self._insert(vaddr, size)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _insert(self, vaddr: int, size: int) -> None:
+        self._free.append((vaddr, size))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for block_vaddr, block_size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == block_vaddr:
+                prev_vaddr, prev_size = merged.pop()
+                merged.append((prev_vaddr, prev_size + block_size))
+            else:
+                merged.append((block_vaddr, block_size))
+        self._free = merged
+
+    def free_bytes(self) -> int:
+        return sum(size for _, size in self._free)

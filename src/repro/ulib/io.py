@@ -1,0 +1,68 @@
+"""File and console convenience wrappers over the syscall ABI.
+
+The thin `stdio` of our libc layer: ``yield from`` these from user code.
+"""
+
+from __future__ import annotations
+
+from repro.nros.fs.fd import O_CREAT, O_RDONLY, O_RDWR, O_TRUNC
+from repro.nros.syscall.abi import sys
+
+
+class File:
+    """An open file; create with :func:`open_file`."""
+
+    def __init__(self, fd: int) -> None:
+        self.fd = fd
+
+    def read(self, length: int):
+        data = yield sys("read", self.fd, length)
+        return data
+
+    def read_all(self, chunk: int = 4096):
+        out = bytearray()
+        while True:
+            data = yield sys("read", self.fd, chunk)
+            if not data:
+                return bytes(out)
+            out += data
+
+    def write(self, data: bytes):
+        written = yield sys("write", self.fd, data)
+        return written
+
+    def seek(self, offset: int):
+        result = yield sys("seek", self.fd, offset)
+        return result
+
+    def close(self):
+        yield sys("close", self.fd)
+
+
+def open_file(path: str, flags: int = O_RDONLY):
+    """Open (optionally creating) a file; returns a :class:`File`."""
+    fd = yield sys("open", path, flags)
+    return File(fd)
+
+
+def create_file(path: str):
+    return (yield from open_file(path, O_CREAT | O_RDWR | O_TRUNC))
+
+
+def write_file(path: str, data: bytes):
+    """Create/truncate `path` and write `data`."""
+    handle = yield from create_file(path)
+    yield from handle.write(data)
+    yield from handle.close()
+
+
+def read_file(path: str):
+    """Read all of `path`."""
+    handle = yield from open_file(path)
+    data = yield from handle.read_all()
+    yield from handle.close()
+    return data
+
+
+def log(message: str):
+    yield sys("log", message)

@@ -1,0 +1,124 @@
+"""Userspace synchronization on kernel futexes.
+
+The mutex is the three-state futex mutex from Drepper's "Futexes are
+Tricky" (cited as [14] by the paper): 0 = free, 1 = locked, 2 = locked with
+waiters.  The fast path is a single CAS with no kernel involvement; the
+slow path parks on the futex.  Condition variables use a generation counter
+to avoid lost wakeups; semaphores a counted futex.
+
+Every method is a generator (``yield from`` it): the syscalls it makes are
+the calling thread's syscalls.
+"""
+
+from __future__ import annotations
+
+from repro.nros.syscall.abi import EAGAIN, SyscallError, sys
+
+
+class Mutex:
+    """Three-state futex mutex.  `vaddr` is one mapped, zeroed u64."""
+
+    def __init__(self, vaddr: int) -> None:
+        self.vaddr = vaddr
+
+    def acquire(self):
+        won, old = yield sys("cas", self.vaddr, 0, 1)
+        if won:
+            return
+        state = old
+        while True:
+            # Advertise contention: move 1 -> 2 (or observe an existing 2).
+            if state == 2:
+                contended = True
+            else:
+                moved, state = yield sys("cas", self.vaddr, 1, 2)
+                contended = moved or state == 2
+            if contended:
+                try:
+                    yield sys("futex_wait", self.vaddr, 2)
+                except SyscallError as exc:
+                    if exc.errno != EAGAIN:
+                        raise
+            won, state = yield sys("cas", self.vaddr, 0, 2)
+            if won:
+                return
+
+    def release(self):
+        # Swap to 0; only wake when there may be waiters (old state 2).
+        while True:
+            old = yield sys("peek", self.vaddr)
+            won, _ = yield sys("cas", self.vaddr, old, 0)
+            if won:
+                break
+        if old == 2:
+            yield sys("futex_wake", self.vaddr, 1)
+
+    def locked(self):
+        value = yield sys("peek", self.vaddr)
+        return value != 0
+
+
+class Condvar:
+    """Condition variable: a generation counter at `vaddr`."""
+
+    def __init__(self, vaddr: int) -> None:
+        self.vaddr = vaddr
+
+    def wait(self, mutex: Mutex):
+        generation = yield sys("peek", self.vaddr)
+        yield from mutex.release()
+        try:
+            yield sys("futex_wait", self.vaddr, generation)
+        except SyscallError as exc:
+            if exc.errno != EAGAIN:
+                raise
+            # the generation already moved: wakeup was not lost
+        yield from mutex.acquire()
+
+    def signal(self):
+        yield from self._bump()
+        yield sys("futex_wake", self.vaddr, 1)
+
+    def broadcast(self):
+        yield from self._bump()
+        yield sys("futex_wake", self.vaddr, 1 << 30)
+
+    def _bump(self):
+        while True:
+            generation = yield sys("peek", self.vaddr)
+            won, _ = yield sys("cas", self.vaddr, generation,
+                               (generation + 1) & 0xFFFF_FFFF)
+            if won:
+                return
+
+
+class Semaphore:
+    """Counting semaphore at `vaddr` (initial value set with `init`)."""
+
+    def __init__(self, vaddr: int) -> None:
+        self.vaddr = vaddr
+
+    def init(self, value: int):
+        yield sys("poke", self.vaddr, value)
+
+    def post(self):
+        while True:
+            value = yield sys("peek", self.vaddr)
+            won, _ = yield sys("cas", self.vaddr, value, value + 1)
+            if won:
+                break
+        yield sys("futex_wake", self.vaddr, 1)
+
+    def wait(self):
+        while True:
+            value = yield sys("peek", self.vaddr)
+            if value > 0:
+                won, _ = yield sys("cas", self.vaddr, value, value - 1)
+                if won:
+                    return
+                continue
+            try:
+                yield sys("futex_wait", self.vaddr, 0)
+            except SyscallError as exc:
+                if exc.errno != EAGAIN:
+                    raise

@@ -1,0 +1,77 @@
+"""A user-level thread scheduler.
+
+NrOS "provides a user-level thread scheduler with synchronization
+primitives" in user space; this is that component.  Green threads are
+generators that yield either :data:`uyield` (voluntary reschedule) or
+syscalls (forwarded to the kernel through the hosting kernel thread).
+
+Cooperative round-robin: a green thread that blocks in the kernel blocks
+the whole hosting thread — the standard N:1 threading trade-off.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.nros.syscall.abi import Syscall, SyscallError
+
+
+class _UYield:
+    def __repr__(self) -> str:
+        return "<uyield>"
+
+
+uyield = _UYield()
+
+
+class UScheduler:
+    """Round-robin over green threads inside one kernel thread.
+
+    `run()` is itself a generator the hosting kernel thread delegates to
+    with ``yield from``; it returns the dict of green-thread results."""
+
+    def __init__(self) -> None:
+        self._queue: deque[tuple[int, object]] = deque()
+        self._results: dict[int, object] = {}
+        self._next_id = 0
+        self.switches = 0
+
+    def spawn(self, gen) -> int:
+        """Add a green thread; returns its id."""
+        gid = self._next_id
+        self._next_id += 1
+        self._queue.append((gid, gen))
+        return gid
+
+    def run(self):
+        """Drive all green threads to completion (generator)."""
+        while self._queue:
+            gid, gen = self._queue.popleft()
+            self.switches += 1
+            send_value = None
+            throw_exc = None
+            while True:
+                try:
+                    if throw_exc is not None:
+                        item = gen.throw(throw_exc)
+                        throw_exc = None
+                    else:
+                        item = gen.send(send_value)
+                except StopIteration as stop:
+                    self._results[gid] = stop.value
+                    break
+                if isinstance(item, _UYield):
+                    self._queue.append((gid, gen))
+                    break
+                if isinstance(item, Syscall):
+                    try:
+                        send_value = yield item
+                    except SyscallError as exc:
+                        throw_exc = exc
+                        send_value = None
+                    continue
+                raise TypeError(
+                    f"green thread yielded {item!r}; expected uyield or a "
+                    f"Syscall"
+                )
+        return dict(self._results)

@@ -1,0 +1,84 @@
+"""Bounded state-space exploration (explicit-state model checking).
+
+Used to discharge inductive-invariant and simulation obligations over the
+small representative configurations the proof enumerates — the "lightweight
+formal methods" flavour of the paper's refinement proof.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.verif.statemachine import SpecStateMachine
+
+
+@dataclass
+class ExploreResult:
+    """Result of a bounded reachability run."""
+
+    states: list = field(default_factory=list)
+    truncated: bool = False
+    violation: tuple | None = None  # (invariant_name, state, trace)
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+def reachable_states(
+    machine: SpecStateMachine,
+    max_states: int = 10_000,
+    max_depth: int | None = None,
+) -> ExploreResult:
+    """BFS over the machine's reachable states, checking invariants.
+
+    Traces to violations are recorded so VC counterexamples are replayable.
+    """
+    result = ExploreResult()
+    seen: set = set()
+    queue: deque = deque()
+    for init in machine.init_states:
+        if init in seen:
+            continue
+        seen.add(init)
+        queue.append((init, 0, ()))
+
+    while queue:
+        state, depth, trace = queue.popleft()
+        violated = machine.check_invariants(state)
+        if violated is not None:
+            result.violation = (violated, state, trace)
+            result.states = list(seen)
+            return result
+        result.states.append(state)
+        if max_depth is not None and depth >= max_depth:
+            result.truncated = True
+            continue
+        for name, args, successor in machine.enabled_steps(state):
+            if successor in seen:
+                continue
+            if len(seen) >= max_states:
+                result.truncated = True
+                continue
+            seen.add(successor)
+            queue.append((successor, depth + 1, trace + ((name, args),)))
+    return result
+
+
+def check_inductive(
+    machine: SpecStateMachine,
+    states,
+    invariant_name: str,
+) -> tuple | None:
+    """Check that one invariant is inductive over a given set of states:
+    if it holds in `s` it holds after every enabled step.  Returns a
+    counterexample (state, transition, args, successor) or None."""
+    invariant = machine.invariants[invariant_name]
+    for state in states:
+        if not invariant(state):
+            continue  # vacuous: induction only cares about inv states
+        for name, args, successor in machine.enabled_steps(state):
+            if not invariant(successor):
+                return (state, name, args, successor)
+    return None

@@ -1,0 +1,96 @@
+"""Linear ownership tokens — the data-race-freedom obligation.
+
+Section 3 of the paper identifies three verification obligations for the
+syscall boundary; the third is that memory holding syscall data is not
+touched by other threads while the kernel handles the call.  In Rust this
+falls out of `&mut` uniqueness.  Python has no borrow checker, so we provide
+an explicit dynamic one: regions of an address space are claimed with
+either *unique* (read-write) or *shared* (read-only) tokens, and conflicting
+claims raise :class:`OwnershipError` — turning a latent data race into a
+deterministic failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class OwnershipError(RuntimeError):
+    """A claim conflicts with an outstanding token."""
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open byte range [start, end) in some address space."""
+
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if self.start >= self.end:
+            raise ValueError(f"empty or inverted region [{self.start:#x}, {self.end:#x})")
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True)
+class Token:
+    """An outstanding ownership claim."""
+
+    region: Region
+    owner: str
+    unique: bool
+    serial: int
+
+
+@dataclass
+class OwnershipTable:
+    """Tracks outstanding tokens for one address space."""
+
+    _tokens: dict[int, Token] = field(default_factory=dict)
+    _next_serial: int = 0
+
+    def claim_unique(self, start: int, length: int, owner: str) -> Token:
+        """Claim exclusive (read-write) access to a buffer."""
+        return self._claim(start, length, owner, unique=True)
+
+    def claim_shared(self, start: int, length: int, owner: str) -> Token:
+        """Claim shared (read-only) access; coexists with other shared
+        claims but not with unique ones."""
+        return self._claim(start, length, owner, unique=False)
+
+    def _claim(self, start: int, length: int, owner: str, unique: bool) -> Token:
+        region = Region(start, start + length)
+        for token in self._tokens.values():
+            if not token.region.overlaps(region):
+                continue
+            if unique or token.unique:
+                kind = "unique" if token.unique else "shared"
+                raise OwnershipError(
+                    f"{owner} requested {'unique' if unique else 'shared'} "
+                    f"access to [{start:#x}, {start + length:#x}) but "
+                    f"{token.owner} holds a {kind} token on "
+                    f"[{token.region.start:#x}, {token.region.end:#x})"
+                )
+        token = Token(region, owner, unique, self._next_serial)
+        self._tokens[self._next_serial] = token
+        self._next_serial += 1
+        return token
+
+    def release(self, token: Token) -> None:
+        if token.serial not in self._tokens:
+            raise OwnershipError(f"token {token.serial} already released")
+        self._tokens.pop(token.serial)
+
+    def outstanding(self) -> list[Token]:
+        return list(self._tokens.values())
+
+    def assert_quiescent(self) -> None:
+        """Raise if any token is still outstanding (used at syscall exit)."""
+        if self._tokens:
+            held = ", ".join(
+                f"{t.owner}[{t.region.start:#x},{t.region.end:#x})"
+                for t in self._tokens.values()
+            )
+            raise OwnershipError(f"tokens leaked: {held}")

@@ -1,0 +1,119 @@
+"""Refinement obligations (Section 4.4 of the paper).
+
+The theorem shape: for every behaviour of the low-level machine (the
+implementation plus hardware spec) there is a corresponding behaviour of the
+high-level spec with the same observable values.  We discharge it the
+standard way, as a forward simulation:
+
+* *init*: every low initial state abstracts to a high initial state;
+* *step*: every enabled low transition commutes with the abstraction
+  function — its effect corresponds to one high transition (or a stutter).
+
+The obligations are generated per low-level transition so the proof engine
+reports one VC per diagram, mirroring how Verus reports one verification
+condition per function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.verif.statemachine import SpecStateMachine
+from repro.verif.vc import VC
+
+
+@dataclass
+class SimulationCase:
+    """How one low-level transition corresponds to the high-level machine.
+
+    Attributes:
+        low_name: low transition label.
+        high_name: corresponding high transition label, or None for stutter.
+        map_args: maps (low_state, low_args) to high-level args.
+    """
+
+    low_name: str
+    high_name: str | None
+    map_args: Callable = staticmethod(lambda state, args: args)
+
+
+class RefinementProof:
+    """Generates the simulation VCs between two state machines."""
+
+    def __init__(
+        self,
+        low: SpecStateMachine,
+        high: SpecStateMachine,
+        abstraction: Callable,
+        cases: list[SimulationCase],
+        state_source: Callable,
+        category: str = "refinement",
+    ) -> None:
+        """`state_source` returns the low states over which diagrams are
+        checked (typically the result of bounded exploration)."""
+        self.low = low
+        self.high = high
+        self.abstraction = abstraction
+        self.cases = cases
+        self.state_source = state_source
+        self.category = category
+
+    def init_vc(self) -> VC:
+        def check():
+            high_inits = set(self.high.init_states)
+            for low_init in self.low.init_states:
+                image = self.abstraction(low_init)
+                if image not in high_inits:
+                    return ("init state does not abstract", low_init, image)
+            return None
+
+        return VC(
+            name=f"{self.low.name}_init_refines_{self.high.name}",
+            category=self.category,
+            check=check,
+            description="every low initial state abstracts to a high one",
+        )
+
+    def step_vc(self, case: SimulationCase) -> VC:
+        def check():
+            low_t = self.low.transition(case.low_name)
+            high_t = (
+                self.high.transition(case.high_name)
+                if case.high_name is not None
+                else None
+            )
+            for state in self.state_source():
+                for args in low_t.arg_tuples(state):
+                    if not low_t.enabled(state, args):
+                        continue
+                    successor = low_t.apply(state, args)
+                    pre = self.abstraction(state)
+                    post = self.abstraction(successor)
+                    if high_t is None:
+                        if pre != post:
+                            return ("stutter changed abstract state",
+                                    case.low_name, args, pre, post)
+                        continue
+                    high_args = case.map_args(state, args)
+                    if not high_t.enabled(pre, high_args):
+                        return ("high transition not enabled",
+                                case.low_name, args, pre)
+                    expected = high_t.apply(pre, high_args)
+                    if expected != post:
+                        return ("diagram does not commute",
+                                case.low_name, args, expected, post)
+            return None
+
+        high_label = case.high_name or "stutter"
+        return VC(
+            name=f"{self.low.name}_{case.low_name}_simulates_{high_label}",
+            category=self.category,
+            check=check,
+            description=(
+                f"low {case.low_name} corresponds to high {high_label}"
+            ),
+        )
+
+    def all_vcs(self) -> list[VC]:
+        return [self.init_vc()] + [self.step_vc(c) for c in self.cases]

@@ -1,0 +1,88 @@
+"""Specification state machines.
+
+The paper (Section 3) specifies the OS as a state machine whose transitions
+are the system calls and memory operations a process can observe.  This
+module provides the abstraction: immutable (hashable) states, labelled
+transitions with enabling conditions, and invariants.
+
+States are whatever hashable objects the spec author chooses; transitions
+are pure functions.  Argument generators make bounded exploration and
+obligation generation possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A labelled transition of a specification state machine.
+
+    Attributes:
+        name: label, e.g. ``"map"`` or ``"read"``.
+        enabled: predicate ``(state, args) -> bool``; the transition may
+            only fire from states where this holds.
+        apply: pure update ``(state, args) -> state``.
+        args: generator of argument tuples used for bounded exploration,
+            either an iterable or a callable ``(state) -> iterable``.
+    """
+
+    name: str
+    enabled: Callable
+    apply: Callable
+    args: object = ((),)
+
+    def arg_tuples(self, state) -> Iterable[tuple]:
+        if callable(self.args):
+            return self.args(state)
+        return self.args
+
+
+@dataclass
+class SpecStateMachine:
+    """A specification state machine with invariants.
+
+    Attributes:
+        name: machine name for reporting.
+        init_states: the (small, representative) set of initial states used
+            by bounded exploration.
+        transitions: the labelled transition relation.
+        invariants: named predicates expected to hold in every reachable
+            state.
+    """
+
+    name: str
+    init_states: list
+    transitions: list[Transition]
+    invariants: dict[str, Callable] = field(default_factory=dict)
+
+    def transition(self, name: str) -> Transition:
+        for t in self.transitions:
+            if t.name == name:
+                return t
+        raise KeyError(f"{self.name} has no transition {name!r}")
+
+    def step(self, state, name: str, args: tuple = ()):
+        """Fire a transition by name, checking its enabling condition."""
+        t = self.transition(name)
+        if not t.enabled(state, args):
+            raise ValueError(
+                f"transition {name!r} not enabled with args {args!r}"
+            )
+        return t.apply(state, args)
+
+    def enabled_steps(self, state) -> Iterable[tuple[str, tuple, object]]:
+        """All (name, args, successor) triples enabled from `state`."""
+        for t in self.transitions:
+            for args in t.arg_tuples(state):
+                if t.enabled(state, args):
+                    yield t.name, args, t.apply(state, args)
+
+    def check_invariants(self, state) -> str | None:
+        """Name of the first violated invariant, or None."""
+        for name, pred in self.invariants.items():
+            if not pred(state):
+                return name
+        return None

@@ -1,0 +1,132 @@
+"""Verification-condition objects.
+
+A VC is a single, independently checkable proof obligation with a name, a
+category (used to group the proof report the way Figure 2 groups the layers),
+and a discharge strategy.  Discharging returns a :class:`VCResult` carrying
+the outcome, the wall-clock time (the quantity plotted in Figure 1a), and a
+counterexample when the obligation fails.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class VCStatus(enum.Enum):
+    PROVED = "proved"
+    FAILED = "failed"
+    ERROR = "error"
+
+
+@dataclass
+class VCResult:
+    """Outcome of discharging one verification condition."""
+
+    name: str
+    status: VCStatus
+    seconds: float
+    category: str = ""
+    detail: str = ""
+    counterexample: object = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is VCStatus.PROVED
+
+
+@dataclass
+class VC:
+    """A verification condition.
+
+    `check` returns ``None`` on success or a counterexample object (anything
+    truthy/printable) on failure.  Exceptions are caught by the engine and
+    reported as ``ERROR``.
+    """
+
+    name: str
+    category: str
+    check: Callable[[], object | None]
+    description: str = ""
+
+    def discharge(self) -> VCResult:
+        start = time.perf_counter()
+        try:
+            counterexample = self.check()
+        except Exception as exc:  # surfaced, never swallowed silently
+            elapsed = time.perf_counter() - start
+            return VCResult(
+                name=self.name,
+                status=VCStatus.ERROR,
+                seconds=elapsed,
+                category=self.category,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        elapsed = time.perf_counter() - start
+        if counterexample is None:
+            return VCResult(
+                name=self.name,
+                status=VCStatus.PROVED,
+                seconds=elapsed,
+                category=self.category,
+            )
+        return VCResult(
+            name=self.name,
+            status=VCStatus.FAILED,
+            seconds=elapsed,
+            category=self.category,
+            detail=str(counterexample),
+            counterexample=counterexample,
+        )
+
+
+@dataclass
+class VCGroup:
+    """A named collection of VCs (one proof layer in Figure 2)."""
+
+    name: str
+    vcs: list[VC] = field(default_factory=list)
+
+    def add(self, vc: VC) -> None:
+        self.vcs.append(vc)
+
+    def __len__(self) -> int:
+        return len(self.vcs)
+
+
+def smt_vc(name: str, category: str, goal_builder, description: str = "") -> VC:
+    """A VC discharged by the SMT solver.
+
+    `goal_builder` is a zero-argument callable returning the goal term, so
+    term construction time is attributed to the VC the way Verus attributes
+    encoding time to each function's verification time.
+    """
+
+    def check():
+        from repro.smt.solver import prove
+
+        result = prove(goal_builder())
+        if result.sat:
+            return result.model
+        return None
+
+    return VC(name=name, category=category, check=check, description=description)
+
+
+def forall_vc(name: str, category: str, cases, predicate, description: str = "") -> VC:
+    """A VC discharged by exhaustive enumeration of `cases`.
+
+    `cases` is an iterable (or a callable returning one); `predicate` returns
+    True for good cases.  The first failing case is the counterexample.
+    """
+
+    def check():
+        iterable = cases() if callable(cases) else cases
+        for case in iterable:
+            if not predicate(case):
+                return case
+        return None
+
+    return VC(name=name, category=category, check=check, description=description)

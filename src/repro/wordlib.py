@@ -1,0 +1,100 @@
+"""Fixed-width machine-word arithmetic helpers.
+
+Shared by the SMT bit-blaster, the page-table implementation, and the
+simulated hardware.  All operations model unsigned two's-complement machine
+words of an explicit bit width, mirroring the semantics the paper's Rust
+implementation gets from the hardware.
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """Return the all-ones value of the given bit width."""
+    if width < 0:
+        raise ValueError(f"negative width: {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Wrap an arbitrary Python integer into an unsigned word of `width` bits."""
+    return value & mask(width)
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit `index` of `value` (0 or 1)."""
+    return (value >> index) & 1
+
+
+def set_bit(value: int, index: int, flag: bool) -> int:
+    """Return `value` with bit `index` forced to `flag`."""
+    if flag:
+        return value | (1 << index)
+    return value & ~(1 << index)
+
+
+def extract(value: int, hi: int, lo: int) -> int:
+    """Return bits hi..lo (inclusive) of `value`, right-aligned."""
+    if hi < lo:
+        raise ValueError(f"extract with hi {hi} < lo {lo}")
+    return (value >> lo) & mask(hi - lo + 1)
+
+
+def replace_bits(value: int, hi: int, lo: int, field: int) -> int:
+    """Return `value` with bits hi..lo replaced by `field`."""
+    width = hi - lo + 1
+    if field != (field & mask(width)):
+        raise ValueError(f"field {field:#x} does not fit in {width} bits")
+    cleared = value & ~(mask(width) << lo)
+    return cleared | (field << lo)
+
+
+def sign_extend(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend an unsigned `from_width`-bit value to `to_width` bits."""
+    if to_width < from_width:
+        raise ValueError("sign_extend must widen")
+    value = truncate(value, from_width)
+    if bit(value, from_width - 1):
+        value |= mask(to_width) ^ mask(from_width)
+    return value
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned `width`-bit value as two's-complement."""
+    value = truncate(value, width)
+    if bit(value, width - 1):
+        return value - (1 << width)
+    return value
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True when `value` is a multiple of `alignment` (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & (alignment - 1) == 0
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round `value` down to a multiple of `alignment` (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round `value` up to a multiple of `alignment` (a power of two)."""
+    return align_down(value + alignment - 1, alignment)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("popcount of negative value")
+    return value.bit_count()
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of an exact power of two, raising otherwise."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,188 @@
+"""Tests for the client application contract (Section 3) and usercopy."""
+
+import pytest
+
+from repro.core.contract.proof import contract_vcs
+from repro.core.contract.state import FileState, SysState
+from repro.core.contract.syscalls import read_spec, write_spec
+from repro.core.contract.view import Sys, SysError
+from repro.core.pt.defs import Flags, PageSize
+from repro.core.pt.impl import PageTable, SimpleFrameAllocator
+from repro.hw.mem import PhysicalMemory
+from repro.hw.mmu import Mmu
+from repro.immutable import FrozenMap
+from repro.nros.syscall.usercopy import (
+    UserCopyFault,
+    copy_from_user,
+    copy_to_user,
+)
+from repro.verif.contracts import ContractError, contracts
+
+MB = 1024 * 1024
+
+
+class TestSysBasics:
+    def test_open_read_write_close(self):
+        sys = Sys()
+        fd = sys.open()
+        sys.write(fd, b"hello")
+        sys.seek(fd, 0)
+        assert sys.read(fd, 5) == b"hello"
+        sys.close(fd)
+        with pytest.raises(SysError):
+            sys.read(fd, 1)
+
+    def test_read_past_eof(self):
+        sys = Sys()
+        fd = sys.open()
+        sys.set_contents(fd, b"abc")
+        assert sys.read(fd, 10) == b"abc"
+        assert sys.read(fd, 10) == b""
+
+    def test_sparse_write(self):
+        sys = Sys()
+        fd = sys.open()
+        sys.seek(fd, 4)
+        sys.write(fd, b"xy")
+        sys.seek(fd, 0)
+        assert sys.read(fd, 10) == b"\x00\x00\x00\x00xy"
+
+    def test_view_is_snapshot(self):
+        sys = Sys()
+        fd = sys.open()
+        before = sys.view()
+        sys.write(fd, b"data")
+        assert before.file(fd).contents == b""
+        assert sys.view().file(fd).contents == b"data"
+
+    def test_contracts_can_be_disabled(self):
+        sys = Sys()
+        fd = sys.open()
+        sys.set_contents(fd, b"abcdef")
+        with contracts(False):
+            assert sys.read(fd, 3) == b"abc"  # runs without spec checking
+
+
+class TestSpecPredicates:
+    def _state(self, contents=b"0123456789", offset=0, locked=True):
+        return SysState(files=FrozenMap({
+            3: FileState(contents=contents, offset=offset, locked=locked)
+        }))
+
+    def test_read_spec_example_from_paper(self):
+        pre = self._state(offset=2)
+        post = self._state(offset=6)
+        assert read_spec(pre, post, 3, 4, b"2345", 4)
+
+    def test_read_spec_rejects_unlocked(self):
+        pre = self._state(locked=False)
+        post = self._state(locked=False, offset=4)
+        assert not read_spec(pre, post, 3, 4, b"0123", 4)
+
+    def test_read_spec_rejects_wrong_offset(self):
+        pre = self._state(offset=0)
+        post = self._state(offset=5)  # should be 4
+        assert not read_spec(pre, post, 3, 4, b"0123", 4)
+
+    def test_read_spec_rejects_wrong_data(self):
+        pre = self._state(offset=0)
+        post = self._state(offset=4)
+        assert not read_spec(pre, post, 3, 4, b"9999", 4)
+
+    def test_read_spec_min_semantics(self):
+        pre = self._state(contents=b"abc", offset=1)
+        post = self._state(contents=b"abc", offset=3)
+        assert read_spec(pre, post, 3, 100, b"bc", 2)
+        assert not read_spec(pre, post, 3, 100, b"bc", 3)
+
+    def test_write_spec_frame_condition(self):
+        pre = SysState(files=FrozenMap({
+            0: FileState(b"aa", 0, True),
+            1: FileState(b"bb", 0, True),
+        }))
+        # fd 0 written correctly, but fd 1 also changed: must be rejected
+        post = SysState(files=FrozenMap({
+            0: FileState(b"XX", 2, True),
+            1: FileState(b"ZZ", 0, True),
+        }))
+        assert not write_spec(pre, post, 0, b"XX", 2)
+
+    def test_contract_violation_detected(self):
+        """A buggy implementation is caught by the runtime spec check."""
+
+        class BuggySys(Sys):
+            def read(self, fd, buffer_len):
+                # BUG: forgets to advance the offset; spec check must fire
+                f = self._files[fd]
+                read_len = min(buffer_len, f.size - f.offset)
+                data = f.contents[f.offset : f.offset + read_len]
+                from repro.core.contract.syscalls import read_spec as spec
+                from repro.verif.contracts import contracts_enabled
+                old = self.view() if contracts_enabled() else None
+                if old is not None and not spec(
+                    old, self.view(), fd, buffer_len, data, read_len
+                ):
+                    raise ContractError("read violates read_spec")
+                return data
+
+        sys = BuggySys()
+        fd = sys.open()
+        sys.set_contents(fd, b"abcdef")
+        with pytest.raises(ContractError):
+            sys.read(fd, 3)
+
+
+class TestUserCopy:
+    def _setup(self):
+        memory = PhysicalMemory(8 * MB)
+        allocator = SimpleFrameAllocator(memory, start=4 * MB)
+        pt = PageTable(memory, allocator)
+        mmu = Mmu(memory)
+        pt.map_frame(0x10000, 0x20_0000, PageSize.SIZE_4K, Flags.user_rw())
+        pt.map_frame(0x11000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        return memory, pt, mmu
+
+    def test_roundtrip(self):
+        memory, pt, mmu = self._setup()
+        copy_to_user(memory, mmu, pt.root_paddr, 0x10010, b"abc123")
+        assert copy_from_user(memory, mmu, pt.root_paddr, 0x10010, 6) == b"abc123"
+
+    def test_crosses_noncontiguous_frames(self):
+        memory, pt, mmu = self._setup()
+        data = bytes(range(64)) * 8  # 512 bytes
+        copy_to_user(memory, mmu, pt.root_paddr, 0x10F00, data)
+        assert copy_from_user(memory, mmu, pt.root_paddr, 0x10F00, 512) == data
+        # physically split across the two frames
+        assert memory.read(0x20_0F00, 0x100) == data[:0x100]
+        assert memory.read(0x10_0000, 0x100) == data[0x100:0x200]
+
+    def test_unmapped_faults(self):
+        memory, pt, mmu = self._setup()
+        with pytest.raises(UserCopyFault):
+            copy_from_user(memory, mmu, pt.root_paddr, 0x50000, 4)
+
+    def test_kernel_page_faults_for_user(self):
+        memory, pt, mmu = self._setup()
+        pt.map_frame(0x20000, 0x30_0000, PageSize.SIZE_4K, Flags.kernel_rw())
+        with pytest.raises(UserCopyFault):
+            copy_from_user(memory, mmu, pt.root_paddr, 0x20000, 4)
+
+    def test_zero_length(self):
+        memory, pt, mmu = self._setup()
+        assert copy_from_user(memory, mmu, pt.root_paddr, 0x10000, 0) == b""
+        copy_to_user(memory, mmu, pt.root_paddr, 0x10000, b"")
+
+    def test_negative_length_rejected(self):
+        memory, pt, mmu = self._setup()
+        with pytest.raises(ValueError):
+            copy_from_user(memory, mmu, pt.root_paddr, 0x10000, -1)
+
+
+class TestContractVcs:
+    def test_all_contract_vcs_prove(self):
+        for vc in contract_vcs():
+            result = vc.discharge()
+            assert result.ok, f"{vc.name}: {result.detail}"
+
+    def test_count(self):
+        assert len(contract_vcs()) == 23

@@ -1,0 +1,144 @@
+"""The client contract against the *real* kernel syscall path.
+
+Section 3's promise is that the specification a process verifies against
+is the same one the kernel implements.  These tests run user programs on
+the full kernel (marshalled syscalls, on-disk filesystem) while mirroring
+every file operation into the abstract :class:`SysState`; after each
+kernel `read`, the paper's `read_spec` must accept the observed transition.
+"""
+
+import pytest
+
+from repro.core.contract.state import FileState, SysState
+from repro.core.contract.syscalls import read_spec, seek_spec, write_spec
+from repro.immutable import FrozenMap
+from repro.nros.fs.fd import O_CREAT, O_RDWR
+from repro.nros.kernel import Kernel
+from repro.nros.syscall.abi import sys
+
+
+class SpecMirror:
+    """Tracks the abstract SysState alongside kernel fd operations.
+
+    Kernel fds are "locked" in the contract sense for their owning
+    process (our kernel has per-process descriptor tables)."""
+
+    def __init__(self):
+        self.state = SysState(files=FrozenMap({}))
+        self.violations = []
+
+    def opened(self, fd, contents=b""):
+        self.state = self.state.with_file(
+            fd, FileState(contents=contents, offset=0, locked=True)
+        )
+
+    def check_read(self, fd, buffer_len, data):
+        pre = self.state
+        f = pre.file(fd)
+        post = self.state.with_file(fd, f.with_offset(f.offset + len(data)))
+        if not read_spec(pre, post, fd, buffer_len, data, len(data)):
+            self.violations.append(("read", fd, buffer_len, data))
+        self.state = post
+
+    def check_write(self, fd, data, written):
+        pre = self.state
+        f = pre.file(fd)
+        gap = b"\x00" * max(0, f.offset - f.size)
+        contents = (f.contents[: f.offset] + gap + data
+                    + f.contents[f.offset + len(data):])
+        post = pre.with_file(fd, FileState(
+            contents=contents, offset=f.offset + written, locked=True))
+        if not write_spec(pre, post, fd, data, written):
+            self.violations.append(("write", fd, data))
+        self.state = post
+
+    def check_seek(self, fd, offset):
+        pre = self.state
+        post = pre.with_file(fd, pre.file(fd).with_offset(offset))
+        if not seek_spec(pre, post, fd, offset):
+            self.violations.append(("seek", fd, offset))
+        self.state = post
+
+
+class TestKernelRefinesContract:
+    def test_read_spec_on_real_syscalls(self):
+        mirror = SpecMirror()
+
+        def prog():
+            fd = yield sys("open", "/contract.bin", O_CREAT | O_RDWR)
+            mirror.opened(fd)
+            written = yield sys("write", fd, b"0123456789abcdef")
+            mirror.check_write(fd, b"0123456789abcdef", written)
+            yield sys("seek", fd, 4)
+            mirror.check_seek(fd, 4)
+            for buffer_len in (3, 5, 100, 1):
+                data = yield sys("read", fd, buffer_len)
+                mirror.check_read(fd, buffer_len, data)
+            yield sys("close", fd)
+
+        kernel = Kernel()
+        kernel.register_program("p", prog)
+        kernel.spawn("p")
+        kernel.run()
+        assert mirror.violations == []
+        # the mirror state agrees with what the file really holds
+        inum = kernel.fs.lookup("/contract.bin")
+        assert kernel.fs.read_at(inum, 0, 100) == \
+            mirror.state.file(0).contents
+
+    def test_sparse_writes_match_spec(self):
+        mirror = SpecMirror()
+
+        def prog():
+            fd = yield sys("open", "/sparse", O_CREAT | O_RDWR)
+            mirror.opened(fd)
+            yield sys("seek", fd, 10)
+            mirror.check_seek(fd, 10)
+            written = yield sys("write", fd, b"tail")
+            mirror.check_write(fd, b"tail", written)
+            yield sys("seek", fd, 0)
+            mirror.check_seek(fd, 0)
+            data = yield sys("read", fd, 100)
+            mirror.check_read(fd, 100, data)
+
+        kernel = Kernel()
+        kernel.register_program("p", prog)
+        kernel.spawn("p")
+        kernel.run()
+        assert mirror.violations == []
+        assert mirror.state.file(0).contents == b"\x00" * 10 + b"tail"
+
+    def test_interleaved_fds_respect_frame_condition(self):
+        """Operations on one fd leave the other fd's abstract state
+        untouched (the contract's frame condition) on the real kernel."""
+        mirror = SpecMirror()
+
+        def prog():
+            fd_a = yield sys("open", "/a", O_CREAT | O_RDWR)
+            mirror.opened(fd_a)
+            fd_b = yield sys("open", "/b", O_CREAT | O_RDWR)
+            mirror.opened(fd_b)
+            w = yield sys("write", fd_a, b"aaaa")
+            mirror.check_write(fd_a, b"aaaa", w)
+            w = yield sys("write", fd_b, b"bb")
+            mirror.check_write(fd_b, b"bb", w)
+            yield sys("seek", fd_a, 0)
+            mirror.check_seek(fd_a, 0)
+            data = yield sys("read", fd_a, 4)
+            mirror.check_read(fd_a, 4, data)
+
+        kernel = Kernel()
+        kernel.register_program("p", prog)
+        kernel.spawn("p")
+        kernel.run()
+        assert mirror.violations == []
+        assert mirror.state.file(1).contents == b"bb"
+        assert mirror.state.file(1).offset == 2
+
+    def test_mirror_catches_a_lying_kernel(self):
+        """Vacuity guard: if the kernel returned wrong bytes, read_spec
+        would reject the transition."""
+        mirror = SpecMirror()
+        mirror.opened(0, contents=b"real contents")
+        mirror.check_read(0, 4, b"fake")
+        assert mirror.violations  # spec caught the lie

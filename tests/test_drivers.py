@@ -1,0 +1,177 @@
+"""Driver and device tests: block, console, netdev, timer, interrupts."""
+
+import pytest
+
+from repro.hw.devices.disk import Disk, DiskError
+from repro.hw.devices.interrupts import InterruptController
+from repro.hw.devices.nic import Nic
+from repro.hw.devices.serial import SerialPort
+from repro.hw.devices.timer import Timer
+from repro.nros.drivers.block import BlockDriver, BlockRequest
+from repro.nros.drivers.console import Console
+from repro.nros.drivers.netdev import NetDriver
+from repro.nros.fs.blockdev import BLOCK_SIZE
+from repro.nros.net.ip import ip_addr
+from repro.nros.net.stack import NetStack
+
+
+class TestDisk:
+    def test_sector_roundtrip(self):
+        disk = Disk(8)
+        data = bytes(range(256)) * 16
+        disk.write_sector(3, data)
+        assert disk.read_sector(3) == data
+        assert disk.reads == 1 and disk.writes == 1
+
+    def test_bad_sector(self):
+        disk = Disk(4)
+        with pytest.raises(DiskError):
+            disk.read_sector(4)
+        with pytest.raises(DiskError):
+            disk.write_sector(0, b"short")
+
+    def test_snapshot_restore(self):
+        disk = Disk(4)
+        disk.write_sector(1, b"\xaa" * Disk.SECTOR_SIZE)
+        image = disk.snapshot()
+        disk.write_sector(1, b"\xbb" * Disk.SECTOR_SIZE)
+        disk.restore(image)
+        assert disk.read_sector(1) == b"\xaa" * Disk.SECTOR_SIZE
+
+    def test_restore_size_mismatch(self):
+        disk = Disk(4)
+        with pytest.raises(DiskError):
+            disk.restore(b"tiny")
+
+
+class TestBlockDriver:
+    def test_read_write_through_driver(self):
+        disk = Disk(8)
+        driver = BlockDriver(disk)
+        driver.write(2, b"driver payload")
+        assert driver.read(2)[:14] == b"driver payload"
+        assert driver.requests_completed == 2
+        assert driver.num_blocks == 8
+
+    def test_zero(self):
+        disk = Disk(4)
+        driver = BlockDriver(disk)
+        driver.write(1, b"\xff" * BLOCK_SIZE)
+        driver.zero(1)
+        assert driver.read(1) == bytes(BLOCK_SIZE)
+
+    def test_irq_raised(self):
+        controller = InterruptController()
+        driver = BlockDriver(Disk(4), irq_line=controller.line(5))
+        driver.read(0)
+        assert 5 in controller.pending()
+
+    def test_bad_request(self):
+        driver = BlockDriver(Disk(4))
+        with pytest.raises(ValueError):
+            driver.submit(BlockRequest("write", 0))  # no data
+        with pytest.raises(ValueError):
+            driver.submit(BlockRequest("fly", 0))
+
+
+class TestTimerAndIrq:
+    def test_tick_callbacks(self):
+        timer = Timer()
+        seen = []
+        timer.on_tick(seen.append)
+        timer.tick(3)
+        assert seen == [1, 2, 3]
+        with pytest.raises(ValueError):
+            timer.tick(-1)
+
+    def test_timer_irq(self):
+        controller = InterruptController()
+        timer = Timer()
+        timer.irq_line = controller.line(0)
+        timer.tick()
+        assert controller.pending() == [0]
+        controller.acknowledge(0)
+        assert controller.pending() == []
+        assert controller.delivered == 1
+
+    def test_masking(self):
+        controller = InterruptController()
+        line = controller.line(3)
+        controller.mask(3)
+        line.raise_irq()
+        assert controller.pending() == []
+        controller.unmask(3)
+        assert controller.pending() == [3]
+
+    def test_bad_irq(self):
+        controller = InterruptController()
+        with pytest.raises(ValueError):
+            controller.line(99)
+        with pytest.raises(ValueError):
+            controller.acknowledge(1)  # not pending
+
+
+class TestSerialAndConsole:
+    def test_line_assembly(self):
+        serial = SerialPort()
+        serial.write("two\nlines\n")
+        assert serial.lines == ["two", "lines"]
+
+    def test_flush_partial(self):
+        serial = SerialPort()
+        serial.write("partial")
+        assert serial.lines == []
+        serial.flush()
+        assert serial.lines == ["partial"]
+
+    def test_bad_byte(self):
+        with pytest.raises(ValueError):
+            SerialPort().write_byte(300)
+
+    def test_console_levels(self):
+        console = Console(SerialPort(), min_level="warn")
+        console.debug("quiet")
+        console.error("loud")
+        assert console.counts["debug"] == 1
+        assert console.counts["error"] == 1
+        assert console.serial.lines == ["<error> loud"]
+        assert console.dmesg() == ["<debug> quiet", "<error> loud"]
+
+    def test_console_ring_bounded(self):
+        console = Console(SerialPort(), ring_size=4)
+        for i in range(10):
+            console.info(f"m{i}")
+        assert len(console.dmesg()) == 4
+        assert console.dmesg()[-1] == "<info> m9"
+
+    def test_unknown_level(self):
+        console = Console(SerialPort())
+        with pytest.raises(ValueError):
+            console.log("fatal", "boom")
+        with pytest.raises(ValueError):
+            Console(SerialPort(), min_level="nope")
+
+
+class TestNicAndNetDriver:
+    def test_ring_bounded_drops(self):
+        nic = Nic(b"\x02" + bytes(5), ring_size=2)
+        assert nic.deliver(b"a")
+        assert nic.deliver(b"b")
+        assert not nic.deliver(b"c")
+        assert nic.stats.rx_dropped_ring_full == 1
+
+    def test_netdriver_counts(self):
+        nic = Nic(b"\x02" + bytes(5))
+        stack = NetStack(ip_addr("10.0.0.1"), nic)
+        driver = NetDriver(nic, stack)
+        sock = stack.udp_bind(99)
+        stack.udp_send(100, ip_addr("10.0.0.1"), 99, b"loop")
+        driver.poll()
+        assert driver.datagrams_dispatched == 1
+        assert list(sock.recv_queue)[0][2] == b"loop"
+
+    def test_bad_nic_params(self):
+        with pytest.raises(ValueError):
+            Nic(b"short")
+        with pytest.raises(ValueError):
+            Nic(b"\x02" + bytes(5), ring_size=0)

@@ -1,0 +1,58 @@
+"""Smoke tests: the example programs run end to end.
+
+The heavyweight examples (the full proof, the KV scalability sweep) have
+their own dedicated tests/benchmarks; here the fast ones are executed the
+way a user would run them."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv)
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "refinement holds" in out
+        assert "stale!" in out
+
+    def test_posix_app(self, capsys):
+        run_example("posix_app.py")
+        out = capsys.readouterr().out
+        assert "workers produced 6 items under the mutex" in out
+        assert "child 2 exited with code 17" in out
+        assert "syscalls handled" in out
+
+    def test_storage_node(self, capsys):
+        run_example("storage_node.py")
+        out = capsys.readouterr().out
+        assert "0 disagreements with the model" in out
+        assert "dropped" in out
+
+    def test_examples_exist_and_documented(self):
+        expected = {
+            "quickstart.py",
+            "storage_node.py",
+            "verified_pagetable_proof.py",
+            "posix_app.py",
+            "nr_kvstore.py",
+        }
+        found = {p.name for p in EXAMPLES.glob("*.py")}
+        assert expected <= found
+        for name in expected:
+            source = (EXAMPLES / name).read_text()
+            assert source.startswith(("#!/usr/bin/env python3", '"""')), name
+            assert '"""' in source  # has a module docstring

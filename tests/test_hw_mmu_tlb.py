@@ -1,0 +1,153 @@
+"""Tests for the hardware walker and TLB, including staleness semantics."""
+
+import pytest
+
+from repro.core.pt.defs import Flags, PageSize
+from repro.core.pt.impl import PageTable, SimpleFrameAllocator
+from repro.hw.mem import PhysicalMemory
+from repro.hw.mmu import AccessType, Mmu, TranslationFault
+from repro.hw.tlb import Tlb
+
+MB = 1024 * 1024
+
+
+def setup():
+    mem = PhysicalMemory(8 * MB)
+    alloc = SimpleFrameAllocator(mem)
+    pt = PageTable(mem, alloc)
+    mmu = Mmu(mem)
+    return mem, pt, mmu
+
+
+class TestWalk:
+    def test_walk_agrees_with_impl(self):
+        _, pt, mmu = setup()
+        pt.map_frame(0x40_0000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        t = mmu.walk(pt.root_paddr, 0x40_0123 & ~7)
+        assert t.paddr == 0x10_0000 + (0x123 & ~7)
+        assert t.page_size is PageSize.SIZE_4K
+        assert t.flags.user and t.flags.writable
+
+    def test_walk_huge_page(self):
+        _, pt, mmu = setup()
+        pt.map_frame(0x20_0000, 0x40_0000, PageSize.SIZE_2M, Flags.kernel_rw())
+        t = mmu.walk(pt.root_paddr, 0x20_0000 + 0x1_2340)
+        assert t.paddr == 0x40_0000 + 0x1_2340
+        assert t.page_size is PageSize.SIZE_2M
+        assert t.frame_paddr == 0x40_0000
+
+    def test_walk_unmapped_faults(self):
+        _, pt, mmu = setup()
+        with pytest.raises(TranslationFault, match="not present"):
+            mmu.walk(pt.root_paddr, 0x9999_9000)
+
+    def test_walk_non_canonical(self):
+        _, pt, mmu = setup()
+        with pytest.raises(TranslationFault, match="canonical"):
+            mmu.walk(pt.root_paddr, 1 << 50)
+
+    def test_walk_counts(self):
+        _, pt, mmu = setup()
+        pt.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags())
+        before = mmu.walks
+        mmu.walk(pt.root_paddr, 0x1000)
+        assert mmu.walks == before + 1
+
+
+class TestPermissions:
+    def test_write_to_readonly_faults(self):
+        _, pt, mmu = setup()
+        pt.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K,
+                     Flags(writable=False, user=True))
+        with pytest.raises(TranslationFault, match="read-only"):
+            mmu.translate(pt.root_paddr, 0x1000, AccessType.WRITE)
+
+    def test_user_access_to_kernel_page(self):
+        _, pt, mmu = setup()
+        pt.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.kernel_rw())
+        with pytest.raises(TranslationFault, match="supervisor"):
+            mmu.translate(pt.root_paddr, 0x1000, AccessType.READ,
+                          user_mode=True)
+        # kernel-mode access is fine
+        mmu.translate(pt.root_paddr, 0x1000, AccessType.READ)
+
+    def test_nx_faults_on_execute(self):
+        _, pt, mmu = setup()
+        pt.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K,
+                     Flags(writable=True, user=True, executable=False))
+        with pytest.raises(TranslationFault, match="NX"):
+            mmu.translate(pt.root_paddr, 0x1000, AccessType.EXECUTE,
+                          user_mode=True)
+
+    def test_load_store_through_mmu(self):
+        mem, pt, mmu = setup()
+        pt.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        mmu.store_u64(pt.root_paddr, 0x1008, 0xFEED, user_mode=True)
+        assert mmu.load_u64(pt.root_paddr, 0x1008, user_mode=True) == 0xFEED
+        assert mem.load_u64(0x10_0008) == 0xFEED
+
+
+class TestTlb:
+    def test_hit_after_insert(self):
+        _, pt, mmu = setup()
+        pt.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        tlb = Tlb()
+        assert tlb.lookup(0x1000) is None
+        t = mmu.walk(pt.root_paddr, 0x1000)
+        tlb.insert(t)
+        hit = tlb.lookup(0x1FF8)  # same page
+        assert hit is not None and hit.paddr == t.paddr
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_huge_page_hit(self):
+        _, pt, mmu = setup()
+        pt.map_frame(0x20_0000, 0x40_0000, PageSize.SIZE_2M, Flags())
+        tlb = Tlb()
+        tlb.insert(mmu.walk(pt.root_paddr, 0x20_0000))
+        assert tlb.lookup(0x20_0000 + 0x10_0000) is not None
+
+    def test_staleness_observable_without_invalidation(self):
+        """The property that forces TLB shootdown: after unmap, a TLB that
+        was not invalidated still returns the dead translation."""
+        _, pt, mmu = setup()
+        pt.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        tlb = Tlb()
+        tlb.insert(mmu.walk(pt.root_paddr, 0x1000))
+        pt.unmap(0x1000)
+        stale = tlb.lookup(0x1000)
+        assert stale is not None  # stale!
+        with pytest.raises(TranslationFault):
+            mmu.walk(pt.root_paddr, 0x1000)
+
+    def test_invalidate_page(self):
+        _, pt, mmu = setup()
+        pt.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags())
+        tlb = Tlb()
+        tlb.insert(mmu.walk(pt.root_paddr, 0x1000))
+        tlb.invalidate_page(0x1000)
+        assert tlb.lookup(0x1000) is None
+
+    def test_flush(self):
+        _, pt, mmu = setup()
+        tlb = Tlb()
+        for i in range(4):
+            pt.map_frame(0x1000 * (i + 1), 0x10_0000 + 0x1000 * i,
+                         PageSize.SIZE_4K, Flags())
+            tlb.insert(mmu.walk(pt.root_paddr, 0x1000 * (i + 1)))
+        assert len(tlb) == 4
+        tlb.flush()
+        assert len(tlb) == 0
+
+    def test_lru_eviction(self):
+        _, pt, mmu = setup()
+        tlb = Tlb(capacity=2)
+        for i in range(3):
+            pt.map_frame(0x1000 * (i + 1), 0x10_0000 + 0x1000 * i,
+                         PageSize.SIZE_4K, Flags())
+            tlb.insert(mmu.walk(pt.root_paddr, 0x1000 * (i + 1)))
+        assert len(tlb) == 2
+        assert tlb.lookup(0x1000) is None  # oldest evicted
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tlb(capacity=0)

@@ -1,0 +1,169 @@
+"""Cross-machine tests: UDP and RDP syscalls over a simulated cluster."""
+
+import pytest
+
+from repro.nros.cluster import Cluster
+from repro.nros.kernel import Kernel
+from repro.nros.net.ip import ip_addr
+from repro.nros.syscall.abi import SyscallError, sys
+
+IP_A = ip_addr("10.0.0.1")
+IP_B = ip_addr("10.0.0.2")
+
+
+def make_cluster(drop_rate=0.0, seed=0):
+    cluster = Cluster()
+    a = cluster.add(Kernel(ip=IP_A, hostname="alpha"))
+    b = cluster.add(Kernel(ip=IP_B, hostname="beta"))
+    cluster.connect(a, b, drop_rate=drop_rate, seed=seed)
+    return cluster, a, b
+
+
+class TestUdpSyscalls:
+    def test_udp_ping_pong(self):
+        results = {}
+
+        def server():
+            sid = yield sys("socket")
+            yield sys("bind", sid, 53)
+            src_ip, src_port, payload = yield sys("recvfrom", sid)
+            yield sys("sendto", sid, src_ip, src_port, b"pong:" + payload)
+
+        def client():
+            sid = yield sys("socket")
+            yield sys("bind", sid, 9999)
+            # UDP has no handshake: give the server time to bind, since a
+            # datagram to an unbound port is (correctly) dropped
+            yield sys("sleep", 3)
+            yield sys("sendto", sid, IP_B, 53, b"ping")
+            _, _, payload = yield sys("recvfrom", sid)
+            results["reply"] = payload
+
+        cluster, a, b = make_cluster()
+        b.register_program("server", server)
+        a.register_program("client", client)
+        b.spawn("server")
+        a.spawn("client")
+        cluster.run()
+        assert results["reply"] == b"pong:ping"
+
+    def test_loopback_udp(self):
+        results = {}
+
+        def both():
+            server = yield sys("socket")
+            yield sys("bind", server, 100)
+            client = yield sys("socket")
+            yield sys("bind", client, 101)
+            yield sys("sendto", client, IP_A, 100, b"local")
+            _, src_port, payload = yield sys("recvfrom", server)
+            results["got"] = (src_port, payload)
+
+        kernel = Kernel(ip=IP_A)
+        kernel.register_program("both", both)
+        kernel.spawn("both")
+        kernel.run()
+        assert results["got"] == (101, b"local")
+
+    def test_socket_errors(self):
+        errors = []
+
+        def prog():
+            try:
+                yield sys("recvfrom", 999)
+            except SyscallError as exc:
+                errors.append(exc.errno)
+            sid = yield sys("socket")
+            yield sys("bind", sid, 80)
+            other = yield sys("socket")
+            try:
+                yield sys("bind", other, 80)  # port already bound
+            except SyscallError as exc:
+                errors.append(exc.errno)
+
+        from repro.nros.syscall.abi import EINVAL
+        kernel = Kernel(ip=IP_A)
+        kernel.register_program("p", prog)
+        kernel.spawn("p")
+        kernel.run()
+        assert errors == [EINVAL, EINVAL]
+
+    def test_no_network_enosys(self):
+        errors = []
+
+        def prog():
+            try:
+                yield sys("socket")
+            except SyscallError as exc:
+                errors.append(exc.errno)
+
+        from repro.nros.syscall.abi import ENOSYS
+        kernel = Kernel()  # no ip
+        kernel.register_program("p", prog)
+        kernel.spawn("p")
+        kernel.run()
+        assert errors == [ENOSYS]
+
+
+class TestRdpSyscalls:
+    def _run_rdp(self, drop_rate=0.0, seed=0, n_messages=3):
+        received = []
+        replies = []
+
+        def server():
+            listener = yield sys("rdp_listen", 7000)
+            conn = yield sys("rdp_accept", listener)
+            for _ in range(n_messages):
+                message = yield sys("rdp_recv", conn)
+                received.append(message)
+                yield sys("rdp_send", conn, b"ack:" + message)
+
+        def client():
+            conn = yield sys("rdp_connect", IP_B, 7000)
+            for i in range(n_messages):
+                yield sys("rdp_send", conn, f"msg{i}".encode())
+                reply = yield sys("rdp_recv", conn)
+                replies.append(reply)
+            yield sys("rdp_close", conn)
+
+        cluster, a, b = make_cluster(drop_rate=drop_rate, seed=seed)
+        b.register_program("server", server)
+        a.register_program("client", client)
+        b.spawn("server")
+        a.spawn("client")
+        cluster.run()
+        return received, replies
+
+    def test_rdp_request_response(self):
+        received, replies = self._run_rdp()
+        assert received == [b"msg0", b"msg1", b"msg2"]
+        assert replies == [b"ack:msg0", b"ack:msg1", b"ack:msg2"]
+
+    def test_rdp_over_lossy_link(self):
+        received, replies = self._run_rdp(drop_rate=0.25, seed=5)
+        assert received == [b"msg0", b"msg1", b"msg2"]
+        assert replies == [b"ack:msg0", b"ack:msg1", b"ack:msg2"]
+
+    def test_rdp_two_clients(self):
+        outcomes = {}
+
+        def server():
+            listener = yield sys("rdp_listen", 7000)
+            for _ in range(2):
+                conn = yield sys("rdp_accept", listener)
+                message = yield sys("rdp_recv", conn)
+                yield sys("rdp_send", conn, b"hello " + message)
+
+        def client(tag):
+            conn = yield sys("rdp_connect", IP_B, 7000)
+            yield sys("rdp_send", conn, tag.encode())
+            outcomes[tag] = yield sys("rdp_recv", conn)
+
+        cluster, a, b = make_cluster()
+        b.register_program("server", server)
+        a.register_program("client", client)
+        b.spawn("server")
+        a.spawn("client", ("one",))
+        a.spawn("client", ("two",))
+        cluster.run()
+        assert outcomes == {"one": b"hello one", "two": b"hello two"}

@@ -1,0 +1,144 @@
+"""File-backed memory mapping tests (mmap_file / msync)."""
+
+import pytest
+
+from repro.nros.fs.fd import O_CREAT, O_RDWR
+from repro.nros.kernel import Kernel
+from repro.nros.syscall.abi import EFAULT, EISDIR, ENOENT, SyscallError, sys
+
+
+def run(prog):
+    kernel = Kernel()
+    kernel.register_program("p", prog)
+    kernel.spawn("p")
+    kernel.run()
+    return kernel
+
+
+class TestMmap:
+    def test_mmap_reads_file_contents(self):
+        results = {}
+
+        def prog():
+            fd = yield sys("open", "/data", O_CREAT | O_RDWR)
+            yield sys("write", fd, b"ABCDEFGH" + b"z" * 100)
+            yield sys("close", fd)
+            vaddr, length = yield sys("mmap_file", "/data")
+            results["length"] = length
+            results["word"] = yield sys("peek", vaddr)
+
+        run(prog)
+        assert results["length"] == 108
+        assert results["word"] == int.from_bytes(b"ABCDEFGH", "little")
+
+    def test_mmap_multi_page(self):
+        results = {}
+
+        def prog():
+            fd = yield sys("open", "/big", O_CREAT | O_RDWR)
+            yield sys("seek", fd, 5000)
+            yield sys("write", fd, b"PAGE2WRD")
+            yield sys("close", fd)
+            vaddr, length = yield sys("mmap_file", "/big")
+            results["length"] = length
+            # word lives on the second page
+            results["word"] = yield sys("peek", vaddr + 5000)
+            # the hole reads as zeros
+            results["hole"] = yield sys("peek", vaddr + 8)
+
+        run(prog)
+        assert results["length"] == 5008
+        assert results["word"] == int.from_bytes(b"PAGE2WRD", "little")
+        assert results["hole"] == 0
+
+    def test_readonly_mapping_rejects_writes(self):
+        errors = []
+
+        def prog():
+            fd = yield sys("open", "/ro", O_CREAT | O_RDWR)
+            yield sys("write", fd, b"data")
+            yield sys("close", fd)
+            vaddr, _ = yield sys("mmap_file", "/ro")
+            try:
+                yield sys("poke", vaddr, 1)
+            except SyscallError as exc:
+                errors.append(exc.errno)
+
+        run(prog)
+        assert errors == [EFAULT]
+
+    def test_writable_mapping_and_msync(self):
+        results = {}
+
+        def prog():
+            fd = yield sys("open", "/rw", O_CREAT | O_RDWR)
+            yield sys("write", fd, b"original")
+            yield sys("close", fd)
+            vaddr, length = yield sys("mmap_file", "/rw", True)
+            yield sys("poke", vaddr, int.from_bytes(b"MODIFIED", "little"))
+            yield sys("msync", "/rw", vaddr, length)
+            fd = yield sys("open", "/rw", O_RDWR)
+            results["after"] = yield sys("read", fd, 100)
+
+        run(prog)
+        assert results["after"] == b"MODIFIED"
+
+    def test_mapping_is_a_snapshot(self):
+        """Without msync, later file writes do not appear in the mapping
+        (and vice versa) — our mmap is copy-based, documented as such."""
+        results = {}
+
+        def prog():
+            fd = yield sys("open", "/snap", O_CREAT | O_RDWR)
+            yield sys("write", fd, b"AAAAAAAA")
+            yield sys("seek", fd, 0)
+            vaddr, _ = yield sys("mmap_file", "/snap")
+            yield sys("write", fd, b"BBBBBBBB")
+            results["mapped"] = yield sys("peek", vaddr)
+
+        run(prog)
+        assert results["mapped"] == int.from_bytes(b"AAAAAAAA", "little")
+
+    def test_mmap_missing_file(self):
+        errors = []
+
+        def prog():
+            try:
+                yield sys("mmap_file", "/ghost")
+            except SyscallError as exc:
+                errors.append(exc.errno)
+
+        run(prog)
+        assert errors == [ENOENT]
+
+    def test_mmap_directory_rejected(self):
+        errors = []
+
+        def prog():
+            yield sys("mkdir", "/d")
+            try:
+                yield sys("mmap_file", "/d")
+            except SyscallError as exc:
+                errors.append(exc.errno)
+
+        run(prog)
+        assert errors == [EISDIR]
+
+    def test_unmap_mapped_file_pages(self):
+        results = {}
+
+        def prog():
+            fd = yield sys("open", "/f", O_CREAT | O_RDWR)
+            yield sys("write", fd, b"x")
+            yield sys("close", fd)
+            vaddr, _ = yield sys("mmap_file", "/f")
+            yield sys("vm_unmap", vaddr)
+            try:
+                yield sys("peek", vaddr)
+            except SyscallError as exc:
+                results["errno"] = exc.errno
+
+        kernel = run(prog)
+        assert results["errno"] == EFAULT
+        # the frame went back to the allocator
+        assert kernel.frames.check_integrity() is None

@@ -1,0 +1,333 @@
+"""Network stack tests: framing, checksums, UDP, RDP over lossy links."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.devices.nic import Nic
+from repro.nros.net.eth import BROADCAST, EthFrame, FrameError
+from repro.nros.net.ip import (
+    Ipv4Packet,
+    PacketError,
+    checksum16,
+    ip_addr,
+    ip_str,
+)
+from repro.nros.net.link import Hub, Link
+from repro.nros.net.rdp import RdpSegment, RdpError, TYPE_DATA
+from repro.nros.net.stack import NetError, NetStack
+from repro.nros.net.udp import DatagramError, UdpDatagram
+
+MAC_A = bytes.fromhex("020000000001")
+MAC_B = bytes.fromhex("020000000002")
+IP_A = ip_addr("10.0.0.1")
+IP_B = ip_addr("10.0.0.2")
+
+
+def make_pair(drop_rate=0.0, seed=0):
+    nic_a, nic_b = Nic(MAC_A), Nic(MAC_B)
+    stack_a, stack_b = NetStack(IP_A, nic_a), NetStack(IP_B, nic_b)
+    stack_a.add_neighbour(IP_B, MAC_B)
+    stack_b.add_neighbour(IP_A, MAC_A)
+    link = Link(nic_a, nic_b, drop_rate=drop_rate, seed=seed)
+    return stack_a, stack_b, link
+
+
+def pump(link, *stacks, rounds=1):
+    for _ in range(rounds):
+        link.pump()
+        for stack in stacks:
+            stack.poll()
+
+
+class TestEth:
+    def test_roundtrip(self):
+        frame = EthFrame(MAC_A, MAC_B, 0x0800, b"payload")
+        assert EthFrame.decode(frame.encode()) == frame
+
+    def test_short_frame(self):
+        with pytest.raises(FrameError):
+            EthFrame.decode(b"short")
+
+    def test_bad_mac(self):
+        with pytest.raises(FrameError):
+            EthFrame(b"xx", MAC_B, 0x0800, b"")
+
+
+class TestIp:
+    def test_roundtrip(self):
+        packet = Ipv4Packet(src=IP_A, dst=IP_B, proto=17, payload=b"hi")
+        decoded = Ipv4Packet.decode(packet.encode())
+        assert decoded == packet
+
+    def test_checksum_detects_corruption(self):
+        data = bytearray(Ipv4Packet(IP_A, IP_B, 17, b"hi").encode())
+        data[12] ^= 0xFF  # flip src address bits
+        with pytest.raises(PacketError, match="checksum"):
+            Ipv4Packet.decode(bytes(data))
+
+    def test_checksum16_known_value(self):
+        # RFC 1071 example bytes
+        assert checksum16(bytes.fromhex("00010203")) == ~((0x0001 + 0x0203)) & 0xFFFF
+
+    def test_ip_str_addr_roundtrip(self):
+        assert ip_str(ip_addr("192.168.1.200")) == "192.168.1.200"
+        with pytest.raises(ValueError):
+            ip_addr("300.0.0.1")
+        with pytest.raises(ValueError):
+            ip_addr("1.2.3")
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, payload):
+        packet = Ipv4Packet(IP_A, IP_B, 17, payload)
+        assert Ipv4Packet.decode(packet.encode()).payload == payload
+
+
+class TestUdp:
+    def test_roundtrip(self):
+        d = UdpDatagram(1234, 80, b"data")
+        assert UdpDatagram.decode(d.encode(IP_A, IP_B), IP_A, IP_B) == d
+
+    def test_checksum_includes_pseudo_header(self):
+        encoded = UdpDatagram(1, 2, b"x").encode(IP_A, IP_B)
+        # decoding with different addresses must fail the checksum
+        with pytest.raises(DatagramError):
+            UdpDatagram.decode(encoded, IP_A, IP_A)
+
+    def test_truncated(self):
+        with pytest.raises(DatagramError):
+            UdpDatagram.decode(b"\x00\x01", IP_A, IP_B)
+
+
+class TestUdpSockets:
+    def test_send_recv(self):
+        a, b, link = make_pair()
+        sock = b.udp_bind(7777)
+        a.udp_send(5555, IP_B, 7777, b"ping")
+        pump(link, a, b)
+        assert list(sock.recv_queue) == [(IP_A, 5555, b"ping")]
+
+    def test_unbound_port_drops(self):
+        a, b, link = make_pair()
+        a.udp_send(5555, IP_B, 9999, b"nobody")
+        pump(link, a, b)  # no exception, no crash
+
+    def test_double_bind(self):
+        a, _, _ = make_pair()[0], None, None
+        a.udp_bind(80)
+        with pytest.raises(NetError):
+            a.udp_bind(80)
+
+    def test_unknown_destination_triggers_arp(self):
+        a, _, _ = make_pair()
+        a.udp_send(1, ip_addr("10.9.9.9"), 2, b"x")
+        # datagram queued pending resolution, ARP request broadcast
+        assert a.stats_arp_requests == 1
+        assert ip_addr("10.9.9.9") in a._arp_pending
+
+
+class TestArp:
+    def _unseeded_pair(self):
+        """Two stacks that only know themselves (no static neighbours)."""
+        nic_a, nic_b = Nic(MAC_A), Nic(MAC_B)
+        a, b = NetStack(IP_A, nic_a), NetStack(IP_B, nic_b)
+        link = Link(nic_a, nic_b)
+        return a, b, link
+
+    def test_packet_roundtrip(self):
+        from repro.nros.net.arp import ArpPacket, request, reply
+
+        req = request(MAC_A, IP_A, IP_B)
+        assert ArpPacket.decode(req.encode()) == req
+        rep = reply(MAC_B, IP_B, MAC_A, IP_A)
+        assert ArpPacket.decode(rep.encode()) == rep
+
+    def test_decode_errors(self):
+        from repro.nros.net.arp import ArpError, ArpPacket
+
+        with pytest.raises(ArpError):
+            ArpPacket.decode(b"short")
+        bad_op = bytearray(
+            __import__("repro.nros.net.arp", fromlist=["request"])
+            .request(MAC_A, IP_A, IP_B).encode()
+        )
+        bad_op[7] = 9
+        with pytest.raises(ArpError):
+            ArpPacket.decode(bytes(bad_op))
+
+    def test_resolution_delivers_queued_datagram(self):
+        a, b, link = self._unseeded_pair()
+        sock = b.udp_bind(53)
+        a.udp_send(1000, IP_B, 53, b"resolved!")
+        assert IP_B in a._arp_pending
+        pump(link, a, b, rounds=3)
+        # request reached b, reply reached a, datagram flushed and arrived
+        assert list(sock.recv_queue) == [(IP_A, 1000, b"resolved!")]
+        assert a.neighbours[IP_B] == MAC_B
+        assert b.neighbours[IP_A] == MAC_A  # learned from the request
+        assert IP_B not in a._arp_pending
+
+    def test_multiple_queued_datagrams_flush_in_order(self):
+        a, b, link = self._unseeded_pair()
+        sock = b.udp_bind(53)
+        for i in range(3):
+            a.udp_send(1000, IP_B, 53, f"m{i}".encode())
+        pump(link, a, b, rounds=3)
+        assert [payload for _, _, payload in sock.recv_queue] == \
+            [b"m0", b"m1", b"m2"]
+
+    def test_pending_queue_bounded(self):
+        a, _, _ = self._unseeded_pair()
+        for i in range(40):
+            a.udp_send(1, ip_addr("10.9.9.9"), 2, bytes([i]))
+        assert len(a._arp_pending[ip_addr("10.9.9.9")]) == 16
+
+    def test_rdp_over_arp_resolution(self):
+        """A full RDP session where neither side was preconfigured."""
+        a, b, link = self._unseeded_pair()
+        listener = b.rdp_listen(9000)
+        conn = a.rdp_connect(IP_B, 9000)
+        conn.queue_send(b"payload")
+        server = None
+        got = None
+        for _ in range(200):
+            a.tick()
+            b.tick()
+            pump(link, a, b, rounds=2)
+            if server is None and listener.pending:
+                server = listener.pending.popleft()
+            if server is not None and server.recv_queue:
+                got = server.recv_queue.popleft()
+                break
+        assert got == b"payload"
+
+
+class TestRdpSegments:
+    def test_roundtrip(self):
+        seg = RdpSegment(TYPE_DATA, 7, 3, 0, b"hello")
+        assert RdpSegment.decode(seg.encode()) == seg
+
+    def test_bad_type(self):
+        with pytest.raises(RdpError):
+            RdpSegment.decode(bytes([99]) + bytes(12))
+
+
+def rdp_session(drop_rate=0.0, seed=1, messages=("alpha", "beta", "gamma")):
+    a, b, link = make_pair(drop_rate=drop_rate, seed=seed)
+    listener = b.rdp_listen(9000)
+    conn = a.rdp_connect(IP_B, 9000)
+    server_conn = None
+    received = []
+    for payload in messages:
+        conn.queue_send(payload.encode())
+    for _ in range(600):
+        a.tick()
+        b.tick()
+        pump(link, a, b, rounds=2)
+        if server_conn is None and listener.pending:
+            server_conn = listener.pending.popleft()
+        if server_conn is not None:
+            while server_conn.recv_queue:
+                received.append(server_conn.recv_queue.popleft().decode())
+        if len(received) == len(messages):
+            break
+    return a, b, conn, server_conn, received
+
+
+class TestRdp:
+    def test_reliable_delivery_clean_link(self):
+        _, _, conn, server_conn, received = rdp_session()
+        assert received == ["alpha", "beta", "gamma"]
+        assert conn.state == "established"
+        assert server_conn is not None
+
+    def test_reliable_delivery_lossy_link(self):
+        # 30% drop: handshake and data must still arrive, in order,
+        # exactly once
+        _, _, conn, _, received = rdp_session(drop_rate=0.3, seed=7)
+        assert received == ["alpha", "beta", "gamma"]
+        assert conn.retransmissions > 0
+
+    def test_very_lossy_link(self):
+        _, _, _, _, received = rdp_session(drop_rate=0.5, seed=13)
+        assert received == ["alpha", "beta", "gamma"]
+
+    def test_no_duplicates_under_ack_loss(self):
+        msgs = [f"m{i}" for i in range(8)]
+        _, _, _, _, received = rdp_session(drop_rate=0.35, seed=21,
+                                           messages=msgs)
+        assert received == msgs  # exactly once, in order
+
+    def test_bidirectional(self):
+        a, b, link = make_pair()
+        listener = b.rdp_listen(9000)
+        client = a.rdp_connect(IP_B, 9000)
+        client.queue_send(b"request")
+        server = None
+        reply = None
+        for _ in range(100):
+            a.tick()
+            b.tick()
+            pump(link, a, b, rounds=2)
+            if server is None and listener.pending:
+                server = listener.pending.popleft()
+            if server is not None and server.recv_queue:
+                server.recv_queue.popleft()
+                b.rdp_send(server, b"response")
+            got = a.rdp_recv(client)
+            if got is not None:
+                reply = got
+                break
+        assert reply == b"response"
+
+    def test_close_sends_fin(self):
+        a, b, link = make_pair()
+        b.rdp_listen(9000)
+        conn = a.rdp_connect(IP_B, 9000)
+        for _ in range(20):
+            a.tick(); b.tick(); pump(link, a, b, rounds=2)
+            if conn.state == "established":
+                break
+        a.rdp_close(conn)
+        assert conn.state == "closed"
+        with pytest.raises(RdpError):
+            conn.queue_send(b"late")
+
+
+class TestHub:
+    def test_three_hosts(self):
+        macs = [bytes([2, 0, 0, 0, 0, i]) for i in (1, 2, 3)]
+        nics = [Nic(m) for m in macs]
+        ips = [ip_addr(f"10.0.0.{i}") for i in (1, 2, 3)]
+        stacks = [NetStack(ip, nic) for ip, nic in zip(ips, nics)]
+        for stack in stacks:
+            for ip, mac in zip(ips, macs):
+                stack.add_neighbour(ip, mac)
+        hub = Hub(nics)
+        sock = stacks[2].udp_bind(53)
+        stacks[0].udp_send(1000, ips[2], 53, b"query")
+        hub.pump()
+        for stack in stacks:
+            stack.poll()
+        assert list(sock.recv_queue) == [(ips[0], 1000, b"query")]
+
+    def test_mac_filtering(self):
+        macs = [bytes([2, 0, 0, 0, 0, i]) for i in (1, 2, 3)]
+        nics = [Nic(m) for m in macs]
+        hub = Hub(nics)
+        frame = EthFrame(macs[1], macs[0], 0x0800, b"direct").encode()
+        nics[0].transmit(frame)
+        hub.pump()
+        assert nics[1].receive() == frame
+        assert nics[2].receive() is None
+
+    def test_broadcast(self):
+        macs = [bytes([2, 0, 0, 0, 0, i]) for i in (1, 2, 3)]
+        nics = [Nic(m) for m in macs]
+        hub = Hub(nics)
+        frame = EthFrame(BROADCAST, macs[0], 0x0800, b"all").encode()
+        nics[0].transmit(frame)
+        hub.pump()
+        assert nics[1].receive() == frame
+        assert nics[2].receive() == frame

@@ -1,0 +1,179 @@
+"""Pipe tests: unit-level Pipe semantics and cross-process IPC."""
+
+import pytest
+
+from repro.nros.kernel import Kernel
+from repro.nros.proc.pipe import Pipe, PipeClosed, PipeTable
+from repro.nros.syscall.abi import EPIPE, SyscallError, sys
+
+
+class TestPipeUnit:
+    def test_write_then_read(self):
+        pipe = Pipe(pipe_id=1)
+        assert pipe.try_write(b"hello") == 5
+        assert pipe.try_read(3) == b"hel"
+        assert pipe.try_read(10) == b"lo"
+        assert pipe.try_read(10) is None  # empty, writer open: would block
+
+    def test_eof_after_write_close(self):
+        pipe = Pipe(pipe_id=1)
+        pipe.try_write(b"tail")
+        pipe.close("w")
+        assert pipe.try_read(10) == b"tail"
+        assert pipe.try_read(10) == b""  # EOF
+
+    def test_epipe_after_read_close(self):
+        pipe = Pipe(pipe_id=1)
+        pipe.close("r")
+        with pytest.raises(PipeClosed):
+            pipe.try_write(b"x")
+
+    def test_capacity_blocks(self):
+        pipe = Pipe(pipe_id=1, capacity=4)
+        assert pipe.try_write(b"abcdef") == 4  # partial write
+        assert pipe.try_write(b"zz") is None   # full: would block
+        pipe.try_read(2)
+        assert pipe.try_write(b"zz") == 2
+
+    def test_bad_end(self):
+        with pytest.raises(ValueError):
+            Pipe(pipe_id=1).close("x")
+
+    def test_table_reap(self):
+        table = PipeTable()
+        pipe = table.create()
+        assert table.get(pipe.pipe_id) is pipe
+        pipe.close("r")
+        assert table.reap() == 0  # write end still open
+        pipe.close("w")
+        assert table.reap() == 1
+        assert table.get(pipe.pipe_id) is None
+
+
+class TestPipeSyscalls:
+    def test_producer_consumer_processes(self):
+        received = []
+
+        def producer(pipe_id):
+            for i in range(5):
+                yield sys("pipe_write", pipe_id, f"msg{i};".encode())
+            yield sys("pipe_close", pipe_id, "w")
+
+        def consumer(pipe_id):
+            while True:
+                chunk = yield sys("pipe_read", pipe_id, 64)
+                if chunk == b"":
+                    break
+                received.append(chunk)
+
+        def main():
+            pipe_id = yield sys("pipe")
+            yield sys("spawn", "producer", (pipe_id,))
+            yield sys("spawn", "consumer", (pipe_id,))
+            yield sys("wait", -1)
+            yield sys("wait", -1)
+
+        kernel = Kernel(num_cores=2)
+        kernel.register_program("producer", producer)
+        kernel.register_program("consumer", consumer)
+        kernel.register_program("main", main)
+        kernel.spawn("main")
+        kernel.run()
+        assert b"".join(received) == b"msg0;msg1;msg2;msg3;msg4;"
+
+    def test_backpressure(self):
+        """A tiny pipe forces the writer to block until the reader
+        drains — bytes still arrive intact and in order."""
+        received = []
+
+        def producer(pipe_id):
+            payload = bytes(range(256)) * 2  # 512 bytes through a 64B pipe
+            offset = 0
+            while offset < len(payload):
+                written = yield sys("pipe_write", pipe_id,
+                                    payload[offset : offset + 64])
+                offset += written
+            yield sys("pipe_close", pipe_id, "w")
+
+        def consumer(pipe_id):
+            while True:
+                chunk = yield sys("pipe_read", pipe_id, 16)
+                if chunk == b"":
+                    break
+                received.append(chunk)
+
+        def main():
+            pipe_id = yield sys("pipe", 64)
+            yield sys("spawn", "producer", (pipe_id,))
+            yield sys("spawn", "consumer", (pipe_id,))
+            yield sys("wait", -1)
+            yield sys("wait", -1)
+
+        kernel = Kernel(num_cores=2)
+        kernel.register_program("producer", producer)
+        kernel.register_program("consumer", consumer)
+        kernel.register_program("main", main)
+        kernel.spawn("main")
+        kernel.run()
+        assert b"".join(received) == bytes(range(256)) * 2
+
+    def test_epipe_syscall(self):
+        errors = []
+
+        def prog():
+            pipe_id = yield sys("pipe")
+            yield sys("pipe_close", pipe_id, "r")
+            try:
+                yield sys("pipe_write", pipe_id, b"into the void")
+            except SyscallError as exc:
+                errors.append(exc.errno)
+
+        kernel = Kernel()
+        kernel.register_program("p", prog)
+        kernel.spawn("p")
+        kernel.run()
+        assert errors == [EPIPE]
+
+    def test_bad_pipe_id(self):
+        errors = []
+
+        def prog():
+            try:
+                yield sys("pipe_read", 777, 1)
+            except SyscallError as exc:
+                errors.append(exc.errno)
+
+        from repro.nros.syscall.abi import EBADF
+        kernel = Kernel()
+        kernel.register_program("p", prog)
+        kernel.spawn("p")
+        kernel.run()
+        assert errors == [EBADF]
+
+
+class TestNrAutoGc:
+    def test_auto_gc_bounds_log(self):
+        from repro.nr.core import NodeReplicated
+        from repro.nr.datastructures import Counter
+
+        nr = NodeReplicated(Counter, num_nodes=1, auto_gc_threshold=8)
+        for _ in range(100):
+            nr.execute(("add", 1))
+        assert nr.auto_gcs > 0
+        assert len(nr.log) <= 9  # bounded around the threshold
+        assert nr.execute_ro("get") == 100  # semantics intact
+
+    def test_auto_gc_respects_lagging_replica(self):
+        from repro.nr.core import NodeReplicated
+        from repro.nr.datastructures import Counter
+
+        nr = NodeReplicated(Counter, num_nodes=2, auto_gc_threshold=4)
+        for _ in range(20):
+            nr.execute(("add", 1), node=0)
+        # replica 1 never applied anything: GC must not collect
+        assert nr.replicas[1].ltail == 0
+        assert nr.log.base == 0
+        # once replica 1 catches up, GC proceeds on the next write
+        assert nr.execute_ro("get", node=1) == 20
+        nr.execute(("add", 1), node=0)
+        assert nr.log.base > 0

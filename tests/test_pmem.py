@@ -1,0 +1,162 @@
+"""Buddy allocator tests, including hypothesis-driven integrity checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pt.defs import PAGE_SIZE
+from repro.hw.mem import PhysicalMemory
+from repro.nros.pmem import BuddyAllocator, OutOfMemory
+
+MB = 1024 * 1024
+
+
+def make(size=4 * MB, start=0):
+    mem = PhysicalMemory(size)
+    return BuddyAllocator(mem, start=start)
+
+
+class TestBasics:
+    def test_alloc_distinct_frames(self):
+        alloc = make()
+        frames = [alloc.alloc_frame() for _ in range(16)]
+        assert len(set(frames)) == 16
+        assert all(f % PAGE_SIZE == 0 for f in frames)
+
+    def test_free_and_reuse(self):
+        alloc = make()
+        frame = alloc.alloc_frame()
+        alloc.free_frame(frame)
+        assert alloc.alloc_frame() == frame
+
+    def test_double_free_rejected(self):
+        alloc = make()
+        frame = alloc.alloc_frame()
+        alloc.free_frame(frame)
+        with pytest.raises(ValueError):
+            alloc.free_frame(frame)
+
+    def test_free_unallocated_rejected(self):
+        alloc = make()
+        with pytest.raises(ValueError):
+            alloc.free_frame(0x1000)
+
+    def test_orders(self):
+        alloc = make()
+        block = alloc.alloc_block(3)  # 8 frames
+        assert block % (PAGE_SIZE << 3) == 0
+        alloc.free_block(block)
+
+    def test_order_out_of_range(self):
+        alloc = make()
+        with pytest.raises(ValueError):
+            alloc.alloc_block(BuddyAllocator.MAX_ORDER + 1)
+        with pytest.raises(ValueError):
+            alloc.alloc_block(-1)
+
+    def test_exhaustion(self):
+        alloc = make(size=8 * PAGE_SIZE)
+        for _ in range(8):
+            alloc.alloc_frame()
+        with pytest.raises(OutOfMemory):
+            alloc.alloc_frame()
+
+    def test_stats(self):
+        alloc = make(size=16 * PAGE_SIZE)
+        assert alloc.stats.total_frames == 16
+        assert alloc.stats.free_frames == 16
+        a = alloc.alloc_block(2)
+        assert alloc.stats.free_frames == 12
+        alloc.free_block(a)
+        assert alloc.stats.free_frames == 16
+
+    def test_range_limits(self):
+        mem = PhysicalMemory(4 * MB)
+        alloc = BuddyAllocator(mem, start=MB, end=2 * MB)
+        assert alloc.stats.total_frames == MB // PAGE_SIZE
+        frame = alloc.alloc_frame()
+        assert MB <= frame < 2 * MB
+
+    def test_misaligned_range_rejected(self):
+        mem = PhysicalMemory(4 * MB)
+        with pytest.raises(ValueError):
+            BuddyAllocator(mem, start=100)
+
+
+class TestCoalescing:
+    def test_split_then_merge(self):
+        alloc = make(size=8 * PAGE_SIZE)
+        frames = [alloc.alloc_frame() for _ in range(8)]
+        for frame in frames:
+            alloc.free_frame(frame)
+        # everything merged back: one block of order 3 (8 frames)
+        free = alloc.free_blocks()
+        assert free == {3: 1}
+        assert alloc.stats.merges > 0
+
+    def test_partial_merge(self):
+        alloc = make(size=4 * PAGE_SIZE)
+        a = alloc.alloc_frame()
+        b = alloc.alloc_frame()
+        c = alloc.alloc_frame()
+        alloc.free_frame(a)
+        alloc.free_frame(c)  # a and c are not buddies of each other
+        free = alloc.free_blocks()
+        assert free.get(0, 0) >= 1
+        alloc.free_frame(b)  # now a+b merge, then with c+d region
+        assert alloc.check_integrity() is None
+
+    def test_integrity_after_mixed_ops(self):
+        alloc = make()
+        blocks = []
+        for order in (0, 1, 2, 0, 3, 1):
+            blocks.append((alloc.alloc_block(order), order))
+        for block, _ in blocks[::2]:
+            alloc.free_block(block)
+        assert alloc.check_integrity() is None
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from(["alloc0", "alloc1", "alloc2", "free"]),
+                    min_size=1, max_size=60))
+    def test_random_alloc_free_integrity(self, ops):
+        alloc = make(size=2 * MB)
+        live = []
+        for op in ops:
+            if op == "free" and live:
+                alloc.free_block(live.pop())
+            elif op.startswith("alloc"):
+                order = int(op[-1])
+                try:
+                    live.append(alloc.alloc_block(order))
+                except OutOfMemory:
+                    pass
+        assert alloc.check_integrity() is None
+        # no two live blocks overlap
+        assert len(live) == len(set(live))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 32))
+    def test_full_drain_restores_initial_state(self, count):
+        alloc = make(size=2 * MB)
+        initial = alloc.free_blocks()
+        frames = [alloc.alloc_frame() for _ in range(count)]
+        for frame in reversed(frames):
+            alloc.free_frame(frame)
+        assert alloc.free_blocks() == initial
+
+
+class TestPageTableIntegration:
+    def test_buddy_backs_page_table(self):
+        from repro.core.pt.defs import Flags, PageSize
+        from repro.core.pt.impl import PageTable
+
+        mem = PhysicalMemory(8 * MB)
+        alloc = BuddyAllocator(mem)
+        pt = PageTable(mem, alloc)
+        pt.map_frame(0x40_0000, alloc.alloc_frame(), PageSize.SIZE_4K,
+                     Flags.user_rw())
+        assert pt.resolve(0x40_0000) is not None
+        pt.destroy()
+        assert alloc.check_integrity() is None

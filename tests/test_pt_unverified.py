@@ -1,0 +1,141 @@
+"""Differential testing: unverified vs verified page tables.
+
+The unverified baseline must behave identically (same successes, failures,
+and resolved mappings) up to its documented difference: it never frees
+empty intermediate tables."""
+
+import random
+
+import pytest
+
+from repro.core.pt.defs import Flags, PageSize
+from repro.core.pt.impl import (
+    AlreadyMapped,
+    BadRequest,
+    NotMapped,
+    PageTable,
+    PtError,
+    SimpleFrameAllocator,
+)
+from repro.hw.mem import PhysicalMemory
+from repro.hw.mmu import Mmu
+from repro.nros.pt_unverified import UnverifiedPageTable
+
+MB = 1024 * 1024
+
+
+def make_both():
+    mem_v = PhysicalMemory(16 * MB)
+    mem_u = PhysicalMemory(16 * MB)
+    verified = PageTable(mem_v, SimpleFrameAllocator(mem_v, start=8 * MB))
+    unverified = UnverifiedPageTable(
+        mem_u, SimpleFrameAllocator(mem_u, start=8 * MB)
+    )
+    return verified, unverified, mem_v, mem_u
+
+
+class TestBasics:
+    def test_map_resolve(self):
+        pt = make_both()[1]
+        pt.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        m = pt.resolve(0x1000)
+        assert m.paddr == 0x10_0000
+        assert m.flags.user and m.flags.writable
+
+    def test_errors(self):
+        pt = make_both()[1]
+        with pytest.raises(BadRequest):
+            pt.map_frame(0x123, 0x10_0000, PageSize.SIZE_4K, Flags())
+        with pytest.raises(NotMapped):
+            pt.unmap(0x9000)
+        pt.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags())
+        with pytest.raises(AlreadyMapped):
+            pt.map_frame(0x1000, 0x20_0000, PageSize.SIZE_4K, Flags())
+
+    def test_huge_pages(self):
+        pt = make_both()[1]
+        pt.map_frame(0x20_0000, 0x40_0000, PageSize.SIZE_2M, Flags.kernel_rw())
+        m = pt.resolve(0x20_0000 + 0x1234 // 8 * 8)
+        assert m.size is PageSize.SIZE_2M
+
+    def test_mmu_walks_unverified_tree(self):
+        """The hardware walker must agree with the unverified impl too —
+        both encode the same architectural bits."""
+        pt = make_both()[1]
+        pt.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        mmu = Mmu(pt.memory)
+        t = mmu.walk(pt.root_paddr, 0x1008)
+        assert t.paddr == 0x10_0008
+
+
+class TestDifferential:
+    OPS = None
+
+    def _ops(self, rng):
+        vaddrs = [0x1000, 0x2000, 0x40_0000, 1 << 30, 1 << 39]
+        frames = [0x10_0000, 0x20_0000, 0x40_0000, 0x4000_0000]
+        sizes = [PageSize.SIZE_4K, PageSize.SIZE_2M, PageSize.SIZE_1G]
+        ops = []
+        for _ in range(60):
+            if rng.random() < 0.6:
+                size = rng.choice(sizes)
+                va = rng.choice(vaddrs)
+                fr = rng.choice(frames)
+                ops.append(("map", va - va % int(size), fr - fr % int(size),
+                            size))
+            else:
+                ops.append(("unmap", rng.choice(vaddrs)))
+        return ops
+
+    def test_behavioural_equivalence(self):
+        rng = random.Random(42)
+        for trial in range(8):
+            verified, unverified, _, _ = make_both()
+            for op in self._ops(rng):
+                outcomes = []
+                for pt in (verified, unverified):
+                    try:
+                        if op[0] == "map":
+                            _, va, fr, size = op
+                            pt.map_frame(va, fr, size, Flags.user_rw())
+                            outcomes.append(("ok", None))
+                        else:
+                            removed = pt.unmap(op[1])
+                            outcomes.append(
+                                ("ok", (removed.vaddr, removed.paddr,
+                                        removed.size))
+                            )
+                    except PtError as exc:
+                        outcomes.append(("err", type(exc).__name__))
+                assert outcomes[0] == outcomes[1], (trial, op)
+                # resolve agreement on all vocabulary addresses
+                for va in (0x1000, 0x2000, 0x40_0000, 1 << 30, 1 << 39):
+                    a = verified.resolve(va)
+                    b = unverified.resolve(va)
+                    if a is None:
+                        assert b is None
+                    else:
+                        assert b is not None
+                        assert (a.vaddr, a.paddr, a.size) == (
+                            b.vaddr, b.paddr, b.size)
+
+    def test_gc_difference_documented(self):
+        """The one intended divergence: the unverified impl leaks empty
+        intermediate tables; the verified impl frees them."""
+        mem_v = PhysicalMemory(16 * MB)
+        alloc_v = SimpleFrameAllocator(mem_v, start=8 * MB)
+        verified = PageTable(mem_v, alloc_v)
+
+        mem_u = PhysicalMemory(16 * MB)
+        alloc_u = SimpleFrameAllocator(mem_u, start=8 * MB)
+        unverified = UnverifiedPageTable(mem_u, alloc_u)
+
+        verified.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags())
+        unverified.map_frame(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags())
+        v_used = alloc_v.allocated
+        u_used = alloc_u.allocated
+        assert v_used == u_used
+        verified.unmap(0x1000)
+        unverified.unmap(0x1000)
+        assert alloc_v.allocated == v_used - 3   # PDPT+PD+PT freed
+        assert alloc_u.allocated == u_used       # tables retained

@@ -1,0 +1,141 @@
+"""Scheduler unit tests: priorities, aging, affinity, fairness."""
+
+import pytest
+
+from repro.nros.proc.process import BlockReason, Process, Thread, ThreadState
+from repro.nros.sched.scheduler import AGING_THRESHOLD, Scheduler
+
+
+class _FakeProcess:
+    def __init__(self):
+        self.name = "fake"
+        self.pid = 0
+
+
+def make_thread(name=""):
+    def gen():
+        yield
+
+    return Thread(_FakeProcess(), gen(), name=name)
+
+
+class TestBasics:
+    def test_round_robin_same_priority(self):
+        sched = Scheduler(num_cores=1)
+        a, b = make_thread("a"), make_thread("b")
+        sched.ready(a)
+        sched.ready(b)
+        first = sched.next_thread()
+        sched.ready(first)
+        second = sched.next_thread()
+        assert {first.name, second.name} == {"a", "b"}
+        assert first is not second
+
+    def test_empty(self):
+        sched = Scheduler(num_cores=2)
+        assert sched.next_thread() is None
+        assert not sched.has_runnable()
+
+    def test_bad_core_count(self):
+        with pytest.raises(ValueError):
+            Scheduler(num_cores=0)
+
+    def test_affinity_sticks(self):
+        sched = Scheduler(num_cores=4)
+        thread = make_thread()
+        first = sched.assign_core(thread)
+        assert sched.assign_core(thread) == first
+        assert sched.core_of(thread) == first
+
+    def test_least_loaded_placement(self):
+        sched = Scheduler(num_cores=2)
+        threads = [make_thread(str(i)) for i in range(4)]
+        for t in threads:
+            sched.ready(t)
+        cores = {sched.core_of(t) for t in threads}
+        assert cores == {0, 1}  # spread across both cores
+
+    def test_block_wake(self):
+        sched = Scheduler(num_cores=1)
+        thread = make_thread()
+        sched.ready(thread)
+        assert sched.next_thread() is thread
+        sched.block(thread, BlockReason("sleep", 5))
+        assert thread.state is ThreadState.BLOCKED
+        assert sched.blocked_count() == 1
+        sched.wake(thread, ("value", 42))
+        assert thread.state is ThreadState.READY
+        assert thread.pending == ("value", 42)
+        assert sched.blocked_count() == 0
+
+    def test_wake_non_blocked_is_noop(self):
+        sched = Scheduler(num_cores=1)
+        thread = make_thread()
+        sched.ready(thread)
+        sched.wake(thread)  # READY, not BLOCKED
+        assert sched.next_thread() is thread
+        assert sched.next_thread() is None  # not double-queued
+
+
+class TestPriorities:
+    def test_higher_priority_runs_first(self):
+        sched = Scheduler(num_cores=1)
+        low, high = make_thread("low"), make_thread("high")
+        sched.set_priority(low, 2)
+        sched.set_priority(high, 0)
+        sched.ready(low)
+        sched.ready(high)
+        assert sched.next_thread() is high
+
+    def test_priority_validated(self):
+        sched = Scheduler(num_cores=1)
+        with pytest.raises(ValueError):
+            sched.set_priority(make_thread(), 5)
+
+    def test_aging_prevents_starvation(self):
+        sched = Scheduler(num_cores=1)
+        hog = make_thread("hog")
+        starved = make_thread("starved")
+        sched.set_priority(hog, 0)
+        sched.set_priority(starved, 2)
+        sched.ready(hog)
+        sched.ready(starved)
+        for _ in range(3 * AGING_THRESHOLD):
+            thread = sched.next_thread()
+            if thread is starved:
+                break
+            sched.ready(thread)  # the hog keeps running
+        else:
+            raise AssertionError("low-priority thread starved")
+        assert sched.promotions >= 1
+
+    def test_forget_clears_state(self):
+        sched = Scheduler(num_cores=1)
+        thread = make_thread()
+        sched.set_priority(thread, 0)
+        sched.ready(thread)
+        sched.next_thread()
+        sched.forget(thread)
+        assert sched.priority_of(thread) == 1  # back to default
+
+
+class TestSetPrioritySyscall:
+    def test_setpriority_via_kernel(self):
+        from repro.nros.kernel import Kernel
+        from repro.nros.syscall.abi import SyscallError, sys
+
+        errors = []
+
+        def prog():
+            yield sys("setpriority", 0)
+            try:
+                yield sys("setpriority", 9)
+            except SyscallError as exc:
+                errors.append(exc.errno)
+
+        from repro.nros.syscall.abi import EINVAL
+        kernel = Kernel()
+        kernel.register_program("p", prog)
+        kernel.spawn("p")
+        kernel.run()
+        assert errors == [EINVAL]

@@ -1,0 +1,289 @@
+"""Discrete-event simulator tests: kernel, locks, cache lines, stats."""
+
+import pytest
+
+from repro.sim.kernel import (
+    Acquire,
+    Delay,
+    Event,
+    Fire,
+    Release,
+    SimulationError,
+    Simulator,
+    Wait,
+)
+from repro.sim.resources import CacheLine, SimLock
+from repro.sim.stats import LatencyRecorder
+from repro.sim.topology import CostModel, Topology
+
+
+class TestSimulatorCore:
+    def test_delay_advances_time(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            yield Delay(100)
+            trace.append(sim.now)
+            yield Delay(50)
+            trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [100, 150]
+        assert sim.completed == 1
+
+    def test_deterministic_interleaving(self):
+        sim = Simulator()
+        trace = []
+
+        def proc(tag, delay):
+            yield Delay(delay)
+            trace.append((sim.now, tag))
+
+        sim.spawn(proc("a", 30))
+        sim.spawn(proc("b", 10))
+        sim.spawn(proc("c", 30))  # same time as a: spawn order breaks tie
+        sim.run()
+        assert trace == [(10, "b"), (30, "a"), (30, "c")]
+
+    def test_run_until(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            for _ in range(10):
+                yield Delay(100)
+                trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run(until=350)
+        assert trace == [100, 200, 300]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield Delay(-1)
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_unknown_command_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "bogus"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events(self):
+        sim = Simulator()
+        trace = []
+        event = Event("go")
+
+        def waiter(tag):
+            value = yield Wait(event)
+            trace.append((tag, value, sim.now))
+
+        def firer():
+            yield Delay(500)
+            yield Fire(event, "payload")
+
+        sim.spawn(waiter("w1"))
+        sim.spawn(waiter("w2"))
+        sim.spawn(firer())
+        sim.run()
+        assert sorted(trace) == [("w1", "payload", 500),
+                                 ("w2", "payload", 500)]
+
+
+class TestSimLock:
+    def test_mutual_exclusion_fifo(self):
+        sim = Simulator()
+        lock = SimLock("l")
+        trace = []
+
+        def proc(tag, work):
+            yield Acquire(lock)
+            start = sim.now
+            yield Delay(work)
+            trace.append((tag, start, sim.now))
+            yield Release(lock)
+
+        sim.spawn(proc("a", 100))
+        sim.spawn(proc("b", 100))
+        sim.spawn(proc("c", 100))
+        sim.run()
+        # critical sections serialize, FIFO order
+        assert trace == [("a", 0, 100), ("b", 100, 200), ("c", 200, 300)]
+        assert lock.acquisitions == 3
+        assert lock.contended_acquisitions == 2
+
+    def test_release_by_nonholder_rejected(self):
+        sim = Simulator()
+        lock = SimLock()
+
+        def bad():
+            yield Release(lock)
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestTopology:
+    def test_nodes(self):
+        topo = Topology(28, cores_per_node=14)
+        assert topo.num_nodes == 2
+        assert topo.node_of(0) == 0
+        assert topo.node_of(14) == 1
+        assert topo.cores_on_node(1) == list(range(14, 28))
+
+    def test_transfer_costs_ordered(self):
+        topo = Topology(28, cores_per_node=14)
+        local_hit = topo.transfer_cost(3, 3)
+        same_node = topo.transfer_cost(0, 3)
+        cross_node = topo.transfer_cost(0, 20)
+        assert local_hit < same_node < cross_node
+
+    def test_dram_costs(self):
+        topo = Topology(28)
+        assert topo.dram_cost(0, 0) < topo.dram_cost(0, 1)
+
+    def test_bad_core(self):
+        topo = Topology(4)
+        with pytest.raises(ValueError):
+            topo.node_of(4)
+
+
+class TestCacheLine:
+    def test_repeat_access_is_cheap(self):
+        topo = Topology(28)
+        line = CacheLine(topo)
+        first = line.write(0)
+        second = line.write(0)
+        assert second < first
+        assert second == topo.costs.l1_hit
+
+    def test_bouncing_costs_transfer(self):
+        topo = Topology(28)
+        line = CacheLine(topo)
+        line.write(0)
+        cost_same_node = line.write(1)
+        line.write(0)
+        cost_cross_node = line.write(20)
+        assert cost_cross_node > cost_same_node
+        assert line.transfers >= 3
+
+    def test_read_sharing(self):
+        topo = Topology(28)
+        line = CacheLine(topo)
+        line.write(0)
+        assert line.read(5) > topo.costs.l1_hit   # transfer in
+        assert line.read(5) == topo.costs.l1_hit  # now shared
+        # writer must invalidate sharers: pays again
+        assert line.write(0) > topo.costs.l1_hit
+
+    def test_atomic_rmw_overhead(self):
+        topo = Topology(4, cores_per_node=4)
+        line = CacheLine(topo)
+        plain = CacheLine(topo)
+        assert line.atomic_rmw(0) == plain.write(0) + topo.costs.atomic_op
+
+
+class TestLatencyRecorder:
+    def test_stats(self):
+        rec = LatencyRecorder()
+        for v in (1000, 2000, 3000, 4000, 100000):
+            rec.record(v)
+        assert len(rec) == 5
+        assert rec.mean_us == pytest.approx(22.0)
+        assert rec.p50_us == 3.0
+        assert rec.max_us == 100.0
+        assert rec.percentile_ns(0) == 1000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-5)
+
+    def test_percentile_range(self):
+        rec = LatencyRecorder()
+        rec.record(10)
+        with pytest.raises(ValueError):
+            rec.percentile_ns(101)
+
+    def test_merge(self):
+        a = LatencyRecorder()
+        b = LatencyRecorder()
+        a.record(1)
+        b.record(3)
+        a.merge(b)
+        assert len(a) == 2
+
+
+class TestTimedNr:
+    def test_latency_grows_with_cores(self):
+        from repro.nr.datastructures import VSpaceModel
+        from repro.nr.timed import TimedNrConfig, run_timed_workload
+
+        def workload(core, i):
+            return (("map", (core << 24) | (i << 12), i), False)
+
+        means = []
+        for cores in (1, 8, 16):
+            cfg = TimedNrConfig(num_cores=cores, ops_per_core=12)
+            result = run_timed_workload(VSpaceModel, workload, cfg)
+            assert len(result.latency) == cores * 12
+            means.append(result.latency.mean_us)
+        assert means[0] < means[1] < means[2]
+
+    def test_batching_under_contention(self):
+        from repro.nr.datastructures import Counter
+        from repro.nr.timed import TimedNrConfig, run_timed_workload
+
+        cfg = TimedNrConfig(num_cores=8, ops_per_core=8)
+        result = run_timed_workload(
+            Counter, lambda c, i: (("add", 1), False), cfg
+        )
+        assert result.max_batch > 1  # flat combining engaged
+
+    def test_shootdown_cost_raises_unmap_latency(self):
+        from repro.nr.datastructures import VSpaceModel
+        from repro.nr.timed import (
+            TimedNrConfig,
+            run_timed_workload,
+            tlb_shootdown_cost,
+        )
+
+        def map_workload(core, i):
+            return (("map", (core << 24) | (i << 12), i), False)
+
+        cores = 8
+        plain = run_timed_workload(
+            VSpaceModel, map_workload,
+            TimedNrConfig(num_cores=cores, ops_per_core=10),
+        )
+        with_shootdown = run_timed_workload(
+            VSpaceModel, map_workload,
+            TimedNrConfig(num_cores=cores, ops_per_core=10,
+                          post_op_cost_fn=tlb_shootdown_cost),
+        )
+        assert with_shootdown.latency.mean_us > plain.latency.mean_us
+
+    def test_reads_cheaper_than_writes(self):
+        from repro.nr.datastructures import Counter
+        from repro.nr.timed import TimedNrConfig, run_timed_workload
+
+        writes = run_timed_workload(
+            Counter, lambda c, i: (("add", 1), False),
+            TimedNrConfig(num_cores=8, ops_per_core=10),
+        )
+        reads = run_timed_workload(
+            Counter, lambda c, i: ("get", True),
+            TimedNrConfig(num_cores=8, ops_per_core=10),
+        )
+        assert reads.latency.mean_us < writes.latency.mean_us

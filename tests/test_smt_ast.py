@@ -1,0 +1,198 @@
+"""Tests for term construction, interning, and constant folding."""
+
+import pytest
+
+from repro.smt import ast
+from repro.smt.ast import BV, BOOL
+
+
+class TestSorts:
+    def test_bool_sort(self):
+        assert BOOL.is_bool
+        assert not BOOL.is_bv
+
+    def test_bv_sort_cached(self):
+        assert ast.BV(64) is ast.BV(64)
+        assert ast.BV(64).width == 64
+
+    def test_bv_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            ast.BV(0)
+
+
+class TestInterning:
+    def test_consts_interned(self):
+        assert ast.bv_const(5, 8) is ast.bv_const(5, 8)
+        assert ast.true() is ast.true()
+
+    def test_const_truncated(self):
+        assert ast.bv_const(0x1FF, 8).value == 0xFF
+        assert ast.bv_const(-1, 8).value == 0xFF
+
+    def test_vars_interned(self):
+        assert ast.bv_var("x", 8) is ast.bv_var("x", 8)
+        assert ast.bv_var("x", 8) is not ast.bv_var("x", 16)
+
+    def test_structural_sharing(self):
+        x = ast.bv_var("x", 8)
+        y = ast.bv_var("y", 8)
+        assert (x + y) is (x + y)
+        # commutative ops normalise argument order
+        assert (x + y) is (y + x)
+        assert (x & y) is (y & x)
+
+
+class TestBoolFolding:
+    def test_not_const(self):
+        assert ast.not_(ast.true()) is ast.false()
+        assert ast.not_(ast.not_(ast.bool_var("p"))) is ast.bool_var("p")
+
+    def test_and_identity_absorb(self):
+        p = ast.bool_var("p")
+        assert ast.and_(p, ast.true()) is p
+        assert ast.and_(p, ast.false()) is ast.false()
+        assert ast.and_() is ast.true()
+        assert ast.and_(p, p) is p
+
+    def test_or_identity_absorb(self):
+        p = ast.bool_var("p")
+        assert ast.or_(p, ast.false()) is p
+        assert ast.or_(p, ast.true()) is ast.true()
+        assert ast.or_() is ast.false()
+
+    def test_and_flattens(self):
+        p, q, r = (ast.bool_var(n) for n in "pqr")
+        nested = ast.and_(p, ast.and_(q, r))
+        assert nested is ast.and_(p, q, r)
+
+    def test_xor(self):
+        p = ast.bool_var("p")
+        assert ast.xor_(p, p) is ast.false()
+        assert ast.xor_(p, ast.false()) is p
+        assert ast.xor_(p, ast.true()) is ast.not_(p)
+
+    def test_implies(self):
+        p = ast.bool_var("p")
+        assert ast.implies(ast.false(), p) is ast.true()
+        assert ast.implies(ast.true(), p) is p
+        assert ast.implies(p, p) is ast.true()
+
+    def test_ite_folding(self):
+        p = ast.bool_var("p")
+        x = ast.bv_var("x", 8)
+        y = ast.bv_var("y", 8)
+        assert ast.ite(ast.true(), x, y) is x
+        assert ast.ite(ast.false(), x, y) is y
+        assert ast.ite(p, x, x) is x
+        assert ast.ite(p, ast.true(), ast.false()) is p
+
+    def test_ite_sort_mismatch(self):
+        with pytest.raises(TypeError):
+            ast.ite(ast.bool_var("p"), ast.bv_var("x", 8), ast.bv_var("y", 16))
+
+    def test_eq_folding(self):
+        x = ast.bv_var("x", 8)
+        assert ast.eq(x, x) is ast.true()
+        assert ast.eq(ast.bv_const(1, 8), ast.bv_const(1, 8)) is ast.true()
+        assert ast.eq(ast.bv_const(1, 8), ast.bv_const(2, 8)) is ast.false()
+
+    def test_eq_sort_mismatch(self):
+        with pytest.raises(TypeError):
+            ast.eq(ast.bv_var("x", 8), ast.bv_var("y", 16))
+
+
+class TestBvFolding:
+    def test_const_arith(self):
+        a = ast.bv_const(200, 8)
+        b = ast.bv_const(100, 8)
+        assert (a + b).value == 44  # wraps mod 256
+        assert (a - b).value == 100
+        assert (b - a).value == 156
+        assert (a * b).value == (200 * 100) % 256
+
+    def test_and_or_idempotent(self):
+        x = ast.bv_var("x", 8)
+        assert ast.bvand(x, x) is x
+        assert ast.bvor(x, x) is x
+        assert ast.bvxor(x, x).value == 0
+
+    def test_mask_identities(self):
+        x = ast.bv_var("x", 8)
+        assert ast.bvand(x, ast.bv_const(0xFF, 8)) is x
+        assert ast.bvand(x, ast.bv_const(0, 8)).value == 0
+        assert ast.bvor(x, ast.bv_const(0, 8)) is x
+
+    def test_add_zero(self):
+        x = ast.bv_var("x", 8)
+        assert (x + ast.bv_const(0, 8)) is x
+        assert (x - ast.bv_const(0, 8)) is x
+
+    def test_shift_folding(self):
+        x = ast.bv_var("x", 8)
+        assert (x << ast.bv_const(0, 8)) is x
+        assert (x << ast.bv_const(8, 8)).value == 0
+        assert (x >> ast.bv_const(9, 8)).value == 0
+        assert (ast.bv_const(0b1010, 8) >> ast.bv_const(1, 8)).value == 0b101
+
+    def test_double_bvnot(self):
+        x = ast.bv_var("x", 8)
+        assert ast.bvnot(ast.bvnot(x)) is x
+
+    def test_extract(self):
+        x = ast.bv_var("x", 16)
+        e = ast.extract(x, 7, 0)
+        assert e.width == 8
+        assert ast.extract(x, 15, 0) is x
+        assert ast.extract(ast.bv_const(0xABCD, 16), 15, 8).value == 0xAB
+
+    def test_extract_out_of_range(self):
+        with pytest.raises(ValueError):
+            ast.extract(ast.bv_var("x", 8), 8, 0)
+
+    def test_concat(self):
+        hi = ast.bv_const(0xAB, 8)
+        lo = ast.bv_const(0xCD, 8)
+        assert ast.concat(hi, lo).value == 0xABCD
+        assert ast.concat(hi, lo).width == 16
+
+    def test_zext_sext(self):
+        assert ast.zext(ast.bv_const(0x80, 8), 16).value == 0x0080
+        assert ast.sext(ast.bv_const(0x80, 8), 16).value == 0xFF80
+        x = ast.bv_var("x", 8)
+        assert ast.zext(x, 8) is x
+        with pytest.raises(ValueError):
+            ast.zext(x, 4)
+
+    def test_comparisons_fold(self):
+        one = ast.bv_const(1, 8)
+        two = ast.bv_const(2, 8)
+        assert ast.ult(one, two) is ast.true()
+        assert ast.ult(two, one) is ast.false()
+        x = ast.bv_var("x", 8)
+        assert ast.ult(x, x) is ast.false()
+        assert ast.ule(x, x) is ast.true()
+        assert ast.ult(x, ast.bv_const(0, 8)) is ast.false()
+        assert ast.ule(ast.bv_const(0, 8), x) is ast.true()
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            ast.bvadd(ast.bv_var("x", 8), ast.bv_var("y", 16))
+
+
+class TestTraversal:
+    def test_free_vars(self):
+        x = ast.bv_var("x", 8)
+        y = ast.bv_var("y", 8)
+        term = (x + y).eq(x)
+        names = [v.name for v in ast.free_vars(term)]
+        assert names == ["x", "y"]
+
+    def test_free_vars_of_const(self):
+        assert ast.free_vars(ast.bv_const(3, 8)) == []
+
+    def test_term_size_counts_dag_nodes(self):
+        x = ast.bv_var("x", 8)
+        shared = x + x
+        term = ast.bvand(shared, shared)
+        # shared counted once: x, x+x == 2 nodes, bvand(s,s) folds to s.
+        assert ast.term_size(term) == 2

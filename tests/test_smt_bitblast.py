@@ -1,0 +1,228 @@
+"""Cross-validation of the bit-blaster against the concrete evaluator.
+
+Random term DAGs are generated, evaluated concretely, and compared with AIG
+evaluation of the blasted circuit — the same oracle discipline the paper uses
+between its hardware spec and the real MMU.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import ast, interp
+from repro.smt.aig import Aig, node_of
+from repro.smt.bitblast import BitBlaster
+
+
+def blast_and_eval(term, env):
+    """Evaluate `term` by bit-blasting + AIG simulation under `env`."""
+    blaster = BitBlaster()
+    if term.sort.is_bool:
+        lits = [blaster.blast_bool(term)]
+    else:
+        lits = blaster.blast_bv(term)
+    inputs = {}
+    for name, value in env.items():
+        bits = blaster.var_bits(name)
+        if bits is None:
+            continue
+        for i, lit in enumerate(bits):
+            inputs[node_of(lit)] = bool((int(value) >> i) & 1)
+    values = [blaster.aig.evaluate(l, inputs) for l in lits]
+    if term.sort.is_bool:
+        return values[0]
+    out = 0
+    for i, v in enumerate(values):
+        if v:
+            out |= 1 << i
+    return out
+
+
+WIDTH = 8
+
+
+DEFAULT_OPS = ("add", "sub", "and", "or", "xor", "not", "neg", "shl",
+               "lshr", "ashr", "mul", "ite", "extract_zext")
+
+# Multipliers make SAT equivalence checking exponentially hard; solver-level
+# miter tests use this vocabulary instead.
+LINEAR_OPS = tuple(op for op in DEFAULT_OPS if op != "mul")
+
+
+def random_term(rng, depth, width=WIDTH, ops=DEFAULT_OPS):
+    """A random bitvector term over variables a, b, c."""
+    if depth == 0 or rng.random() < 0.25:
+        choice = rng.random()
+        if choice < 0.5:
+            return ast.bv_var(rng.choice("abc"), width)
+        return ast.bv_const(rng.randrange(1 << width), width)
+    op = rng.choice(ops)
+    a = random_term(rng, depth - 1, width, ops)
+    if op == "not":
+        return ast.bvnot(a)
+    if op == "neg":
+        return ast.bvneg(a)
+    if op == "extract_zext":
+        hi = rng.randrange(width)
+        lo = rng.randrange(hi + 1)
+        return ast.zext(ast.extract(a, hi, lo), width)
+    b = random_term(rng, depth - 1, width, ops)
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "mul":
+        return a * b
+    if op == "shl":
+        return ast.bvshl(a, ast.bv_const(rng.randrange(width + 2), width))
+    if op == "lshr":
+        return ast.bvlshr(a, ast.bv_const(rng.randrange(width + 2), width))
+    if op == "ashr":
+        return ast.bvashr(a, ast.bv_const(rng.randrange(width + 2), width))
+    if op == "ite":
+        cond = ast.ult(a, b)
+        return ast.ite(cond, a, b)
+    raise AssertionError(op)
+
+
+class TestAgainstInterp:
+    def test_random_bv_terms(self):
+        rng = random.Random(42)
+        for _ in range(150):
+            term = random_term(rng, rng.randint(1, 4))
+            env = {n: rng.randrange(1 << WIDTH) for n in "abc"}
+            assert blast_and_eval(term, env) == interp.evaluate(term, env)
+
+    def test_random_bool_terms(self):
+        rng = random.Random(7)
+        for _ in range(100):
+            a = random_term(rng, 2)
+            b = random_term(rng, 2)
+            rel = rng.choice([ast.ult, ast.ule, ast.eq])
+            term = rel(a, b)
+            if rng.random() < 0.5:
+                term = ast.not_(term)
+            env = {n: rng.randrange(1 << WIDTH) for n in "abc"}
+            assert blast_and_eval(term, env) == interp.evaluate(term, env)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 15))
+    @settings(max_examples=80)
+    def test_variable_shift(self, a_val, b_val, shift):
+        a = ast.bv_var("a", 8)
+        s = ast.bv_var("s", 8)
+        for builder in (ast.bvshl, ast.bvlshr, ast.bvashr):
+            term = builder(a, s)
+            env = {"a": a_val, "s": shift, "b": b_val}
+            assert blast_and_eval(term, env) == interp.evaluate(term, env)
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    @settings(max_examples=60)
+    def test_wide_add_sub(self, x, y):
+        a = ast.bv_var("a", 16)
+        b = ast.bv_var("b", 16)
+        env = {"a": x, "b": y}
+        assert blast_and_eval(a + b, env) == (x + y) & 0xFFFF
+        assert blast_and_eval(a - b, env) == (x - y) & 0xFFFF
+        assert blast_and_eval(ast.ult(a, b), env) == (x < y)
+        assert blast_and_eval(ast.ule(a, b), env) == (x <= y)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=40)
+    def test_mul(self, x, y):
+        a = ast.bv_var("a", 8)
+        b = ast.bv_var("b", 8)
+        assert blast_and_eval(a * b, {"a": x, "b": y}) == (x * y) & 0xFF
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=40)
+    def test_concat_sext(self, x):
+        a = ast.bv_var("a", 8)
+        env = {"a": x}
+        assert blast_and_eval(ast.concat(a, a), env) == (x << 8) | x
+        assert blast_and_eval(ast.sext(a, 16), env) == interp.evaluate(
+            ast.sext(a, 16), env
+        )
+
+
+class TestStructuralCollapse:
+    """Structurally equal circuits must collapse to the same AIG literal —
+    the property that makes most page-table lemmas free."""
+
+    def test_shift_mask_vs_extract(self):
+        va = ast.bv_var("va", 64)
+        lhs = ast.bvand(
+            ast.bvlshr(va, ast.bv_const(12, 64)), ast.bv_const(0x1FF, 64)
+        )
+        rhs = ast.zext(ast.extract(va, 20, 12), 64)
+        blaster = BitBlaster()
+        assert blaster.blast_bv(lhs) == blaster.blast_bv(rhs)
+
+    def test_xor_same_is_zero(self):
+        x = ast.bv_var("x", 16)
+        y = ast.bv_var("y", 16)
+        term = ast.bvxor(ast.bvand(x, y), ast.bvand(y, x))
+        blaster = BitBlaster()
+        bits = blaster.blast_bv(term)
+        assert all(lit == 1 for lit in bits)  # all constant FALSE
+
+    def test_demorgan_collapses(self):
+        p = ast.bool_var("p")
+        q = ast.bool_var("q")
+        lhs = ast.not_(ast.and_(p, q))
+        rhs = ast.or_(ast.not_(p), ast.not_(q))
+        blaster = BitBlaster()
+        assert blaster.blast_bool(lhs) == blaster.blast_bool(rhs)
+
+
+class TestAig:
+    def test_and_identities(self):
+        g = Aig()
+        a = g.new_input("a")
+        assert g.and_(a, 0) == a  # TRUE
+        assert g.and_(a, 1) == 1  # FALSE
+        assert g.and_(a, a) == a
+        assert g.and_(a, a ^ 1) == 1
+
+    def test_strash_shares(self):
+        g = Aig()
+        a = g.new_input("a")
+        b = g.new_input("b")
+        assert g.and_(a, b) == g.and_(b, a)
+        assert g.num_ands == 1
+
+    def test_mux_constants(self):
+        g = Aig()
+        a = g.new_input("a")
+        b = g.new_input("b")
+        assert g.mux(0, a, b) == a
+        assert g.mux(1, a, b) == b
+        assert g.mux(g.new_input("s"), a, a) == a
+
+    def test_evaluate(self):
+        g = Aig()
+        a = g.new_input("a")
+        b = g.new_input("b")
+        out = g.xor_(a, b)
+        from repro.smt.aig import node_of as nd
+        for av in (False, True):
+            for bv in (False, True):
+                env = {nd(a): av, nd(b): bv}
+                assert g.evaluate(out, env) == (av != bv)
+
+    def test_cone_excludes_unrelated(self):
+        g = Aig()
+        a = g.new_input("a")
+        b = g.new_input("b")
+        c = g.new_input("c")
+        out = g.and_(a, b)
+        g.and_(b, c)  # unrelated gate
+        cone = g.cone([out])
+        from repro.smt.aig import node_of as nd
+        assert nd(c) not in cone

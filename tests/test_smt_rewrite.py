@@ -1,0 +1,83 @@
+"""Rewriter tests: semantics preservation and effectiveness."""
+
+import random
+
+from repro.smt import ast, interp
+from repro.smt.rewrite import simplify
+from tests.test_smt_bitblast import random_term
+
+
+class TestSemanticsPreserved:
+    def test_random_terms_equivalent(self):
+        rng = random.Random(2024)
+        for _ in range(200):
+            term = random_term(rng, rng.randint(1, 4))
+            simplified = simplify(term)
+            for _ in range(8):
+                env = {n: rng.randrange(256) for n in "abc"}
+                assert interp.evaluate(term, env) == interp.evaluate(
+                    simplified, env
+                ), term
+
+    def test_random_predicates_equivalent(self):
+        rng = random.Random(555)
+        for _ in range(120):
+            a = random_term(rng, 3)
+            b = random_term(rng, 3)
+            pred = ast.eq(a, b)
+            simplified = simplify(pred)
+            for _ in range(8):
+                env = {n: rng.randrange(256) for n in "abc"}
+                assert interp.evaluate(pred, env) == interp.evaluate(
+                    simplified, env
+                )
+
+
+class TestEffectiveness:
+    """The rewriter should discharge the bit-manipulation patterns that
+    dominate the page-table proof without reaching the SAT solver."""
+
+    def test_shift_mask_is_extract(self):
+        va = ast.bv_var("va", 64)
+        lhs = (va >> ast.bv_const(12, 64)) & ast.bv_const(0x1FF, 64)
+        rhs = ast.zext(ast.extract(va, 20, 12), 64)
+        assert simplify(ast.eq(lhs, rhs)) is ast.true()
+
+    def test_extract_of_extract(self):
+        x = ast.bv_var("x", 64)
+        nested = ast.extract(ast.extract(x, 47, 12), 20, 9)
+        flat = ast.extract(x, 32, 21)
+        assert simplify(nested) is flat
+
+    def test_shift_chain_combines(self):
+        x = ast.bv_var("x", 64)
+        twice = ast.bvlshr(ast.bvlshr(x, ast.bv_const(9, 64)), ast.bv_const(3, 64))
+        once = ast.bvlshr(x, ast.bv_const(12, 64))
+        assert simplify(ast.eq(twice, once)) is ast.true()
+
+    def test_mask_then_shift_roundtrip(self):
+        """(x & ~0xfff) recognised as a high-bits mask."""
+        x = ast.bv_var("x", 64)
+        masked = x & ast.bv_const(0xFFFF_FFFF_FFFF_F000, 64)
+        shifted = ast.bvshl(
+            ast.bvlshr(x, ast.bv_const(12, 64)), ast.bv_const(12, 64)
+        )
+        assert simplify(ast.eq(masked, shifted)) is ast.true()
+
+    def test_extract_of_or_distributes(self):
+        x = ast.bv_var("x", 64)
+        y = ast.bv_var("y", 64)
+        lhs = ast.extract(ast.bvor(x, y), 11, 4)
+        rhs = ast.bvor(ast.extract(x, 11, 4), ast.extract(y, 11, 4))
+        assert simplify(ast.eq(lhs, rhs)) is ast.true()
+
+    def test_zext_zext_collapses(self):
+        x = ast.bv_var("x", 8)
+        assert simplify(ast.zext(ast.zext(x, 16), 32)) is ast.zext(x, 32)
+
+    def test_simplify_is_stable(self):
+        rng = random.Random(31)
+        for _ in range(50):
+            term = random_term(rng, 3)
+            once = simplify(term)
+            assert simplify(once) is once

@@ -1,0 +1,108 @@
+"""Marshalling tests including hypothesis roundtrips (the marshalling
+obligation, checked dynamically)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nros.syscall.marshal import (
+    MarshalError,
+    marshal,
+    marshal_call,
+    unmarshal,
+    unmarshal_call,
+)
+
+scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**64 - 1),
+    st.binary(max_size=64),
+    st.text(max_size=32),
+)
+value_strategy = st.recursive(
+    scalar, lambda inner: st.tuples(inner, inner), max_leaves=8
+)
+
+
+class TestRoundtrips:
+    @given(value_strategy)
+    def test_roundtrip(self, value):
+        assert unmarshal(marshal(value)) == value
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_u64(self, value):
+        assert unmarshal(marshal(value)) == value
+
+    @given(st.integers(-(2**63), -1))
+    def test_negative(self, value):
+        assert unmarshal(marshal(value)) == value
+
+    def test_bool_not_confused_with_int(self):
+        assert unmarshal(marshal(True)) is True
+        assert unmarshal(marshal(1)) == 1
+        assert unmarshal(marshal(1)) is not True or unmarshal(marshal(1)) == 1
+
+    @given(st.integers(1, 20), st.lists(st.integers(0, 100), max_size=4))
+    def test_call_roundtrip(self, number, args):
+        encoded = marshal_call(number, tuple(args))
+        got_number, got_args = unmarshal_call(encoded)
+        assert got_number == number
+        assert got_args == tuple(args)
+
+    def test_unicode_string(self):
+        assert unmarshal(marshal("héllo wörld ☃")) == "héllo wörld ☃"
+
+    def test_empty_containers(self):
+        assert unmarshal(marshal(())) == ()
+        assert unmarshal(marshal(b"")) == b""
+        assert unmarshal(marshal("")) == ""
+
+
+class TestErrors:
+    def test_oversized_int(self):
+        with pytest.raises(MarshalError):
+            marshal(1 << 64)
+        with pytest.raises(MarshalError):
+            marshal(-(1 << 63) - 1)
+
+    def test_unsupported_type(self):
+        with pytest.raises(MarshalError):
+            marshal([1, 2, 3])
+        with pytest.raises(MarshalError):
+            marshal(3.14)
+
+    def test_empty_buffer(self):
+        with pytest.raises(MarshalError):
+            unmarshal(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(MarshalError):
+            unmarshal(b"\xff")
+
+    def test_truncations_all_detected(self):
+        encoded = marshal((1, b"abc", "def", (2, None)))
+        for cut in range(len(encoded)):
+            with pytest.raises(MarshalError):
+                unmarshal(encoded[:cut])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(MarshalError):
+            unmarshal(marshal(5) + b"\x00")
+
+    def test_bad_bool_payload(self):
+        with pytest.raises(MarshalError):
+            unmarshal(bytes([0x02, 7]))
+
+    def test_bad_utf8(self):
+        buf = bytes([0x04]) + (2).to_bytes(8, "little") + b"\xff\xfe"
+        with pytest.raises(MarshalError):
+            unmarshal(buf)
+
+    def test_call_must_be_tuple(self):
+        with pytest.raises(MarshalError):
+            unmarshal_call(marshal(5))
+        with pytest.raises(MarshalError):
+            unmarshal_call(marshal(()))
+        with pytest.raises(MarshalError):
+            unmarshal_call(marshal(("not-a-number", 1)))

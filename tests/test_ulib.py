@@ -1,0 +1,152 @@
+"""Userspace-library unit tests: heap free-list, green-thread scheduler."""
+
+import pytest
+
+from repro.nros.kernel import Kernel
+from repro.nros.syscall.abi import Syscall, SyscallError, sys
+from repro.ulib.alloc import Heap
+from repro.ulib.uthread import UScheduler, uyield
+
+
+def drive(gen, responses=None):
+    """Drive a ulib generator outside a kernel: every syscall gets the
+    next canned response (vm_map returns growing bases)."""
+    responses = list(responses or [])
+    next_base = [0x100000]
+    result = None
+    try:
+        request = next(gen)
+        while True:
+            if isinstance(request, Syscall) and request.name == "vm_map":
+                value = next_base[0]
+                next_base[0] += request.args[0] * 4096
+            elif responses:
+                value = responses.pop(0)
+            else:
+                value = None
+            request = gen.send(value)
+    except StopIteration as stop:
+        result = stop.value
+    return result
+
+
+class TestHeap:
+    def test_alloc_distinct(self):
+        heap = Heap()
+        a = drive(heap.alloc(100))
+        b = drive(heap.alloc(100))
+        assert a != b
+        assert a % 8 == 0 and b % 8 == 0
+
+    def test_free_reuses(self):
+        heap = Heap()
+        a = drive(heap.alloc(64))
+        drive(heap.free(a, 64))
+        assert drive(heap.alloc(32)) == a
+
+    def test_coalescing(self):
+        heap = Heap()
+        a = drive(heap.alloc(64))
+        b = drive(heap.alloc(64))
+        c = drive(heap.alloc(64))
+        assert b == a + 64 and c == b + 64
+        drive(heap.free(a, 64))
+        drive(heap.free(c, 64))
+        drive(heap.free(b, 64))  # middle free merges all three
+        big = drive(heap.alloc(192))
+        assert big == a  # one contiguous block again
+
+    def test_large_allocation_spans_pages(self):
+        heap = Heap()
+        a = drive(heap.alloc(3 * 4096 + 100))
+        assert heap.pages_mapped == 4
+        assert a % 8 == 0
+
+    def test_zero_size_rejected(self):
+        heap = Heap()
+        with pytest.raises(ValueError):
+            drive(heap.alloc(0))
+
+    def test_free_bytes_accounting(self):
+        heap = Heap()
+        drive(heap.alloc(4096))
+        assert heap.free_bytes() == 0
+        a = drive(heap.alloc(4096))
+        drive(heap.free(a, 4096))
+        assert heap.free_bytes() == 4096
+
+
+class TestUScheduler:
+    def test_round_robin_interleave(self):
+        trace = []
+
+        def green(tag):
+            for i in range(2):
+                trace.append((tag, i))
+                yield uyield
+            return tag
+
+        usched = UScheduler()
+        usched.spawn(green("a"))
+        usched.spawn(green("b"))
+        results = drive(usched.run())
+        assert trace == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+        assert results == {0: "a", 1: "b"}
+        assert usched.switches >= 2
+
+    def test_bad_yield_type(self):
+        def bad():
+            yield 42
+
+        usched = UScheduler()
+        usched.spawn(bad())
+        with pytest.raises(TypeError):
+            drive(usched.run())
+
+    def test_green_thread_catches_syscall_error(self):
+        caught = []
+
+        def green():
+            try:
+                yield sys("open", "/missing")
+            except SyscallError as exc:
+                caught.append(exc.errno)
+            return "survived"
+
+        def main():
+            usched = UScheduler()
+            usched.spawn(green())
+            results = yield from usched.run()
+            return results
+
+        kernel = Kernel()
+        outcome = {}
+
+        def prog():
+            outcome["results"] = yield from main()
+
+        kernel.register_program("p", prog)
+        kernel.spawn("p")
+        kernel.run()
+        from repro.nros.syscall.abi import ENOENT
+        assert caught == [ENOENT]
+        assert outcome["results"] == {0: "survived"}
+
+    def test_nested_spawn_during_run(self):
+        trace = []
+
+        def child():
+            trace.append("child")
+            return None
+            yield
+
+        def parent(usched):
+            trace.append("parent")
+            usched.spawn(child())
+            yield uyield
+            return "done"
+
+        usched = UScheduler()
+        usched.spawn(parent(usched))
+        drive(usched.run())
+        assert trace == ["parent", "child"]

@@ -1,0 +1,140 @@
+"""VSpace tests: NR-replicated address spaces and TLB shootdown."""
+
+import pytest
+
+from repro.core.pt.defs import Flags, PageSize
+from repro.hw.mem import PhysicalMemory
+from repro.hw.mmu import TranslationFault
+from repro.nros.pmem import BuddyAllocator
+from repro.nros.pt_unverified import UnverifiedPageTable
+from repro.nros.vspace import VSpace, VSpaceError
+
+MB = 1024 * 1024
+
+
+def make_vspace(num_nodes=2, cores=4):
+    mem = PhysicalMemory(16 * MB)
+    alloc = BuddyAllocator(mem, start=8 * MB)
+    vspace = VSpace(mem, alloc, num_nodes=num_nodes)
+    for core in range(cores):
+        vspace.attach_core(core, core % num_nodes)
+    return vspace, mem, alloc
+
+
+class TestMapping:
+    def test_map_resolve_any_core(self):
+        vspace, _, _ = make_vspace()
+        vspace.map(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw(),
+                   core=0)
+        # resolve through a core on the *other* replica
+        mapping = vspace.resolve(0x1000, core=1)
+        assert mapping is not None and mapping.paddr == 0x10_0000
+
+    def test_replicas_have_distinct_roots(self):
+        vspace, _, _ = make_vspace(num_nodes=2)
+        assert vspace.root_for(0) != vspace.root_for(1)
+
+    def test_replica_trees_converge(self):
+        vspace, mem, _ = make_vspace(num_nodes=2)
+        vspace.map(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw(),
+                   core=0)
+        vspace.map(0x2000, 0x20_0000, PageSize.SIZE_4K, Flags.user_rw(),
+                   core=1)
+        vspace.sync()
+        from repro.core.refine.interp import interpret
+
+        views = [
+            interpret(mem, vspace.root_for(core)).mappings
+            for core in (0, 1)
+        ]
+        assert views[0] == views[1]
+        assert len(views[0]) == 2
+
+    def test_double_map_fails(self):
+        vspace, _, _ = make_vspace()
+        vspace.map(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        with pytest.raises(VSpaceError):
+            vspace.map(0x1000, 0x20_0000, PageSize.SIZE_4K, Flags.user_rw())
+
+    def test_unmap_returns_mapping(self):
+        vspace, _, _ = make_vspace()
+        vspace.map(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        removed = vspace.unmap(0x1000, core=2)
+        assert removed.paddr == 0x10_0000
+        assert vspace.resolve(0x1000) is None
+
+    def test_unmap_unmapped_fails(self):
+        vspace, _, _ = make_vspace()
+        with pytest.raises(VSpaceError):
+            vspace.unmap(0x5000)
+
+
+class TestTranslationAndShootdown:
+    def test_translate_fills_tlb(self):
+        vspace, mem, _ = make_vspace()
+        vspace.map(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        paddr = vspace.translate(0, 0x1008)
+        assert paddr == 0x10_0008
+        tlb = vspace._tlbs[0]
+        assert len(tlb) == 1
+        # second translation hits the TLB
+        hits_before = tlb.hits
+        vspace.translate(0, 0x1010)
+        assert tlb.hits == hits_before + 1
+
+    def test_write_permission_enforced(self):
+        vspace, _, _ = make_vspace()
+        vspace.map(0x1000, 0x10_0000, PageSize.SIZE_4K,
+                   Flags(writable=False, user=True))
+        vspace.translate(0, 0x1000)  # read fine
+        with pytest.raises(TranslationFault):
+            vspace.translate(0, 0x1000, write=True)
+        # the cached entry must also enforce the permission
+        with pytest.raises(TranslationFault):
+            vspace.translate(0, 0x1000, write=True)
+
+    def test_shootdown_on_unmap(self):
+        vspace, _, _ = make_vspace(cores=4)
+        vspace.map(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        for core in range(4):
+            vspace.translate(core, 0x1000)  # fill all TLBs
+        assert all(len(vspace._tlbs[c]) == 1 for c in range(4))
+        vspace.unmap(0x1000, core=0)
+        assert vspace.shootdowns == 1
+        # every core's TLB was invalidated: no stale translations
+        for core in range(4):
+            with pytest.raises(TranslationFault):
+                vspace.translate(core, 0x1000)
+
+    def test_translate_unattached_core(self):
+        vspace, _, _ = make_vspace(cores=2)
+        with pytest.raises(ValueError):
+            vspace.translate(9, 0x1000)
+
+    def test_detach_flushes(self):
+        vspace, _, _ = make_vspace()
+        vspace.map(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        tlb = vspace._tlbs[0]
+        vspace.translate(0, 0x1000)
+        assert len(tlb) == 1
+        vspace.detach_core(0)
+        assert len(tlb) == 0
+
+    def test_attach_invalid_node(self):
+        vspace, _, _ = make_vspace(num_nodes=2)
+        with pytest.raises(ValueError):
+            vspace.attach_core(9, 7)
+
+
+class TestUnverifiedBackend:
+    def test_vspace_over_unverified_pt(self):
+        mem = PhysicalMemory(16 * MB)
+        alloc = BuddyAllocator(mem, start=8 * MB)
+        vspace = VSpace(mem, alloc, num_nodes=2,
+                        pt_factory=UnverifiedPageTable)
+        for core in range(2):
+            vspace.attach_core(core, core)
+        vspace.map(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        assert vspace.resolve(0x1000, core=1).paddr == 0x10_0000
+        removed = vspace.unmap(0x1000)
+        assert removed.paddr == 0x10_0000

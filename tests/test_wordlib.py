@@ -1,0 +1,130 @@
+"""Unit and property tests for the fixed-width word helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import wordlib
+
+
+class TestMaskTruncate:
+    def test_mask_small(self):
+        assert wordlib.mask(0) == 0
+        assert wordlib.mask(1) == 1
+        assert wordlib.mask(8) == 0xFF
+        assert wordlib.mask(64) == 0xFFFF_FFFF_FFFF_FFFF
+
+    def test_mask_negative_raises(self):
+        with pytest.raises(ValueError):
+            wordlib.mask(-1)
+
+    def test_truncate_wraps(self):
+        assert wordlib.truncate(0x1FF, 8) == 0xFF
+        assert wordlib.truncate(-1, 8) == 0xFF
+        assert wordlib.truncate(256, 8) == 0
+
+    @given(st.integers(), st.integers(min_value=1, max_value=128))
+    def test_truncate_idempotent(self, value, width):
+        once = wordlib.truncate(value, width)
+        assert wordlib.truncate(once, width) == once
+        assert 0 <= once <= wordlib.mask(width)
+
+
+class TestBits:
+    def test_bit(self):
+        assert wordlib.bit(0b1010, 1) == 1
+        assert wordlib.bit(0b1010, 0) == 0
+
+    def test_set_bit(self):
+        assert wordlib.set_bit(0, 3, True) == 8
+        assert wordlib.set_bit(0xFF, 0, False) == 0xFE
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=63),
+           st.booleans())
+    def test_set_then_get(self, value, index, flag):
+        assert wordlib.bit(wordlib.set_bit(value, index, flag), index) == int(flag)
+
+    def test_extract(self):
+        assert wordlib.extract(0xABCD, 15, 8) == 0xAB
+        assert wordlib.extract(0xABCD, 7, 0) == 0xCD
+
+    def test_extract_bad_range(self):
+        with pytest.raises(ValueError):
+            wordlib.extract(1, 0, 1)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_extract_replace_roundtrip(self, value, a, b):
+        hi, lo = max(a, b), min(a, b)
+        field = wordlib.extract(value, hi, lo)
+        assert wordlib.replace_bits(value, hi, lo, field) == value
+
+    def test_replace_bits_too_wide(self):
+        with pytest.raises(ValueError):
+            wordlib.replace_bits(0, 3, 0, 0x1F)
+
+
+class TestSigns:
+    def test_sign_extend_positive(self):
+        assert wordlib.sign_extend(0x7F, 8, 16) == 0x7F
+
+    def test_sign_extend_negative(self):
+        assert wordlib.sign_extend(0x80, 8, 16) == 0xFF80
+
+    def test_sign_extend_narrowing_raises(self):
+        with pytest.raises(ValueError):
+            wordlib.sign_extend(0, 16, 8)
+
+    def test_to_signed(self):
+        assert wordlib.to_signed(0xFF, 8) == -1
+        assert wordlib.to_signed(0x7F, 8) == 127
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_to_signed_roundtrip(self, value):
+        assert wordlib.truncate(wordlib.to_signed(value, 32), 32) == value
+
+
+class TestAlignment:
+    def test_is_aligned(self):
+        assert wordlib.is_aligned(0x1000, 0x1000)
+        assert not wordlib.is_aligned(0x1001, 0x1000)
+
+    def test_is_aligned_bad_alignment(self):
+        with pytest.raises(ValueError):
+            wordlib.is_aligned(4, 3)
+
+    def test_align_down_up(self):
+        assert wordlib.align_down(0x1234, 0x1000) == 0x1000
+        assert wordlib.align_up(0x1234, 0x1000) == 0x2000
+        assert wordlib.align_up(0x1000, 0x1000) == 0x1000
+
+    @given(st.integers(min_value=0, max_value=2**48),
+           st.integers(min_value=0, max_value=20))
+    def test_align_props(self, value, shift):
+        alignment = 1 << shift
+        down = wordlib.align_down(value, alignment)
+        up = wordlib.align_up(value, alignment)
+        assert down <= value <= up
+        assert wordlib.is_aligned(down, alignment)
+        assert wordlib.is_aligned(up, alignment)
+        assert up - down in (0, alignment)
+
+
+class TestMisc:
+    def test_popcount(self):
+        assert wordlib.popcount(0) == 0
+        assert wordlib.popcount(0b1011) == 3
+
+    def test_popcount_negative_raises(self):
+        with pytest.raises(ValueError):
+            wordlib.popcount(-1)
+
+    def test_log2_exact(self):
+        assert wordlib.log2_exact(1) == 0
+        assert wordlib.log2_exact(4096) == 12
+
+    def test_log2_exact_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            wordlib.log2_exact(12)
