@@ -7,7 +7,11 @@ hardware agreement, TLB protocol, NR linearizability, and the client
 contract — discharged with per-VC timing, the Figure 1a CDF, and the
 Figure 2 proof structure.
 
-Run:  python examples/verified_pagetable_proof.py [--quick]
+Run:  python examples/verified_pagetable_proof.py [--quick] [--jobs N]
+
+`--jobs N` discharges through the repro.prover scheduler (N worker
+processes + the persistent proof cache) instead of the serial engine loop;
+a second run is then nearly instant — only changed goals re-verify.
 """
 
 import sys
@@ -17,6 +21,8 @@ from repro.core.refine.proof import build_proof, proof_structure
 
 def main() -> None:
     quick = "--quick" in sys.argv
+    jobs = int(sys.argv[sys.argv.index("--jobs") + 1]) \
+        if "--jobs" in sys.argv else 0
     print("== proof structure (Figure 2)")
     for line in proof_structure():
         print("   " + line)
@@ -38,7 +44,12 @@ def main() -> None:
             print(f"   ... {done['count']}/{engine.vc_count} "
                   f"({result.category})")
 
-    report = engine.run(progress=progress)
+    if jobs:
+        from repro.prover import prove_all
+
+        report = prove_all(engine, jobs=jobs, progress=progress)
+    else:
+        report = engine.run(progress=progress)
 
     print("\n== report")
     for line in report.summary_lines():

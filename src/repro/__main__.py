@@ -1,19 +1,28 @@
-"""``python -m repro`` — a one-screen tour of the reproduction.
+"""``python -m repro`` — a one-screen tour, plus the prover CLI.
 
-Prints the related-work tables, the proof structure, and runs a quick
-slice of the refinement proof so a new user sees the system do something
-real in a few seconds.  The full experience lives in ``examples/`` and
-``benchmarks/``.
+With no arguments: prints the related-work tables, the proof structure, and
+runs a quick slice of the refinement proof so a new user sees the system do
+something real in a few seconds.
+
+``python -m repro prove --jobs N`` discharges the verification-condition
+population under the scheduled/cached prover (:mod:`repro.prover`): VCs fan
+out across N worker processes, longest-expected-first, and SMT verdicts are
+served from / stored into the persistent proof cache so a re-verification
+run only pays for what changed.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
+
 from repro import __version__
-from repro.core.refine.proof import build_proof, proof_structure
-from repro.related.tables import table1, table2
 
 
-def main() -> None:
+def tour() -> int:
+    from repro.core.refine.proof import build_proof, proof_structure
+    from repro.related.tables import table1, table2
+
     print(f"repro {__version__} — 'Beyond isolation' (HotOS '23) "
           f"reproduction\n")
 
@@ -35,10 +44,135 @@ def main() -> None:
     print(f"  {report.proved}/{report.total} verification conditions "
           f"proved in {report.total_seconds:.1f} s")
     print("\nNext steps:")
+    print("  python -m repro prove --jobs 4        # scheduled + cached")
     print("  python examples/quickstart.py")
     print("  python examples/verified_pagetable_proof.py   # all 220 VCs")
     print("  pytest benchmarks/ --benchmark-only           # every figure")
+    return 0
+
+
+def _build_engine(layers: str, quick: bool):
+    from repro.core.refine.proof import build_proof
+
+    selected = {name for name in layers.split(",") if name}
+    known = {"all", "lemmas", "structural", "nr", "contract"}
+    unknown = selected - known
+    if unknown:
+        raise SystemExit(f"unknown --layers {sorted(unknown)}; "
+                         f"choose from {sorted(known)}")
+    everything = "all" in selected
+    return build_proof(
+        include_lemmas=everything or "lemmas" in selected,
+        include_structural=everything or "structural" in selected,
+        include_nr=everything or "nr" in selected,
+        include_contract=everything or "contract" in selected,
+        scenario_depth=2 if quick else 3,
+        scenario_cap=12 if quick else 60,
+    )
+
+
+def prove(args) -> int:
+    from repro.prover import ProofCache, ProverConfig, prove_all
+    from repro.prover.cache import default_cache_dir
+
+    engine = _build_engine(args.layers, args.quick)
+    print(f"prover: {engine.vc_count} verification conditions, "
+          f"jobs={args.jobs}, cache="
+          f"{'off' if args.no_cache else (args.cache_dir or default_cache_dir())}")
+
+    cache = None
+    config = ProverConfig(
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        conflict_budget=args.budget,
+    )
+    if not args.no_cache:
+        cache = ProofCache(args.cache_dir or default_cache_dir())
+        if args.clear_cache:
+            removed = cache.clear()
+            print(f"prover: cleared {removed} cached entries")
+
+    done = {"count": 0}
+
+    def progress(result):
+        done["count"] += 1
+        if not result.ok and result.status.value != "timeout":
+            print(f"  FAILED {result.name}: {result.detail}")
+        elif done["count"] % 40 == 0:
+            print(f"  ... {done['count']}/{engine.vc_count}")
+
+    report = prove_all(engine, jobs=args.jobs, cache=cache, config=config,
+                       progress=progress)
+
+    print()
+    for line in report.summary_lines():
+        print("  " + line)
+    if cache is not None:
+        print(f"  cache: {cache.stats.hits} hits, {cache.stats.misses} "
+              f"misses, {cache.stats.stores} stored "
+              f"({cache.stats.hit_rate:.0%} hit rate)")
+
+    if args.events:
+        print("\n  slowest discharges:")
+        slowest = sorted(report.results,
+                         key=lambda r: -r.seconds)[:args.events]
+        for r in slowest:
+            print(f"    {r.name:45s} {r.status.value:8s} "
+                  f"{r.seconds:7.3f}s solver={r.solver_seconds:7.3f}s"
+                  f"{'  [cache]' if r.cached else ''}")
+
+    if args.min_hit_rate is not None:
+        rate = report.cache_hits / report.total if report.total else 0.0
+        if rate < args.min_hit_rate:
+            print(f"prover: cache hit rate {rate:.0%} below required "
+                  f"{args.min_hit_rate:.0%}", file=sys.stderr)
+            return 3
+
+    if not report.all_proved:
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Beyond isolation' (HotOS '23)")
+    sub = parser.add_subparsers(dest="command")
+
+    prove_parser = sub.add_parser(
+        "prove", help="discharge the VC population (scheduled + cached)")
+    prove_parser.add_argument("--jobs", "-j", type=int, default=1,
+                              help="worker processes (default 1)")
+    prove_parser.add_argument("--layers", default="all",
+                              help="comma list of layers: "
+                                   "all,lemmas,structural,nr,contract")
+    prove_parser.add_argument("--quick", action="store_true",
+                              help="smaller scenario population")
+    prove_parser.add_argument("--cache-dir", default=None,
+                              help="proof-cache directory "
+                                   "(default: $REPRO_PROOF_CACHE or "
+                                   "~/.cache/repro/proofs)")
+    prove_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the persistent proof cache")
+    prove_parser.add_argument("--clear-cache", action="store_true",
+                              help="drop cached verdicts before running")
+    prove_parser.add_argument("--budget", type=int, default=None,
+                              help="first-attempt SMT conflict budget")
+    prove_parser.add_argument("--events", type=int, default=0, metavar="N",
+                              help="print the N slowest discharges")
+    prove_parser.add_argument("--min-hit-rate", type=float, default=None,
+                              help="exit 3 if the cache hit rate is below "
+                                   "this fraction (CI warm-cache check)")
+
+    args = parser.parse_args(argv)
+    if args.command == "prove":
+        if args.budget is None:
+            from repro.prover import DEFAULT_CONFLICT_BUDGET
+
+            args.budget = DEFAULT_CONFLICT_BUDGET
+        return prove(args)
+    return tour()
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

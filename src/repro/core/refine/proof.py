@@ -867,8 +867,21 @@ def build_proof(
 
     The default configuration registers the complete VC population used by
     the Figure 1a benchmark; the flags let tests and ablations run layers
-    in isolation."""
+    in isolation.
+
+    The engine carries a `rebuild_spec` naming this builder and its exact
+    arguments, so `repro.prover`'s process workers can reconstruct any of
+    the population's VCs by name (the VC closures themselves don't pickle).
+    """
     engine = ProofEngine()
+    engine.rebuild_spec = ("pt-refinement", {
+        "include_lemmas": include_lemmas,
+        "include_structural": include_structural,
+        "include_nr": include_nr,
+        "include_contract": include_contract,
+        "scenario_depth": scenario_depth,
+        "scenario_cap": scenario_cap,
+    })
     source = _ScenarioCache(scenario_depth, scenario_cap)
 
     if include_lemmas:

@@ -1,0 +1,99 @@
+"""Structured event stream of a scheduled proof run.
+
+Every VC's lifecycle is observable: ``queued`` when the scheduler accepts
+it, ``cache-hit`` when the persistent proof cache already holds a verdict,
+``started``/``finished`` around an actual discharge (with the attempt
+number of the retry ladder), and ``run-finished`` with the run totals.
+The stream is consumed by :class:`repro.verif.engine.ProofReport` summaries,
+``benchmarks/bench_fig1a_vc_times.py``, and ``python -m repro prove``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+QUEUED = "queued"
+STARTED = "started"
+FINISHED = "finished"
+CACHE_HIT = "cache-hit"
+RUN_FINISHED = "run-finished"
+
+
+@dataclass(frozen=True)
+class ProofEvent:
+    kind: str
+    vc: str = ""
+    category: str = ""
+    #: Seconds since the run started (monotonic, relative).
+    t: float = 0.0
+    #: Wall-clock duration of the discharge (``finished`` events).
+    seconds: float = 0.0
+    #: Time inside the solving pipeline (rewrite + blast + SAT).
+    solver_seconds: float = 0.0
+    #: Which lane executed the VC: "inline", "proc", or "thread".
+    worker: str = ""
+    #: Result status for ``finished`` events ("proved", "failed", ...).
+    status: str = ""
+    #: 1-based attempt number in the conflict-budget retry ladder.
+    attempt: int = 0
+
+    def line(self) -> str:
+        parts = [f"{self.t:8.3f}s", f"{self.kind:<12}"]
+        if self.vc:
+            parts.append(self.vc)
+        if self.kind == FINISHED:
+            parts.append(f"[{self.status}]")
+            parts.append(f"wall={self.seconds:.3f}s")
+            parts.append(f"solver={self.solver_seconds:.3f}s")
+            if self.attempt > 1:
+                parts.append(f"attempt={self.attempt}")
+        if self.worker:
+            parts.append(f"({self.worker})")
+        return " ".join(parts)
+
+
+@dataclass
+class EventLog:
+    """In-memory collector; an optional sink sees every event as it lands."""
+
+    events: list[ProofEvent] = field(default_factory=list)
+    sink: object = None  # callable(ProofEvent) | None
+
+    def emit(self, event: ProofEvent) -> None:
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink(event)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def of_kind(self, kind: str) -> list[ProofEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def wall_seconds(self) -> float:
+        return max((e.t for e in self.events), default=0.0)
+
+    def cumulative_solver_seconds(self) -> float:
+        return sum(e.solver_seconds for e in self.events
+                   if e.kind == FINISHED)
+
+    def summary_lines(self) -> list[str]:
+        counts = self.counts()
+        finished = self.of_kind(FINISHED)
+        retried = sum(1 for e in finished if e.attempt > 1)
+        lines = [
+            f"events: {len(self.events)} "
+            f"(queued {counts.get(QUEUED, 0)}, "
+            f"cache-hit {counts.get(CACHE_HIT, 0)}, "
+            f"started {counts.get(STARTED, 0)}, "
+            f"finished {counts.get(FINISHED, 0)})",
+            f"wall-clock: {self.wall_seconds():.2f} s, cumulative solver "
+            f"time: {self.cumulative_solver_seconds():.2f} s",
+        ]
+        if retried:
+            lines.append(f"budget retries: {retried} VCs needed more than "
+                         f"one attempt")
+        return lines

@@ -1,0 +1,401 @@
+"""The parallel VC-discharge scheduler.
+
+Turns a :class:`repro.verif.engine.ProofEngine` population into a scheduled,
+cached, observable job system:
+
+* **cache pass** — every SMT VC's goal is built and fingerprinted in the
+  parent; persistent-cache hits never reach a worker;
+* **fan-out** — remaining VCs run on a process pool (the CDCL solver is
+  GIL-bound, so threads cannot scale it).  Goal-builder closures do not
+  pickle, so workers receive ``(builder name, kwargs, vc name)`` and rebuild
+  their VCs from :mod:`repro.prover.registry`; VCs with no registered
+  builder fall back to an in-process thread lane;
+* **ordering** — longest-expected-first, using last-observed durations from
+  the cache's timing history, so the slowest VC (the paper's 11 s tail)
+  starts first instead of serializing the end of the run;
+* **per-VC timeout + retry** — SMT discharges run under a deterministic
+  conflict budget; a budget overrun is a ``TIMEOUT`` that is retried with a
+  geometrically larger budget, unbounded on the final attempt by default so
+  a scheduled run proves exactly what the serial engine proves;
+* **determinism** — results are reassembled into the engine's insertion
+  order, so the :class:`ProofReport` contents and ordering are identical
+  for any ``jobs`` value (only the wall-clock changes).
+
+Every lifecycle step is emitted on a structured event stream
+(:mod:`repro.prover.events`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.prover import events as ev
+from repro.prover import registry
+from repro.prover.cache import ProofCache, default_cache_dir
+from repro.prover.events import EventLog, ProofEvent
+from repro.prover.fingerprint import goal_fingerprint, structural_fingerprint
+from repro.verif.engine import ProofEngine, ProofReport
+from repro.verif.vc import VC, VCResult, VCStatus
+
+#: First-attempt conflict budget.  Generous — the Figure 1a population
+#: stays well under it — so timeouts only appear for genuinely hard goals
+#: or when callers tighten the budget.
+DEFAULT_CONFLICT_BUDGET = 100_000
+
+#: Cold-start duration estimates (seconds) per category, used for
+#: longest-expected-first ordering before any timing history exists.
+_EXPECTED_BY_CATEGORY = {
+    "invariants": 3.0,
+    "refinement": 2.0,
+    "simulation": 1.5,
+    "nr-linearizability": 1.0,
+    "hardware-agreement": 0.5,
+    "tlb": 0.3,
+    "contract": 0.2,
+}
+_EXPECTED_DEFAULT = 0.05
+
+
+@dataclass
+class ProverConfig:
+    """Knobs of a scheduled run."""
+
+    jobs: int = 1
+    use_cache: bool = True
+    cache_dir: str | None = None
+    #: First-attempt conflict budget for SMT goals (None = unbounded).
+    conflict_budget: int | None = DEFAULT_CONFLICT_BUDGET
+    #: Budget multiplier between attempts.
+    budget_growth: int = 4
+    #: Total attempts; the last runs unbounded unless `hard_budget` is set.
+    max_attempts: int = 3
+    #: When True the final attempt keeps the largest finite budget instead
+    #: of running unbounded — undecided goals then surface as TIMEOUT.
+    hard_budget: bool = False
+
+    def budgets(self) -> list[int | None]:
+        """The retry ladder of conflict budgets, e.g. [100k, 400k, None]."""
+        if self.conflict_budget is None:
+            return [None]
+        attempts = max(1, self.max_attempts)
+        ladder: list[int | None] = [
+            self.conflict_budget * self.budget_growth ** i
+            for i in range(attempts - 1)
+        ]
+        if self.hard_budget:
+            last = (self.conflict_budget
+                    * self.budget_growth ** max(0, attempts - 1))
+            ladder.append(last)
+        else:
+            ladder.append(None)
+        return ladder
+
+
+def _discharge_with_ladder(vc: VC, budgets) -> tuple[VCResult, int]:
+    """Run the retry ladder; returns the final result (its `seconds`
+    accumulated across attempts) and the attempt count."""
+    total_seconds = 0.0
+    total_solver = 0.0
+    ladder = budgets if vc.is_smt else [None]
+    for attempt, budget in enumerate(ladder, start=1):
+        result = vc.discharge(max_conflicts=budget)
+        total_seconds += result.seconds
+        total_solver += result.solver_seconds
+        if result.status is not VCStatus.TIMEOUT or attempt == len(ladder):
+            result.seconds = total_seconds
+            result.solver_seconds = total_solver
+            return result, attempt
+    raise AssertionError("unreachable: ladder always returns")
+
+
+# ---------------------------------------------------------------------------
+# Process-pool worker side
+# ---------------------------------------------------------------------------
+
+
+def _serialize_result(result: VCResult, attempt: int) -> dict:
+    counterexample = result.counterexample
+    if counterexample is not None:
+        try:
+            pickle.dumps(counterexample)
+        except Exception:
+            counterexample = repr(counterexample)
+    return {
+        "name": result.name,
+        "status": result.status.value,
+        "seconds": result.seconds,
+        "category": result.category,
+        "detail": result.detail,
+        "counterexample": counterexample,
+        "solver_seconds": result.solver_seconds,
+        "solver_stats": result.solver_stats,
+        "attempt": attempt,
+    }
+
+
+def _deserialize_result(payload: dict) -> tuple[VCResult, int]:
+    result = VCResult(
+        name=payload["name"],
+        status=VCStatus(payload["status"]),
+        seconds=payload["seconds"],
+        category=payload["category"],
+        detail=payload["detail"],
+        counterexample=payload["counterexample"],
+        solver_seconds=payload["solver_seconds"],
+        solver_stats=payload["solver_stats"],
+    )
+    return result, payload["attempt"]
+
+
+def _pool_discharge(builder: str, kwargs: dict, vc_name: str,
+                    budgets: list) -> dict:
+    """Worker entry point: rebuild the VC by name and discharge it."""
+    vc = registry.rebuild_vc(builder, kwargs, vc_name)
+    result, attempt = _discharge_with_ladder(vc, budgets)
+    return _serialize_result(result, attempt)
+
+
+# ---------------------------------------------------------------------------
+# The scheduler
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Job:
+    index: int       # position in the engine's canonical order
+    vc: VC
+    fingerprint: str | None = None   # cache key (SMT VCs only)
+    build_seconds: float = 0.0       # goal construction + cache lookup
+    expected: float = _EXPECTED_DEFAULT
+
+
+class ProverScheduler:
+    """One scheduled run over an engine's VC population."""
+
+    def __init__(self, engine: ProofEngine,
+                 config: ProverConfig | None = None,
+                 cache: ProofCache | None = None,
+                 on_event=None, progress=None) -> None:
+        self.engine = engine
+        self.config = config or ProverConfig()
+        if cache is not None:
+            self.cache = cache
+        elif self.config.use_cache:
+            self.cache = ProofCache(self.config.cache_dir
+                                    or default_cache_dir())
+        else:
+            self.cache = None
+        self.events = EventLog(sink=on_event)
+        self.progress = progress
+        self._t0 = 0.0
+        self._unique_names: set[str] = set()
+
+    # -- event helpers -----------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _emit(self, kind: str, vc: VC | None = None, **kw) -> None:
+        self.events.emit(ProofEvent(
+            kind=kind,
+            vc=vc.name if vc is not None else "",
+            category=vc.category if vc is not None else "",
+            t=self._now(),
+            **kw,
+        ))
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self) -> ProofReport:
+        self._t0 = time.perf_counter()
+        ordered = self.engine.vcs()
+        results: list[VCResult | None] = [None] * len(ordered)
+        history = self.cache.load_timings() if self.cache else {}
+        fresh_timings: dict[str, float] = {}
+
+        # Name-keyed reconstruction and structural cache keys both require
+        # unambiguous names; VCs sharing a name stay in-process, uncached.
+        counts: dict[str, int] = {}
+        for vc in ordered:
+            counts[vc.name] = counts.get(vc.name, 0) + 1
+        self._unique_names = {n for n, c in counts.items() if c == 1}
+
+        pending: list[_Job] = []
+        for index, vc in enumerate(ordered):
+            self._emit(ev.QUEUED, vc)
+            job = _Job(index=index, vc=vc)
+            job.expected = history.get(
+                vc.name, _EXPECTED_BY_CATEGORY.get(vc.category,
+                                                   _EXPECTED_DEFAULT))
+            if self.cache is not None:
+                start = time.perf_counter()
+                hit = None
+                try:
+                    if vc.is_smt:
+                        goal = vc.goal_builder()
+                        job.fingerprint = goal_fingerprint(goal, vc.simplify)
+                    elif (self.engine.rebuild_spec is not None
+                          and vc.name in self._unique_names):
+                        builder, kwargs = self.engine.rebuild_spec
+                        job.fingerprint = structural_fingerprint(
+                            builder, kwargs, vc.name)
+                    if job.fingerprint is not None:
+                        hit = self.cache.get(job.fingerprint)
+                except Exception:
+                    # A goal builder that cannot even construct its term
+                    # will surface the error through the normal discharge
+                    # path below; never let the cache pass crash the run.
+                    job.fingerprint = None
+                job.build_seconds = time.perf_counter() - start
+                if hit is not None:
+                    result = self.cache.result_from(hit, vc,
+                                                    job.build_seconds)
+                    results[index] = result
+                    self._emit(ev.CACHE_HIT, vc, seconds=job.build_seconds)
+                    if self.progress is not None:
+                        self.progress(result)
+                    continue
+            pending.append(job)
+
+        # Longest-expected-first; index breaks ties deterministically.
+        pending.sort(key=lambda j: (-j.expected, j.index))
+
+        if self.config.jobs <= 1 or not pending:
+            self._run_inline(pending, results, fresh_timings)
+        else:
+            self._run_pools(pending, results, fresh_timings)
+
+        report = ProofReport(results=[r for r in results if r is not None])
+        report.wall_seconds = self._now()
+        if self.cache is not None and fresh_timings:
+            self.cache.store_timings(fresh_timings)
+        self._emit(ev.RUN_FINISHED, None, seconds=report.wall_seconds,
+                   solver_seconds=report.solver_seconds)
+        return report
+
+    # -- inline lane -------------------------------------------------------
+
+    def _finish(self, job: _Job, result: VCResult, attempt: int, lane: str,
+                results, fresh_timings) -> None:
+        result.seconds += job.build_seconds
+        results[job.index] = result
+        fresh_timings[job.vc.name] = result.seconds
+        if (job.fingerprint is not None and self.cache is not None):
+            self.cache.put(job.fingerprint, result)
+        self._emit(ev.FINISHED, job.vc, seconds=result.seconds,
+                   solver_seconds=result.solver_seconds, worker=lane,
+                   status=result.status.value, attempt=attempt)
+        if self.progress is not None:
+            self.progress(result)
+
+    def _run_inline(self, pending, results, fresh_timings) -> None:
+        budgets = self.config.budgets()
+        for job in pending:
+            self._emit(ev.STARTED, job.vc, worker="inline")
+            result, attempt = _discharge_with_ladder(job.vc, budgets)
+            self._finish(job, result, attempt, "inline", results,
+                         fresh_timings)
+
+    # -- parallel lanes ----------------------------------------------------
+
+    def _fork_context(self):
+        import multiprocessing
+
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return None
+
+    def _run_pools(self, pending, results, fresh_timings) -> None:
+        budgets = self.config.budgets()
+        spec = self.engine.rebuild_spec
+        context = self._fork_context() if spec is not None else None
+
+        proc_jobs: list[_Job] = []
+        thread_jobs: list[_Job] = []
+        if spec is not None and context is not None:
+            for job in pending:
+                # Reconstruction is by name: ambiguous (duplicated) names
+                # cannot be dispatched to a worker process.
+                (proc_jobs if job.vc.name in self._unique_names
+                 else thread_jobs).append(job)
+        else:
+            thread_jobs = list(pending)
+
+        pools = []
+        future_to_job = {}
+        try:
+            if proc_jobs:
+                executor = ProcessPoolExecutor(
+                    max_workers=self.config.jobs, mp_context=context)
+                pools.append(executor)
+                builder_name, builder_kwargs = spec
+                for job in proc_jobs:
+                    self._emit(ev.STARTED, job.vc, worker="proc")
+                    future = executor.submit(
+                        _pool_discharge, builder_name, builder_kwargs,
+                        job.vc.name, budgets)
+                    future_to_job[future] = (job, "proc")
+            if thread_jobs:
+                executor = ThreadPoolExecutor(
+                    max_workers=self.config.jobs,
+                    thread_name_prefix="prover")
+                pools.append(executor)
+                for job in thread_jobs:
+                    self._emit(ev.STARTED, job.vc, worker="thread")
+                    future = executor.submit(
+                        _discharge_with_ladder, job.vc, budgets)
+                    future_to_job[future] = (job, "thread")
+
+            outstanding = set(future_to_job)
+            while outstanding:
+                done, outstanding = wait(outstanding,
+                                         return_when=FIRST_COMPLETED)
+                for future in done:
+                    job, lane = future_to_job[future]
+                    try:
+                        payload = future.result()
+                    except Exception as exc:
+                        result = VCResult(
+                            name=job.vc.name,
+                            status=VCStatus.ERROR,
+                            seconds=0.0,
+                            category=job.vc.category,
+                            detail=f"worker failed: "
+                                   f"{type(exc).__name__}: {exc}",
+                        )
+                        attempt = 1
+                    else:
+                        if lane == "proc":
+                            result, attempt = _deserialize_result(payload)
+                        else:
+                            result, attempt = payload
+                    self._finish(job, result, attempt, lane, results,
+                                 fresh_timings)
+        finally:
+            for pool in pools:
+                pool.shutdown(wait=True)
+
+
+def prove_all(engine: ProofEngine, jobs: int = 1,
+              cache: ProofCache | None = None,
+              config: ProverConfig | None = None,
+              on_event=None, progress=None) -> ProofReport:
+    """Discharge every VC of `engine` under the scheduler.
+
+    Returns a :class:`ProofReport` whose contents and ordering are
+    independent of `jobs`; `report.wall_seconds` carries the end-to-end
+    time and `report.cache_hits` the number of VCs served from the
+    persistent proof cache.  Pass ``config=ProverConfig(use_cache=False)``
+    (or a `cache` instance) to control caching explicitly."""
+    if config is None:
+        config = ProverConfig(jobs=jobs)
+    else:
+        config.jobs = jobs
+    scheduler = ProverScheduler(engine, config=config, cache=cache,
+                                on_event=on_event, progress=progress)
+    return scheduler.run()

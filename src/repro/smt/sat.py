@@ -18,6 +18,23 @@ from dataclasses import dataclass, field
 UNDEF = -1
 
 
+class BudgetExceeded(RuntimeError):
+    """Raised when `solve(max_conflicts=...)` runs out of conflict budget.
+
+    A subclass of the RuntimeError historically raised here, so existing
+    callers keep working; the prover's scheduler catches it specifically to
+    distinguish a timed-out VC from a refuted one and to retry with a
+    larger budget.
+    """
+
+    def __init__(self, budget: int, conflicts: int) -> None:
+        super().__init__(
+            f"SAT solver exceeded conflict budget ({conflicts} > {budget})"
+        )
+        self.budget = budget
+        self.conflicts = conflicts
+
+
 @dataclass
 class SatStats:
     """Counters exposed for the evaluation harness."""
@@ -350,8 +367,8 @@ class SatSolver:
 
     def solve(self, max_conflicts: int | None = None) -> SatResult:
         """Run the CDCL loop.  Returns a :class:`SatResult`; if
-        `max_conflicts` is hit a RuntimeError is raised (our VCs are expected
-        to be decided)."""
+        `max_conflicts` is hit a :class:`BudgetExceeded` is raised (our VCs
+        are expected to be decided)."""
         if self._unsat:
             return SatResult(sat=False, stats=self.stats)
         if self._propagate() is not None:
@@ -385,7 +402,7 @@ class SatSolver:
                 self._var_inc *= self._var_decay
                 self._cla_inc *= 1.001
                 if max_conflicts is not None and self.stats.conflicts > max_conflicts:
-                    raise RuntimeError("SAT solver exceeded conflict budget")
+                    raise BudgetExceeded(max_conflicts, self.stats.conflicts)
                 continue
 
             if conflicts_in_run >= conflicts_until_restart:

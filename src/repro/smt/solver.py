@@ -22,7 +22,13 @@ from repro.smt.ast import Term
 
 @dataclass
 class SolverStats:
-    """Breakdown of where solving time went, for the evaluation harness."""
+    """Breakdown of where solving time went, for the evaluation harness.
+
+    The `*_seconds` fields are wall-clock and vary run to run; everything
+    else is a deterministic function of the formula and the solver
+    configuration, which is what the proof cache persists and what the
+    determinism tests compare.
+    """
 
     rewrite_seconds: float = 0.0
     blast_seconds: float = 0.0
@@ -33,6 +39,26 @@ class SolverStats:
     decided_structurally: bool = False
     sat_conflicts: int = 0
     sat_decisions: int = 0
+    sat_propagations: int = 0
+    sat_restarts: int = 0
+
+    @property
+    def solver_seconds(self) -> float:
+        """Total time attributable to the solving pipeline itself."""
+        return self.rewrite_seconds + self.blast_seconds + self.sat_seconds
+
+    def deterministic(self) -> dict[str, int | bool]:
+        """The machine-independent counters (cacheable / comparable)."""
+        return {
+            "aig_nodes": self.aig_nodes,
+            "cnf_vars": self.cnf_vars,
+            "cnf_clauses": self.cnf_clauses,
+            "decided_structurally": self.decided_structurally,
+            "sat_conflicts": self.sat_conflicts,
+            "sat_decisions": self.sat_decisions,
+            "sat_propagations": self.sat_propagations,
+            "sat_restarts": self.sat_restarts,
+        }
 
 
 @dataclass
@@ -102,6 +128,8 @@ class Solver:
         stats.sat_seconds = time.perf_counter() - start
         stats.sat_conflicts = result.stats.conflicts
         stats.sat_decisions = result.stats.decisions
+        stats.sat_propagations = result.stats.propagations
+        stats.sat_restarts = result.stats.restarts
 
         if not result.sat:
             return SolverResult(sat=False, stats=stats)
@@ -160,12 +188,20 @@ class Solver:
         return model
 
 
-def prove(goal: Term, simplify: bool = True) -> SolverResult:
+def prove(
+    goal: Term, simplify: bool = True, max_conflicts: int | None = None
+) -> SolverResult:
     """Attempt to prove `goal` valid: returns sat=False when proved
-    (the negation is unsatisfiable), else a counterexample model."""
+    (the negation is unsatisfiable), else a counterexample model.
+
+    `max_conflicts` bounds the CDCL search; exceeding it raises
+    :class:`repro.smt.sat.BudgetExceeded` — the prover's per-VC "timeout"
+    mechanism, expressed as a deterministic conflict budget rather than a
+    wall-clock deadline so results do not depend on machine speed or job
+    count."""
     solver = Solver(simplify=simplify)
     solver.add(ast.not_(goal))
-    return solver.check()
+    return solver.check(max_conflicts=max_conflicts)
 
 
 def counterexample(goal: Term) -> dict[str, int | bool] | None:

@@ -3,6 +3,10 @@
 This is the harness behind Figure 1a.  The paper reports the CDF of the
 verification times of 220 verification conditions, their maximum (11 s), and
 the total (~40 s); :class:`ProofReport` computes exactly those quantities.
+
+`ProofEngine.run()` is the simple serial loop; the scheduled, cached,
+parallel discharge path lives in :mod:`repro.prover` and produces the same
+:class:`ProofReport` (same contents, same order) regardless of job count.
 """
 
 from __future__ import annotations
@@ -17,6 +21,11 @@ class ProofReport:
     """Aggregated outcome of a proof-engine run."""
 
     results: list[VCResult] = field(default_factory=list)
+    #: End-to-end wall-clock of the run that produced the report (set by the
+    #: prover scheduler; 0.0 for plain serial `ProofEngine.run`).  Differs
+    #: from `total_seconds` — the sum of per-VC times — once VCs are
+    #: discharged concurrently or served from the cache.
+    wall_seconds: float = 0.0
 
     @property
     def total(self) -> int:
@@ -31,12 +40,25 @@ class ProofReport:
         return [r for r in self.results if r.status is not VCStatus.PROVED]
 
     @property
+    def timeouts(self) -> list[VCResult]:
+        return [r for r in self.results if r.status is VCStatus.TIMEOUT]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
     def all_proved(self) -> bool:
         return self.proved == self.total
 
     @property
     def total_seconds(self) -> float:
         return sum(r.seconds for r in self.results)
+
+    @property
+    def solver_seconds(self) -> float:
+        """Cumulative time inside the solving pipeline across all VCs."""
+        return sum(r.solver_seconds for r in self.results)
 
     @property
     def max_seconds(self) -> float:
@@ -46,11 +68,28 @@ class ProofReport:
         return sorted(r.seconds for r in self.results)
 
     def cdf(self, points: int = 50) -> list[tuple[float, float]]:
-        """(seconds, cumulative fraction) pairs — the Figure 1a series."""
+        """(seconds, cumulative fraction) pairs — the Figure 1a series.
+
+        Downsampled to at most `points` entries, evenly spaced over the
+        sorted population and always including the slowest VC, so plotting
+        220 VCs at `points=50` yields 50 representative steps rather than
+        silently returning all 220.
+        """
         times = self.times()
-        if not times:
+        n = len(times)
+        if not n:
             return []
-        return [(t, (i + 1) / len(times)) for i, t in enumerate(times)]
+        if points <= 0:
+            raise ValueError(f"points must be positive, got {points}")
+        if n <= points:
+            return [(t, (i + 1) / n) for i, t in enumerate(times)]
+        # Evenly spaced ranks 1..n, rounded to integers; the last sample is
+        # always rank n (the max), so the CDF still reaches 1.0.
+        samples = []
+        for j in range(1, points + 1):
+            rank = round(j * n / points)
+            samples.append((times[rank - 1], rank / n))
+        return samples
 
     def fraction_within(self, seconds: float) -> float:
         """Cumulative fraction of VCs verified within `seconds`."""
@@ -66,12 +105,21 @@ class ProofReport:
         return groups
 
     def summary_lines(self) -> list[str]:
+        timeouts = len(self.timeouts)
         lines = [
             f"verification conditions: {self.total}",
-            f"proved: {self.proved}  failed: {self.total - self.proved}",
+            f"proved: {self.proved}  failed: "
+            f"{self.total - self.proved - timeouts}  timeout: {timeouts}",
             f"total verification time: {self.total_seconds:.2f} s",
             f"slowest verification condition: {self.max_seconds:.2f} s",
         ]
+        if self.wall_seconds:
+            lines.insert(3, f"wall-clock time: {self.wall_seconds:.2f} s "
+                            f"(cumulative solver time: "
+                            f"{self.solver_seconds:.2f} s)")
+        if self.cache_hits:
+            lines.append(f"proof-cache hits: {self.cache_hits}/{self.total} "
+                         f"({self.cache_hits / self.total:.0%})")
         for category, results in sorted(self.by_category().items()):
             secs = sum(r.seconds for r in results)
             lines.append(
@@ -85,6 +133,12 @@ class ProofEngine:
 
     def __init__(self) -> None:
         self.groups: list[VCGroup] = []
+        #: Optional (builder name, kwargs) pair registered with
+        #: :mod:`repro.prover.registry`, letting worker processes rebuild
+        #: this engine's VC population by name (goal-builder closures do
+        #: not pickle, so the population itself never crosses a process
+        #: boundary).
+        self.rebuild_spec: tuple[str, dict] | None = None
 
     def group(self, name: str) -> VCGroup:
         for g in self.groups:
@@ -105,14 +159,20 @@ class ProofEngine:
     def vc_count(self) -> int:
         return sum(len(g) for g in self.groups)
 
+    def vcs(self) -> list[VC]:
+        """Every VC in deterministic (insertion) order — the canonical
+        order of `ProofReport.results` for both serial and parallel runs."""
+        return [vc for group in self.groups for vc in group.vcs]
+
     def run(self, progress=None) -> ProofReport:
-        """Discharge every VC.  `progress`, if given, is called with each
-        :class:`VCResult` as it completes (used by the benchmark harness)."""
+        """Discharge every VC serially.  `progress`, if given, is called
+        with each :class:`VCResult` as it completes (used by the benchmark
+        harness).  For the scheduled/cached/parallel path use
+        :func:`repro.prover.prove_all`."""
         report = ProofReport()
-        for group in self.groups:
-            for vc in group.vcs:
-                result = vc.discharge()
-                report.results.append(result)
-                if progress is not None:
-                    progress(result)
+        for vc in self.vcs():
+            result = vc.discharge()
+            report.results.append(result)
+            if progress is not None:
+                progress(result)
         return report

@@ -5,6 +5,10 @@ category (used to group the proof report the way Figure 2 groups the layers),
 and a discharge strategy.  Discharging returns a :class:`VCResult` carrying
 the outcome, the wall-clock time (the quantity plotted in Figure 1a), and a
 counterexample when the obligation fails.
+
+SMT-backed VCs additionally expose their `goal_builder`, so the prover
+subsystem (:mod:`repro.prover`) can fingerprint the goal term for the
+persistent proof cache and discharge it under a conflict budget.
 """
 
 from __future__ import annotations
@@ -19,6 +23,10 @@ class VCStatus(enum.Enum):
     PROVED = "proved"
     FAILED = "failed"
     ERROR = "error"
+    #: The solver ran out of its conflict budget before deciding the goal.
+    #: Distinct from FAILED: a timed-out VC has no counterexample and may
+    #: yet be proved with a larger budget (the scheduler's retry ladder).
+    TIMEOUT = "timeout"
 
 
 @dataclass
@@ -31,10 +39,26 @@ class VCResult:
     category: str = ""
     detail: str = ""
     counterexample: object = None
+    #: Time spent inside the solving pipeline itself (rewrite + bit-blast +
+    #: SAT) — the "cumulative solver time" the event stream reports against
+    #: wall-clock.  For non-SMT VCs this equals `seconds`.
+    solver_seconds: float = 0.0
+    #: True when the result was served from the persistent proof cache
+    #: instead of being recomputed.
+    cached: bool = False
+    #: Machine-independent solver counters (conflicts, decisions, ...) for
+    #: SMT VCs — what the proof cache persists alongside the verdict.
+    solver_stats: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.status is VCStatus.PROVED
+
+    def key(self) -> tuple:
+        """The machine-independent content of the result (no timings) —
+        what must be identical between serial and parallel runs."""
+        return (self.name, self.status.value, self.category, self.detail,
+                repr(self.counterexample))
 
 
 @dataclass
@@ -44,17 +68,50 @@ class VC:
     `check` returns ``None`` on success or a counterexample object (anything
     truthy/printable) on failure.  Exceptions are caught by the engine and
     reported as ``ERROR``.
+
+    When the VC is an SMT goal, `goal_builder` is the zero-argument term
+    constructor and `simplify` the solver configuration; `check` may then be
+    ``None`` — discharge routes through the solver directly, which lets
+    callers impose a conflict budget (`max_conflicts`).
     """
 
     name: str
     category: str
-    check: Callable[[], object | None]
+    check: Callable[[], object | None] | None
     description: str = ""
+    goal_builder: Callable[[], object] | None = None
+    simplify: bool = True
 
-    def discharge(self) -> VCResult:
+    @property
+    def is_smt(self) -> bool:
+        return self.goal_builder is not None
+
+    def _invoke(self, max_conflicts: int | None):
+        if self.goal_builder is not None:
+            from repro.smt.solver import prove
+
+            result = prove(self.goal_builder(), simplify=self.simplify,
+                           max_conflicts=max_conflicts)
+            return result.model if result.sat else None, result.stats
+        assert self.check is not None, f"VC {self.name} has no strategy"
+        return self.check(), None
+
+    def discharge(self, max_conflicts: int | None = None) -> VCResult:
+        from repro.smt.sat import BudgetExceeded
+
         start = time.perf_counter()
         try:
-            counterexample = self.check()
+            counterexample, stats = self._invoke(max_conflicts)
+        except BudgetExceeded as exc:
+            elapsed = time.perf_counter() - start
+            return VCResult(
+                name=self.name,
+                status=VCStatus.TIMEOUT,
+                seconds=elapsed,
+                category=self.category,
+                detail=str(exc),
+                solver_seconds=elapsed,
+            )
         except Exception as exc:  # surfaced, never swallowed silently
             elapsed = time.perf_counter() - start
             return VCResult(
@@ -65,12 +122,16 @@ class VC:
                 detail=f"{type(exc).__name__}: {exc}",
             )
         elapsed = time.perf_counter() - start
+        solver_seconds = stats.solver_seconds if stats is not None else elapsed
+        solver_stats = stats.deterministic() if stats is not None else {}
         if counterexample is None:
             return VCResult(
                 name=self.name,
                 status=VCStatus.PROVED,
                 seconds=elapsed,
                 category=self.category,
+                solver_seconds=solver_seconds,
+                solver_stats=solver_stats,
             )
         return VCResult(
             name=self.name,
@@ -79,6 +140,8 @@ class VC:
             category=self.category,
             detail=str(counterexample),
             counterexample=counterexample,
+            solver_seconds=solver_seconds,
+            solver_stats=solver_stats,
         )
 
 
@@ -96,7 +159,8 @@ class VCGroup:
         return len(self.vcs)
 
 
-def smt_vc(name: str, category: str, goal_builder, description: str = "") -> VC:
+def smt_vc(name: str, category: str, goal_builder, description: str = "",
+           simplify: bool = True) -> VC:
     """A VC discharged by the SMT solver.
 
     `goal_builder` is a zero-argument callable returning the goal term, so
@@ -104,15 +168,9 @@ def smt_vc(name: str, category: str, goal_builder, description: str = "") -> VC:
     encoding time to each function's verification time.
     """
 
-    def check():
-        from repro.smt.solver import prove
-
-        result = prove(goal_builder())
-        if result.sat:
-            return result.model
-        return None
-
-    return VC(name=name, category=category, check=check, description=description)
+    return VC(name=name, category=category, check=None,
+              description=description, goal_builder=goal_builder,
+              simplify=simplify)
 
 
 def forall_vc(name: str, category: str, cases, predicate, description: str = "") -> VC:

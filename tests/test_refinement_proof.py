@@ -182,7 +182,10 @@ class TestTimingReport:
         assert report.all_proved
         assert report.total_seconds > 0
         assert report.max_seconds <= report.total_seconds
-        cdf = report.cdf()
+        # The default downsamples to 50 points; an explicit `points` at or
+        # above the population size returns every sample.
+        assert len(report.cdf()) == 50
+        cdf = report.cdf(points=80)
         assert len(cdf) == 80
         # CDF is monotone and ends at 1.0
         assert cdf[-1][1] == pytest.approx(1.0)
