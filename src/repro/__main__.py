@@ -9,6 +9,12 @@ population under the scheduled/cached prover (:mod:`repro.prover`): VCs fan
 out across N worker processes, longest-expected-first, and SMT verdicts are
 served from / stored into the persistent proof cache so a re-verification
 run only pays for what changed.
+
+``python -m repro faults --campaign all --seed 1`` runs the deterministic
+fault-injection campaign (:mod:`repro.faults`): seeded faults at the disk,
+network link, allocator, and prover layers, with per-site
+injected/survived/degraded/failed accounting and a nonzero exit on any
+invariant violation.
 """
 
 from __future__ import annotations
@@ -133,6 +139,29 @@ def prove(args) -> int:
     return 0
 
 
+def faults(args) -> int:
+    from repro.faults import run_campaign
+    from repro.faults.campaign import summary_text
+
+    print(f"faults: campaign={args.campaign} seed={args.seed}")
+    reports = run_campaign(args.campaign, seed=args.seed)
+    text = summary_text(reports)
+    print(text)
+
+    if args.check_determinism:
+        replay = summary_text(run_campaign(args.campaign, seed=args.seed))
+        if replay != text:
+            print("faults: NONDETERMINISM — replay with the same seed "
+                  "produced a different summary", file=sys.stderr)
+            return 2
+        print("faults: replay with the same seed is byte-identical")
+
+    if any(report.violations for report in reports):
+        print("faults: invariant violations detected", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -164,7 +193,21 @@ def main(argv=None) -> int:
                               help="exit 3 if the cache hit rate is below "
                                    "this fraction (CI warm-cache check)")
 
+    faults_parser = sub.add_parser(
+        "faults", help="run the deterministic fault-injection campaign")
+    faults_parser.add_argument("--seed", type=int, default=1,
+                               help="fault-plan seed (default 1)")
+    faults_parser.add_argument("--campaign", default="all",
+                               choices=["disk", "net", "mem", "prover",
+                                        "all"],
+                               help="which layer to attack (default all)")
+    faults_parser.add_argument("--check-determinism", action="store_true",
+                               help="run twice and require byte-identical "
+                                    "summaries")
+
     args = parser.parse_args(argv)
+    if args.command == "faults":
+        return faults(args)
     if args.command == "prove":
         if args.budget is None:
             from repro.prover import DEFAULT_CONFLICT_BUDGET

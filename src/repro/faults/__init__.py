@@ -1,0 +1,50 @@
+"""Deterministic fault injection across the system's layers.
+
+The paper's claim is that a verified OS contract lets applications survive
+the environment's *misbehavior*, not just its absence.  This package turns
+that claim into a gated test surface:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded, replayable
+  decision engine.  Every injection site in the tree (disk, block driver,
+  link, physical/user memory, prover) asks the plan whether to misbehave;
+  the same ``(seed, rules)`` tuple always yields the same campaign.
+* :mod:`repro.faults.crash` — the crash-recovery harness: run a filesystem
+  scenario once to count its write boundaries, then re-run it crashing the
+  disk at every boundary, remount, and audit the volume with ``fsck``.
+* :mod:`repro.faults.campaign` — the seeded campaigns behind
+  ``python -m repro faults``: disk, net, mem, and prover, each reporting
+  injected / survived / degraded / failed per site and collecting
+  invariant violations.
+
+The injection sites themselves live in the layers (``Disk``,
+``BlockDriver``, ``Link``, ``BuddyAllocator``, ``Heap``,
+``ProverScheduler``) so campaigns exercise the real code paths rather than
+mocks around them.
+"""
+
+from repro.faults.campaign import (
+    CampaignReport,
+    SiteSummary,
+    run_campaign,
+    run_disk_campaign,
+    run_mem_campaign,
+    run_net_campaign,
+    run_prover_campaign,
+)
+from repro.faults.crash import CrashMatrixReport, run_crash_matrix
+from repro.faults.plan import FaultDecision, FaultPlan, FaultRule
+
+__all__ = [
+    "CampaignReport",
+    "CrashMatrixReport",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultRule",
+    "SiteSummary",
+    "run_campaign",
+    "run_crash_matrix",
+    "run_disk_campaign",
+    "run_mem_campaign",
+    "run_net_campaign",
+    "run_prover_campaign",
+]

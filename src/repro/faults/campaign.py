@@ -1,0 +1,836 @@
+"""Seeded fault-injection campaigns: disk, net, mem, prover.
+
+Each campaign wires a :class:`~repro.faults.plan.FaultPlan` into the real
+layers (no mocks), drives a deterministic workload through them, and
+classifies every injection:
+
+* **survived** — absorbed with no caller-visible effect (a retry healed a
+  torn write, RDP retransmitted through loss, a poisoned cache entry was
+  re-proved);
+* **degraded** — surfaced as a *typed, recoverable* error the caller
+  observed (``DiskIOError`` after retries, ``QueueFull``, ``OutOfMemory``,
+  ``AllocFailed``, ``RdpGiveUp``, an ERROR verdict from a crashed prover
+  worker);
+* **failed** — an invariant was violated: data loss, corruption fsck can't
+  classify as a leak, wrong delivery order, a lost proof run.  Every
+  *failed* count comes with an entry in :attr:`CampaignReport.violations`,
+  and any violation makes the CLI exit nonzero.
+
+Determinism contract: a campaign's :meth:`CampaignReport.summary_lines`
+depend only on ``(campaign, seed)`` — no wall-clock, no paths, no
+iteration over unordered containers — so two runs with the same seed must
+produce byte-identical summaries (the CLI's ``--check-determinism`` and
+the CI gate verify exactly that).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.faults.crash import CRASH_SCENARIOS, run_crash_matrix
+from repro.faults.plan import FaultPlan, FaultRule
+
+CAMPAIGNS = ("disk", "net", "mem", "prover")
+
+
+@dataclass
+class SiteSummary:
+    injected: int = 0
+    survived: int = 0
+    degraded: int = 0
+    failed: int = 0
+
+
+@dataclass
+class CampaignReport:
+    name: str
+    seed: int
+    sites: dict[str, SiteSummary] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def site(self, name: str) -> SiteSummary:
+        if name not in self.sites:
+            self.sites[name] = SiteSummary()
+        return self.sites[name]
+
+    def violation(self, site: str, message: str) -> None:
+        self.site(site).failed += 1
+        self.violations.append(f"[{self.name}] {site}: {message}")
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def injections(self) -> int:
+        return sum(s.injected for s in self.sites.values())
+
+    def summary_lines(self) -> list[str]:
+        lines = [f"campaign {self.name} (seed {self.seed}): "
+                 f"{self.injections} injections, "
+                 f"{len(self.violations)} violations"]
+        for name in sorted(self.sites):
+            s = self.sites[name]
+            lines.append(f"  {name:<16} injected {s.injected:>4}  "
+                         f"survived {s.survived:>4}  "
+                         f"degraded {s.degraded:>4}  failed {s.failed:>4}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# disk
+# ---------------------------------------------------------------------------
+
+
+def _resync_shadow(fs, shadow, path: str) -> None:
+    """After a failed operation, re-learn the on-disk truth for `path`
+    (small retry loop: the re-read itself may hit a transient fault)."""
+    from repro.hw.devices.disk import DiskIOError
+    from repro.nros.drivers.block import QueueFull
+
+    for _ in range(4):
+        try:
+            if not fs.exists(path):
+                shadow.pop(path, None)
+                return
+            inum = fs.lookup(path)
+            size = fs.stat_inum(inum).size
+            shadow[path] = fs.read_at(inum, 0, size)
+            return
+        except (DiskIOError, QueueFull):
+            continue
+    shadow.pop(path, None)  # unknowable right now; stop verifying it
+
+
+def _disk_transient_workload(seed: int, report: CampaignReport) -> None:
+    """File operations under transient write errors, torn writes, sparse
+    read errors, and injected device-busy rejections."""
+    from repro.hw.devices.disk import Disk, DiskIOError
+    from repro.nros.drivers.block import BlockDriver, QueueFull
+    from repro.nros.fs.fs import FileSystem, FsError
+    from repro.nros.fs.fsck import fsck
+    from repro.faults.crash import is_recoverable
+
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="disk.write", kind="io-error", probability=0.05),
+        FaultRule(site="disk.write", kind="torn", probability=0.03),
+        FaultRule(site="disk.read", kind="io-error", probability=0.01),
+        FaultRule(site="block.submit", kind="queue-full", every=97,
+                  max_triggers=4),
+    ])
+    disk = Disk(256)
+    driver = BlockDriver(disk, fault_plan=plan)
+    fs = FileSystem.mkfs(driver, num_inodes=128)
+    disk.fault_plan = plan  # armed only after the volume is formatted
+
+    rng = random.Random(f"{seed}/disk-workload")
+    shadow: dict[str, bytes] = {}
+    site = report.site("disk.io")
+    next_file = 0
+
+    for _ in range(150):
+        before = plan.injections
+        paths = sorted(shadow)
+        op = rng.choice(["create", "write", "read", "rename", "unlink"])
+        path = rng.choice(paths) if paths else None
+        try:
+            if op == "create" or path is None:
+                path = f"/f{next_file}"
+                next_file += 1
+                fs.create(path)
+                shadow[path] = b""
+            elif op == "write":
+                payload = bytes([rng.randrange(256)]) * rng.randrange(1, 6000)
+                offset = rng.randrange(0, len(shadow[path]) + 1)
+                inum = fs.lookup(path)
+                fs.write_at(inum, offset, payload)
+                data = bytearray(shadow[path])
+                if offset + len(payload) > len(data):
+                    data.extend(bytes(offset + len(payload) - len(data)))
+                data[offset:offset + len(payload)] = payload
+                shadow[path] = bytes(data)
+            elif op == "read":
+                inum = fs.lookup(path)
+                data = fs.read_at(inum, 0, len(shadow[path]))
+                if data != shadow[path]:
+                    # one transient bus fault may damage a buffer; a
+                    # re-read must see the intact medium
+                    data = fs.read_at(inum, 0, len(shadow[path]))
+                    if data != shadow[path]:
+                        report.violation(
+                            "disk.io", f"persistent mismatch reading {path}")
+                        continue
+            elif op == "rename":
+                new = f"/f{next_file}"
+                next_file += 1
+                fs.rename(path, new)
+                shadow[new] = shadow.pop(path)
+            elif op == "unlink":
+                fs.unlink(path)
+                del shadow[path]
+            injected = plan.injections - before
+            site.injected += injected
+            site.survived += injected
+        except (DiskIOError, QueueFull) as exc:
+            injected = plan.injections - before
+            site.injected += injected
+            site.degraded += injected
+            del exc
+            for touched in {path} | ({new} if op == "rename" else set()):
+                if touched is not None:
+                    _resync_shadow(fs, shadow, touched)
+        except FsError as exc:
+            report.violation("disk.io", f"{op} raised {exc}")
+
+    # The volume must still audit clean up to recoverable leaks from the
+    # operations that failed mid-flight.
+    disk.fault_plan = None
+    for issue in fsck(fs):
+        if is_recoverable(issue):
+            report.site("disk.io").degraded += 1
+        else:
+            report.violation("disk.io", f"fsck: {issue}")
+
+    # Power-cycle: remount the image on a pristine device and verify every
+    # surviving file byte-for-byte.
+    survivor = Disk(256)
+    survivor.restore(disk.snapshot())
+    remounted = FileSystem(BlockDriver(survivor))
+    for issue in fsck(remounted):
+        if not is_recoverable(issue):
+            report.violation("disk.io", f"fsck after remount: {issue}")
+    for path in sorted(shadow):
+        inum = remounted.lookup(path)
+        data = remounted.read_at(inum, 0, len(shadow[path]))
+        if data != shadow[path]:
+            report.violation("disk.io", f"{path} lost data across remount")
+    report.notes.append(
+        f"disk.io: {len(shadow)} files verified byte-for-byte after "
+        f"remount; driver retried {driver.io_retries} transient errors "
+        f"({disk.torn_writes} torn)")
+
+
+def _disk_read_corruption(seed: int, report: CampaignReport) -> None:
+    """Bus-level read corruption is detected by comparison and shown
+    transient: the medium is intact, a re-read heals."""
+    from repro.hw.devices.disk import Disk
+
+    disk = Disk(16)
+    expected = []
+    for sector in range(disk.num_sectors):
+        pattern = bytes([sector * 17 % 256]) * Disk.SECTOR_SIZE
+        disk.write_sector(sector, pattern)
+        expected.append(pattern)
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="disk.read", kind="corrupt", probability=0.3),
+    ])
+    disk.fault_plan = plan
+    rng = random.Random(f"{seed}/corrupt-reads")
+    site = report.site("disk.read")
+    for _ in range(120):
+        sector = rng.randrange(disk.num_sectors)
+        before = plan.injections
+        data = disk.read_sector(sector)
+        if plan.injections == before:
+            if data != expected[sector]:
+                report.violation("disk.read",
+                                 f"uninjected mismatch at sector {sector}")
+            continue
+        if data == expected[sector]:
+            site.injected += plan.injections - before
+            report.violation("disk.read",
+                             f"injected corruption invisible at {sector}")
+            continue
+        persisted = False
+        while True:   # re-reads heal; each may itself be corrupted again
+            prev = plan.injections
+            healed = disk.read_sector(sector)
+            if healed == expected[sector]:
+                break
+            if plan.injections == prev:
+                persisted = True   # clean read, still wrong: medium damage
+                break
+        incident = plan.injections - before
+        site.injected += incident
+        if persisted:
+            report.violation("disk.read",
+                             f"corruption persisted at sector {sector}")
+        else:
+            site.survived += incident
+
+
+def _disk_queue_backpressure(seed: int, report: CampaignReport) -> None:
+    """A stalled device fills the bounded queue; QueueFull is typed
+    backpressure the caller rides out with service() + retry, and no
+    accepted request is ever lost."""
+    from repro.hw.devices.disk import Disk
+    from repro.nros.drivers.block import BlockDriver, BlockRequest, QueueFull
+
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="block.submit", kind="stall", every=1,
+                  max_triggers=40),
+    ])
+    disk = Disk(64)
+    driver = BlockDriver(disk, fault_plan=plan)
+    site = report.site("block.submit")
+    total = 45
+    rejections = 0
+    for sector in range(total):
+        payload = bytes([sector]) * Disk.SECTOR_SIZE
+        for attempt in range(3):
+            try:
+                driver.submit(BlockRequest("write", sector, data=payload))
+                break
+            except QueueFull:
+                rejections += 1
+                driver.service()
+        else:
+            report.violation("block.submit",
+                             f"write {sector} rejected after retries")
+    driver.service()
+    site.injected += plan.injections
+    site.degraded += rejections
+    site.survived += plan.injections - rejections
+    if rejections == 0:
+        report.violation("block.submit",
+                         "stalled queue never exerted backpressure")
+    for sector in range(total):
+        if disk.read_sector(sector) != bytes([sector]) * Disk.SECTOR_SIZE:
+            report.violation("block.submit",
+                             f"accepted write {sector} was lost")
+    report.notes.append(
+        f"block.submit: {rejections} QueueFull rejections ridden out; "
+        f"all {total} writes landed")
+
+
+def _disk_crash_matrix(report: CampaignReport) -> None:
+    site = report.site("disk.crash")
+    for name in sorted(CRASH_SCENARIOS):
+        scenario, setup = CRASH_SCENARIOS[name]
+        matrix = run_crash_matrix(scenario, name=name, setup=setup)
+        site.injected += matrix.crash_points
+        site.survived += matrix.clean
+        site.degraded += matrix.degraded
+        for violation in matrix.violations:
+            report.violation("disk.crash", violation)
+        report.notes.append(matrix.summary())
+
+
+def run_disk_campaign(seed: int = 1) -> CampaignReport:
+    report = CampaignReport("disk", seed)
+    _disk_transient_workload(seed, report)
+    _disk_read_corruption(seed, report)
+    _disk_queue_backpressure(seed, report)
+    _disk_crash_matrix(report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# net
+# ---------------------------------------------------------------------------
+
+
+def _net_hosts():
+    from repro.hw.devices.nic import Nic
+    from repro.nros.net.stack import NetStack
+
+    nic_a = Nic(b"\xaa" * 6)
+    nic_b = Nic(b"\xbb" * 6)
+    stack_a = NetStack(1, nic_a)
+    stack_b = NetStack(2, nic_b)
+    stack_a.add_neighbour(2, nic_b.mac)
+    stack_b.add_neighbour(1, nic_a.mac)
+    return nic_a, nic_b, stack_a, stack_b
+
+
+def _net_adversarial(seed: int, report: CampaignReport) -> None:
+    """Exactly-once, in-order delivery through a fabric that drops,
+    duplicates, reorders, and corrupts (checksums turn corruption into
+    detectable loss; retransmission covers the rest)."""
+    from repro.nros.net.link import Link
+
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="link.tx", kind="drop", probability=0.15),
+        FaultRule(site="link.tx", kind="dup", probability=0.10),
+        FaultRule(site="link.tx", kind="corrupt", probability=0.08),
+        FaultRule(site="link.tx", kind="reorder", probability=0.12),
+    ])
+    nic_a, nic_b, stack_a, stack_b = _net_hosts()
+    link = Link(nic_a, nic_b, fault_plan=plan)
+    listener = stack_b.rdp_listen(9000)
+    conn = stack_a.rdp_connect(2, 9000)
+    messages = [f"msg-{i:03d}".encode() for i in range(30)]
+    for message in messages:
+        stack_a.rdp_send(conn, message)
+
+    site = report.site("link.tx")
+    delivered: list[bytes] = []
+    server_conns: list = []
+    completed = False
+    for now in range(1, 6000):
+        stack_a.tick(now)
+        link.pump()
+        stack_b.poll()
+        stack_b.tick(now)
+        link.pump()
+        stack_a.poll()
+        while listener.pending:
+            server_conns.append(listener.pending.popleft())
+        for sconn in server_conns:
+            while sconn.recv_queue:
+                delivered.append(sconn.recv_queue.popleft())
+        if (len(delivered) >= len(messages) and conn.unacked is None
+                and not conn.send_queue):
+            completed = True
+            break
+    site.injected += plan.injections
+    if not completed:
+        report.violation("link.tx",
+                         f"session hung: {len(delivered)}/{len(messages)} "
+                         f"messages after 6000 rounds")
+    elif delivered != messages:
+        report.violation("link.tx",
+                         "delivery violated exactly-once-in-order")
+    else:
+        site.survived += plan.injections
+        report.notes.append(
+            f"link.tx: {len(messages)} messages exactly-once in-order "
+            f"through {link.dropped} drops, {link.duplicated} dups, "
+            f"{link.corrupted} corruptions, {link.reordered} reorders "
+            f"({conn.retransmissions} retransmissions)")
+
+
+def _net_blackout(seed: int, report: CampaignReport) -> None:
+    """Total loss: the handshake must give up with a typed RdpGiveUp
+    surfaced to the caller, not stall forever."""
+    from repro.nros.net.link import Link
+    from repro.nros.net.rdp import RdpGiveUp
+
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="link.tx", kind="drop", probability=1.0),
+    ])
+    nic_a, nic_b, stack_a, stack_b = _net_hosts()
+    link = Link(nic_a, nic_b, fault_plan=plan)
+    stack_b.rdp_listen(9000)
+    conn = stack_a.rdp_connect(2, 9000)
+    site = report.site("net.rdp")
+    for now in range(1, 400):
+        stack_a.tick(now)
+        link.pump()
+        stack_b.poll()
+        if stack_a.stats_gave_up:
+            break
+    site.injected += plan.injections
+    if not stack_a.stats_gave_up:
+        report.violation("net.rdp", "SYN blackout never gave up")
+        return
+    try:
+        stack_a.rdp_recv(conn)
+    except RdpGiveUp:
+        site.degraded += 1
+        site.survived += plan.injections - 1 if plan.injections else 0
+        report.notes.append(
+            f"net.rdp: SYN blackout surfaced RdpGiveUp after "
+            f"{conn.retries - 1} retransmissions")
+    else:
+        report.violation("net.rdp", "blackout error not surfaced to recv")
+
+
+def _net_data_blackout(seed: int, report: CampaignReport) -> None:
+    """An established connection whose path dies mid-stream: delivered
+    data stays delivered, the next message surfaces RdpGiveUp."""
+    from repro.nros.net.link import Link
+    from repro.nros.net.rdp import RdpGiveUp
+
+    nic_a, nic_b, stack_a, stack_b = _net_hosts()
+    link = Link(nic_a, nic_b)
+    listener = stack_b.rdp_listen(9000)
+    conn = stack_a.rdp_connect(2, 9000)
+    stack_a.rdp_send(conn, b"before-blackout")
+    delivered = []
+    for now in range(1, 200):
+        stack_a.tick(now)
+        link.pump()
+        stack_b.poll()
+        stack_b.tick(now)
+        link.pump()
+        stack_a.poll()
+        for sconn in list(listener.pending):
+            while sconn.recv_queue:
+                delivered.append(sconn.recv_queue.popleft())
+        if delivered and conn.unacked is None:
+            break
+    site = report.site("net.rdp")
+    if delivered != [b"before-blackout"]:
+        report.violation("net.rdp", "pre-blackout message not delivered")
+        return
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="link.tx", kind="drop", probability=1.0),
+    ])
+    link.fault_plan = plan
+    stack_a.rdp_send(conn, b"into-the-void")
+    gave_up = False
+    for now in range(200, 800):
+        stack_a.tick(now)
+        link.pump()
+        stack_b.poll()
+        if stack_a.stats_gave_up:
+            gave_up = True
+            break
+    site.injected += plan.injections
+    if not gave_up:
+        report.violation("net.rdp", "data blackout never gave up")
+        return
+    try:
+        stack_a.rdp_recv(conn)
+    except RdpGiveUp:
+        site.degraded += 1
+        site.survived += max(0, plan.injections - 1)
+        report.notes.append(
+            "net.rdp: data blackout kept delivered data and surfaced "
+            "RdpGiveUp for the in-flight message")
+    else:
+        report.violation("net.rdp", "data blackout error not surfaced")
+
+
+def run_net_campaign(seed: int = 1) -> CampaignReport:
+    report = CampaignReport("net", seed)
+    _net_adversarial(seed, report)
+    _net_blackout(seed, report)
+    _net_data_blackout(seed, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# mem
+# ---------------------------------------------------------------------------
+
+
+def _mem_pmem(seed: int, report: CampaignReport) -> None:
+    from repro.hw.mem import PhysicalMemory
+    from repro.nros.pmem import BuddyAllocator, OutOfMemory
+
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="pmem.alloc", kind="alloc-fail", probability=0.08),
+    ])
+    memory = PhysicalMemory(4 * 1024 * 1024)
+    allocator = BuddyAllocator(memory, fault_plan=plan)
+    rng = random.Random(f"{seed}/pmem")
+    site = report.site("pmem.alloc")
+    live: list[int] = []
+    for step in range(400):
+        if live and rng.random() < 0.45:
+            allocator.free_block(live.pop(rng.randrange(len(live))))
+        else:
+            order = rng.randrange(0, 4)
+            before = plan.injections
+            try:
+                live.append(allocator.alloc_block(order))
+            except OutOfMemory:
+                if plan.injections == before:
+                    report.violation("pmem.alloc",
+                                     "genuine OOM in a fitted workload")
+                else:
+                    site.degraded += 1
+        if step % 80 == 0:
+            problem = allocator.check_integrity()
+            if problem is not None:
+                report.violation("pmem.alloc", f"integrity: {problem}")
+    site.injected += plan.injections
+    site.survived += plan.injections - site.degraded
+    for block in live:
+        allocator.free_block(block)
+    problem = allocator.check_integrity()
+    if problem is not None:
+        report.violation("pmem.alloc", f"final integrity: {problem}")
+    if allocator.stats.free_frames != allocator.stats.total_frames:
+        report.violation(
+            "pmem.alloc",
+            f"{allocator.stats.total_frames - allocator.stats.free_frames} "
+            f"frames lost after freeing everything")
+    report.notes.append(
+        f"pmem.alloc: {allocator.stats.allocations} allocations, "
+        f"{allocator.injected_failures} injected failures, allocator "
+        f"integrity held")
+
+
+def _drive(gen, next_base: list):
+    """Drive a ulib generator, answering vm_map with growing bases."""
+    from repro.nros.syscall.abi import Syscall
+
+    try:
+        request = next(gen)
+        while True:
+            value = None
+            if isinstance(request, Syscall) and request.name == "vm_map":
+                value = next_base[0]
+                next_base[0] += request.args[0] * 4096
+            request = gen.send(value)
+    except StopIteration as stop:
+        return stop.value
+
+
+def _mem_heap(seed: int, report: CampaignReport) -> None:
+    from repro.ulib.alloc import AllocFailed, Heap
+
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="heap.alloc", kind="alloc-fail", probability=0.15),
+    ])
+    heap = Heap(fault_plan=plan)
+    rng = random.Random(f"{seed}/heap")
+    site = report.site("heap.alloc")
+    next_base = [0x100000]
+    live: list[tuple[int, int]] = []
+    for _ in range(200):
+        if live and rng.random() < 0.4:
+            vaddr, size = live.pop(rng.randrange(len(live)))
+            _drive(heap.free(vaddr, size), next_base)
+        else:
+            size = rng.randrange(8, 2000)
+            try:
+                vaddr = _drive(heap.alloc(size), next_base)
+            except AllocFailed:
+                site.degraded += 1
+                continue
+            if any(vaddr < v + s and v < vaddr + ((size + 7) & ~7)
+                   for v, s in live):
+                report.violation("heap.alloc",
+                                 f"allocation at {vaddr:#x} overlaps a "
+                                 f"live block")
+            live.append((vaddr, (size + 7) & ~7))
+    site.injected += plan.injections
+    site.survived += plan.injections - site.degraded
+    # after every injected failure the heap must still serve requests
+    vaddr = None
+    for _ in range(10):
+        try:
+            vaddr = _drive(heap.alloc(64), next_base)
+            break
+        except AllocFailed:
+            continue
+    if vaddr is None:
+        report.violation("heap.alloc", "heap unusable after injections")
+    report.notes.append(
+        f"heap.alloc: {heap.injected_failures} injected failures, heap "
+        f"stayed serviceable ({heap.pages_mapped} pages mapped)")
+
+
+def run_mem_campaign(seed: int = 1) -> CampaignReport:
+    report = CampaignReport("mem", seed)
+    _mem_pmem(seed, report)
+    _mem_heap(seed, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# prover
+# ---------------------------------------------------------------------------
+
+
+def _prover_engine(hard: bool = False):
+    """A small synthetic VC population: enough to schedule, cache, and
+    crash against without paying for the full Figure 1a proof."""
+    from repro.smt import ast
+    from repro.verif.engine import ProofEngine
+    from repro.verif.vc import forall_vc, smt_vc
+
+    engine = ProofEngine()
+    for i in range(10):
+        def build(i=i):
+            # (x & c) + (x | c) == x + c: valid, solver-hard enough that
+            # term construction cannot fold it away, and the distinct
+            # constant keeps every VC's cache fingerprint distinct
+            x = ast.bv_var(f"x{i}", 8)
+            c = ast.bv_const(i + 1, 8)
+            return ast.eq(ast.bvadd(ast.bvand(x, c), ast.bvor(x, c)),
+                          ast.bvadd(x, c))
+
+        engine.add(smt_vc(f"faults-smt-{i}", "contract", build),
+                   group="faults")
+    if hard:
+        def build_hard():
+            x = ast.bv_var("hx", 4)
+            y = ast.bv_var("hy", 4)
+            s = ast.bvadd(x, y)
+            lhs = ast.bvmul(s, s)
+            two = ast.bv_const(2, 4)
+            rhs = ast.bvadd(ast.bvadd(ast.bvmul(x, x), ast.bvmul(y, y)),
+                            ast.bvmul(two, ast.bvmul(x, y)))
+            return ast.eq(lhs, rhs)
+
+        engine.add(smt_vc("faults-smt-hard", "contract", build_hard),
+                   group="faults")
+    for i in range(5):
+        engine.add(forall_vc(f"faults-forall-{i}", "contract",
+                             range(64), lambda n: n >= 0),
+                   group="faults")
+    return engine
+
+
+def _prover_worker_crash(seed: int, report: CampaignReport) -> None:
+    from repro.prover import ProverConfig, prove_all
+    from repro.verif.vc import VCStatus
+
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="prover.worker", kind="worker-crash", every=4),
+    ])
+    engine = _prover_engine()
+    config = ProverConfig(use_cache=False, fault_plan=plan)
+    site = report.site("prover.worker")
+    try:
+        result = prove_all(engine, jobs=1, config=config)
+    except Exception as exc:
+        report.violation("prover.worker", f"run died: {exc}")
+        return
+    site.injected += plan.injections
+    errors = sum(1 for r in result.results
+                 if r.status is VCStatus.ERROR)
+    proved = sum(1 for r in result.results if r.ok)
+    if len(result.results) != engine.vc_count:
+        report.violation("prover.worker",
+                         f"lost results: {len(result.results)} of "
+                         f"{engine.vc_count}")
+    if errors != plan.injections:
+        report.violation("prover.worker",
+                         f"{plan.injections} crashes but {errors} ERROR "
+                         f"verdicts")
+    site.degraded += errors
+    report.notes.append(
+        f"prover.worker: {plan.injections} worker crashes absorbed as "
+        f"ERROR verdicts; {proved} VCs still proved")
+
+
+def _prover_poisoned_cache(seed: int, report: CampaignReport) -> None:
+    from repro.prover import ProofCache, ProverConfig, prove_all
+
+    site = report.site("prover.cache")
+    cache_dir = tempfile.mkdtemp(prefix="repro-faults-cache-")
+    try:
+        engine = _prover_engine()
+        config = ProverConfig(cache_dir=cache_dir)
+        prove_all(engine, jobs=1, config=config,
+                  cache=ProofCache(cache_dir))
+
+        entries = []
+        for root, _, files in os.walk(cache_dir):
+            for name in files:
+                if name.endswith(".json") and name != "timings.json":
+                    entries.append(os.path.join(root, name))
+        entries.sort()
+        poisoned = entries[::max(1, len(entries) // 3)][:3]
+        for path in poisoned:
+            with open(path, "wb") as fh:
+                fh.write(b"{ this is not a cached verdict")
+        with open(os.path.join(cache_dir, "timings.json"), "wb") as fh:
+            fh.write(b"\x00garbage")
+        site.injected += len(poisoned) + 1
+
+        cache = ProofCache(cache_dir)
+        engine = _prover_engine()
+        try:
+            result = prove_all(engine, jobs=1,
+                               config=ProverConfig(cache_dir=cache_dir),
+                               cache=cache)
+        except Exception as exc:
+            report.violation("prover.cache", f"poisoned cache killed the "
+                                             f"run: {exc}")
+            return
+        if not result.all_proved:
+            report.violation("prover.cache",
+                             "poisoned entries broke re-verification")
+            return
+        if cache.stats.invalid < len(poisoned):
+            report.violation("prover.cache",
+                             f"only {cache.stats.invalid} of "
+                             f"{len(poisoned)} poisoned entries detected")
+            return
+        site.survived += len(poisoned) + 1
+        report.notes.append(
+            f"prover.cache: {len(poisoned)} poisoned entries + corrupt "
+            f"timings treated as cold misses and re-proved")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def _prover_budget_exhaustion(seed: int, report: CampaignReport) -> None:
+    from repro.prover import ProverConfig, prove_all
+    from repro.verif.vc import VCStatus
+
+    engine = _prover_engine(hard=True)
+    config = ProverConfig(use_cache=False, conflict_budget=1,
+                          max_attempts=2, hard_budget=True)
+    site = report.site("prover.budget")
+    try:
+        result = prove_all(engine, jobs=1, config=config)
+    except Exception as exc:
+        report.violation("prover.budget", f"run died: {exc}")
+        return
+    timeouts = sum(1 for r in result.results
+                   if r.status is VCStatus.TIMEOUT)
+    bad = sum(1 for r in result.results
+              if r.status in (VCStatus.FAILED, VCStatus.ERROR))
+    site.injected += timeouts
+    site.degraded += timeouts
+    if len(result.results) != engine.vc_count:
+        report.violation("prover.budget", "budget exhaustion lost results")
+    if bad:
+        report.violation("prover.budget",
+                         f"{bad} VCs mis-verdicted under a tiny budget "
+                         f"(TIMEOUT is the only honest answer)")
+    if timeouts == 0:
+        report.violation("prover.budget",
+                         "hard 1-conflict budget never exhausted")
+    report.notes.append(
+        f"prover.budget: {timeouts} VCs surfaced TIMEOUT under a hard "
+        f"1-conflict budget ladder; none mis-verdicted")
+
+
+def run_prover_campaign(seed: int = 1) -> CampaignReport:
+    report = CampaignReport("prover", seed)
+    _prover_worker_crash(seed, report)
+    _prover_poisoned_cache(seed, report)
+    _prover_budget_exhaustion(seed, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+_RUNNERS = {
+    "disk": run_disk_campaign,
+    "net": run_net_campaign,
+    "mem": run_mem_campaign,
+    "prover": run_prover_campaign,
+}
+
+
+def run_campaign(name: str, seed: int = 1) -> list[CampaignReport]:
+    """Run one campaign (or ``"all"``); returns the reports."""
+    if name == "all":
+        return [_RUNNERS[c](seed) for c in CAMPAIGNS]
+    if name not in _RUNNERS:
+        raise ValueError(f"unknown campaign {name!r}; "
+                         f"choose from {sorted(_RUNNERS)} or 'all'")
+    return [_RUNNERS[name](seed)]
+
+
+def summary_text(reports: list[CampaignReport]) -> str:
+    """The deterministic, comparable text of a run."""
+    lines: list[str] = []
+    for report in reports:
+        lines.extend(report.summary_lines())
+    total_injected = sum(r.injections for r in reports)
+    total_violations = sum(len(r.violations) for r in reports)
+    lines.append(f"total: {total_injected} injections, "
+                 f"{total_violations} violations")
+    return "\n".join(lines)

@@ -1,9 +1,18 @@
 """Directory entry encoding.
 
-A directory's data is a flat sequence of variable-length records:
-``u32 inode | u16 name_len | name bytes``.  Rewritten wholesale on change —
-directories in our workloads are small, and wholesale rewrite keeps the
-format trivially crash-auditable."""
+A directory's data is an array of fixed-size slots:
+``u32 inode | u16 name_len | name bytes``, zero-padded to ``SLOT_SIZE``.
+A slot whose ``name_len`` is zero is free and may be reused.
+
+Fixed slots are what make namespace updates crash-atomic: adding,
+removing, or renaming an entry rewrites exactly one slot, slots never
+straddle a sector boundary, and sector writes are atomic — so every
+directory update the filesystem performs is a single all-or-nothing
+device write.  (The previous variable-length format required rewriting
+the whole directory on every change; a crash or rejected write in the
+middle of that rewrite could empty the directory.  The fault-injection
+crash matrix in :mod:`repro.faults` guards this property.)
+"""
 
 from __future__ import annotations
 
@@ -11,44 +20,95 @@ import struct
 
 _HEADER = struct.Struct("<IH")
 
-MAX_NAME = 255
+#: Slot size: divides the 4096-byte sector, so a slot write is atomic.
+SLOT_SIZE = 128
+
+MAX_NAME = SLOT_SIZE - _HEADER.size
 
 
 class DirFormatError(Exception):
     """Corrupt directory data."""
 
 
+def encode_slot(name: str, inum: int) -> bytes:
+    """One fixed-size directory slot."""
+    payload = name.encode("utf-8")
+    if not payload or len(payload) > MAX_NAME:
+        raise ValueError(f"bad directory entry name {name!r}")
+    slot = bytearray(SLOT_SIZE)
+    _HEADER.pack_into(slot, 0, inum, len(payload))
+    slot[_HEADER.size : _HEADER.size + len(payload)] = payload
+    return bytes(slot)
+
+
+FREE_SLOT = bytes(SLOT_SIZE)
+
+
 def encode_entries(entries: dict[str, int]) -> bytes:
-    """Serialize name -> inode mappings."""
+    """Serialize name -> inode mappings (wholesale; fresh directories)."""
     out = bytearray()
     for name in sorted(entries):
-        payload = name.encode("utf-8")
-        if not payload or len(payload) > MAX_NAME:
-            raise ValueError(f"bad directory entry name {name!r}")
-        out += _HEADER.pack(entries[name], len(payload))
-        out += payload
+        out += encode_slot(name, entries[name])
     return bytes(out)
+
+
+def iter_slots(data: bytes):
+    """Yield ``(offset, name, inum)`` for every used slot."""
+    if len(data) % SLOT_SIZE:
+        raise DirFormatError("truncated directory entry header")
+    for offset in range(0, len(data), SLOT_SIZE):
+        inum, name_len = _HEADER.unpack_from(data, offset)
+        if name_len == 0:
+            if inum != 0:
+                raise DirFormatError(
+                    f"free slot at offset {offset} with nonzero inode")
+            continue  # free slot
+        if name_len > MAX_NAME:
+            raise DirFormatError(f"bad name length {name_len}")
+        start = offset + _HEADER.size
+        try:
+            name = data[start : start + name_len].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DirFormatError(f"undecodable entry name: {exc}") from exc
+        yield offset, name, inum
 
 
 def decode_entries(data: bytes) -> dict[str, int]:
     """Parse directory data back into name -> inode mappings."""
     entries: dict[str, int] = {}
-    offset = 0
-    while offset < len(data):
-        if offset + _HEADER.size > len(data):
-            raise DirFormatError("truncated directory entry header")
-        inum, name_len = _HEADER.unpack_from(data, offset)
-        offset += _HEADER.size
-        if name_len == 0 or name_len > MAX_NAME:
-            raise DirFormatError(f"bad name length {name_len}")
-        if offset + name_len > len(data):
-            raise DirFormatError("truncated directory entry name")
-        name = data[offset : offset + name_len].decode("utf-8")
+    for _, name, inum in iter_slots(data):
         if name in entries:
             raise DirFormatError(f"duplicate entry {name!r}")
         entries[name] = inum
-        offset += name_len
     return entries
+
+
+def find_slot(data: bytes, name: str) -> int | None:
+    """Byte offset of the used slot holding `name`, or None."""
+    for offset, slot_name, _ in iter_slots(data):
+        if slot_name == name:
+            return offset
+    return None
+
+
+def find_free_slot(data: bytes) -> int | None:
+    """Byte offset of the first free slot, or None if the array is full."""
+    if len(data) % SLOT_SIZE:
+        raise DirFormatError("truncated directory entry header")
+    for offset in range(0, len(data), SLOT_SIZE):
+        inum, name_len = _HEADER.unpack_from(data, offset)
+        if name_len == 0 and inum == 0:
+            return offset
+    return None
+
+
+def used_size(data: bytes) -> int:
+    """Bytes up to the end of the last used slot (trailing free slots can
+    be reclaimed)."""
+    end = 0
+    for offset, _, _ in iter_slots(data):
+        end = offset + SLOT_SIZE
+    return end
 
 
 def validate_name(name: str) -> None:

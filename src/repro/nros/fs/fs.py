@@ -66,6 +66,10 @@ class FileTooBig(FsError):
     pass
 
 
+class Corrupt(FsError):
+    """An on-disk structure failed to decode (damaged directory data)."""
+
+
 class FileSystem:
     """A mounted volume."""
 
@@ -199,6 +203,7 @@ class FileSystem:
             raise FileTooBig(
                 f"write to {offset + len(data)} exceeds {MAX_FILE_SIZE}"
             )
+        before = inode.encode()
         remaining = data
         position = offset
         while remaining:
@@ -212,7 +217,12 @@ class FileSystem:
             remaining = remaining[chunk:]
         if position > inode.size:
             inode.size = position
-        self._write_inode(inum, inode)
+        if inode.encode() != before:
+            # a pure in-place overwrite commits with the data write alone;
+            # directory slot updates rely on that being a single sector
+            # write (and appended data only becomes visible here, when the
+            # new size lands)
+            self._write_inode(inum, inode)
         return len(data)
 
     def truncate(self, inum: int, size: int = 0) -> None:
@@ -223,16 +233,28 @@ class FileSystem:
             raise FsError("truncate cannot extend")
         first_kept = (size + BLOCK_SIZE - 1) // BLOCK_SIZE
         total = (inode.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        # Crash-safe ordering: clear every durable reference (indirect
+        # table entries, then the inode) *before* freeing blocks in the
+        # bitmap.  A crash anywhere in the window leaks allocated blocks —
+        # which fsck reports and a collector can reclaim — instead of
+        # leaving live pointers to blocks the allocator may hand out again.
+        to_free: list[int] = []
+        drop_indirect = inode.indirect != 0 and first_kept <= NUM_DIRECT
         for index in range(first_kept, total):
             block = self._block_of(inode, index, allocate=False)
             if block:
-                self.bitmap.free(block)
-                self._clear_block_pointer(inode, index)
-        if inode.indirect and first_kept <= NUM_DIRECT:
-            self.bitmap.free(inode.indirect)
+                to_free.append(block)
+                if index < NUM_DIRECT:
+                    inode.direct[index] = 0
+                elif not drop_indirect:
+                    self._clear_block_pointer(inode, index)
+        if drop_indirect:
+            to_free.append(inode.indirect)
             inode.indirect = 0
         inode.size = size
         self._write_inode(inum, inode)
+        for block in to_free:
+            self.bitmap.free(block)
 
     def _clear_block_pointer(self, inode: Inode, index: int) -> None:
         if index < NUM_DIRECT:
@@ -256,17 +278,44 @@ class FileSystem:
         inode = self._read_inode(inum)
         if not inode.is_dir:
             raise NotADirectory(f"inode {inum} is not a directory")
-        return dirfmt.decode_entries(self.read_at(inum, 0, inode.size))
+        try:
+            return dirfmt.decode_entries(self.read_at(inum, 0, inode.size))
+        except dirfmt.DirFormatError as exc:
+            # surface damage as a typed filesystem error the caller can
+            # catch, not a format-layer exception escaping the VFS
+            raise Corrupt(f"directory inode {inum}: {exc}") from exc
 
-    def _write_dir(self, inum: int, entries: dict[str, int]) -> None:
-        data = dirfmt.encode_entries(entries)
-        self.truncate(inum, 0)
-        if data:
-            self.write_at(inum, 0, data)
-        else:
-            inode = self._read_inode(inum)
-            inode.size = 0
-            self._write_inode(inum, inode)
+    def _dir_raw(self, inum: int) -> bytes:
+        """A directory's full slot array."""
+        inode = self._read_inode(inum)
+        if not inode.is_dir:
+            raise NotADirectory(f"inode {inum} is not a directory")
+        return self.read_at(inum, 0, inode.size)
+
+    def _add_dir_entry(self, parent: int, name: str, inum: int) -> None:
+        """Add one entry with a single commit point: either an atomic
+        in-place rewrite of a free slot, or an append whose new slot only
+        becomes visible when `write_at` lands the grown size."""
+        data = self._dir_raw(parent)
+        offset = dirfmt.find_free_slot(data)
+        if offset is None:
+            offset = len(data)
+        self.write_at(parent, offset, dirfmt.encode_slot(name, inum))
+
+    def _del_dir_entry(self, parent: int, name: str) -> None:
+        """Drop one entry: a single atomic in-place slot write."""
+        data = self._dir_raw(parent)
+        offset = dirfmt.find_slot(data, name)
+        if offset is None:
+            raise NotFound(f"no entry {name!r} in directory {parent}")
+        self.write_at(parent, offset, dirfmt.FREE_SLOT)
+        # the slot write above is the commit; trimming trailing free slots
+        # merely reclaims blocks (truncate itself is crash-ordered)
+        data = (data[:offset] + dirfmt.FREE_SLOT
+                + data[offset + dirfmt.SLOT_SIZE:])
+        new_size = dirfmt.used_size(data)
+        if new_size < len(data):
+            self.truncate(parent, new_size)
 
     def _split(self, path: str) -> tuple[int, str]:
         """Resolve the parent directory of `path`; returns (parent inum,
@@ -316,9 +365,11 @@ class FileSystem:
         entries = self._dir_entries(parent)
         if name in entries:
             raise Exists(f"{path!r} already exists")
+        # the inode becomes durable before any name references it: a crash
+        # in the window leaves an orphan inode (fsck-recoverable), never a
+        # directory entry naming free storage
         inum = self._alloc_inode(itype)
-        entries[name] = inum
-        self._write_dir(parent, entries)
+        self._add_dir_entry(parent, name, inum)
         return inum
 
     def link(self, old_path: str, new_path: str) -> None:
@@ -332,9 +383,10 @@ class FileSystem:
         entries = self._dir_entries(parent)
         if name in entries:
             raise Exists(f"{new_path!r} already exists")
-        entries[name] = inum
-        self._write_dir(parent, entries)
-        inode = self._read_inode(inum)  # re-read: dir write may share blocks
+        self._add_dir_entry(parent, name, inum)
+        # a crash between the two writes leaves an extra entry with a low
+        # nlink — an fsck-recoverable mismatch, never dangling structure
+        inode = self._read_inode(inum)
         inode.nlink += 1
         self._write_inode(inum, inode)
 
@@ -345,9 +397,13 @@ class FileSystem:
             raise NotFound(f"{path!r} does not exist")
         inum = entries[name]
         inode = self._read_inode(inum)
+        if inode.is_dir and self._dir_entries(inum):
+            raise DirectoryNotEmpty(f"{path!r} is not empty")
+        # Crash-safe ordering: drop the name first (one atomic slot
+        # write).  A crash after it leaves an orphan inode (reported by
+        # fsck, reclaimable), never a directory entry naming a freed inode.
+        self._del_dir_entry(parent, name)
         if inode.is_dir:
-            if self._dir_entries(inum):
-                raise DirectoryNotEmpty(f"{path!r} is not empty")
             self._write_inode(inum, Inode())  # free the directory inode
         elif inode.nlink > 1:
             inode.nlink -= 1
@@ -355,8 +411,6 @@ class FileSystem:
         else:
             self.truncate(inum, 0)
             self._write_inode(inum, Inode())  # last link: free everything
-        del entries[name]
-        self._write_dir(parent, entries)
 
     def rename(self, old_path: str, new_path: str) -> None:
         old_parent, old_name = self._split(old_path)
@@ -369,15 +423,18 @@ class FileSystem:
         if new_name in new_entries:
             raise Exists(f"{new_path!r} already exists")
         if new_parent == old_parent:
-            del old_entries[old_name]
-            old_entries[new_name] = inum
-            self._write_dir(old_parent, old_entries)
+            # rewrite the existing slot in place: rename within one
+            # directory is a single atomic sector write
+            data = self._dir_raw(old_parent)
+            offset = dirfmt.find_slot(data, old_name)
+            self.write_at(old_parent, offset,
+                          dirfmt.encode_slot(new_name, inum))
             return
-        del old_entries[old_name]
-        self._write_dir(old_parent, old_entries)
-        new_entries = self._dir_entries(new_parent)
-        new_entries[new_name] = inum
-        self._write_dir(new_parent, new_entries)
+        # across directories: the new name lands before the old one is
+        # dropped — a crash in the window shows both names (an
+        # fsck-recoverable nlink mismatch), never neither
+        self._add_dir_entry(new_parent, new_name, inum)
+        self._del_dir_entry(old_parent, old_name)
 
     def readdir(self, path: str) -> list[str]:
         inum = self.lookup(path) if path != "/" else ROOT_INUM

@@ -3,7 +3,17 @@
 `pump()` moves frames queued in each NIC's tx ring into the peer's rx ring;
 a seeded drop rate models an unreliable fabric (what RDP's retransmission
 is for).  A :class:`Hub` connects more than two NICs by flooding, with MAC
-filtering at delivery."""
+filtering at delivery.
+
+A :class:`Link` can also carry a :class:`~repro.faults.plan.FaultPlan`:
+each frame crossing the cable draws at site ``"link.tx"`` and the firing
+rule's kind decides its fate — ``drop`` (silent loss), ``dup`` (delivered
+twice), ``corrupt`` (one byte flipped in flight; the IP/UDP checksums make
+this a detectable drop at the receiver), or ``reorder`` (held back and
+delivered after the frames behind it).  This is the adversity RDP's
+retransmission, duplicate-suppression, and sequencing machinery exists
+for, driven through the real NIC rings and the real stack.
+"""
 
 from __future__ import annotations
 
@@ -17,24 +27,56 @@ class Link:
     """A point-to-point cable."""
 
     def __init__(self, a: Nic, b: Nic, drop_rate: float = 0.0,
-                 seed: int = 0) -> None:
+                 seed: int = 0, fault_plan=None) -> None:
         if not 0.0 <= drop_rate < 1.0:
             raise ValueError("drop rate must be in [0, 1)")
         self.a = a
         self.b = b
         self.drop_rate = drop_rate
         self._rng = random.Random(seed)
+        self.fault_plan = fault_plan
         self.delivered = 0
         self.dropped = 0
+        self.duplicated = 0
+        self.corrupted = 0
+        self.reordered = 0
 
     def pump(self) -> int:
         """Move pending frames in both directions; returns frames moved."""
         moved = 0
         for src, dst in ((self.a, self.b), (self.b, self.a)):
+            held: list[bytes] = []   # reordered frames, delivered last
             for frame in src.drain_tx():
                 if self.drop_rate and self._rng.random() < self.drop_rate:
                     self.dropped += 1
                     continue
+                decision = self.fault_plan.draw("link.tx") \
+                    if self.fault_plan is not None else None
+                if decision is not None:
+                    if decision.kind == "drop":
+                        self.dropped += 1
+                        continue
+                    if decision.kind == "dup":
+                        self.duplicated += 1
+                        dst.deliver(frame)
+                        self.delivered += 1
+                        moved += 1
+                    elif decision.kind == "corrupt":
+                        self.corrupted += 1
+                        offset = decision.rand_below(len(frame)) \
+                            if frame else 0
+                        damaged = bytearray(frame)
+                        if damaged:
+                            damaged[offset] ^= 0xFF
+                        frame = bytes(damaged)
+                    elif decision.kind == "reorder":
+                        self.reordered += 1
+                        held.append(frame)
+                        continue
+                dst.deliver(frame)
+                self.delivered += 1
+                moved += 1
+            for frame in held:
                 dst.deliver(frame)
                 self.delivered += 1
                 moved += 1

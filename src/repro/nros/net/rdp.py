@@ -29,6 +29,20 @@ class RdpError(Exception):
     pass
 
 
+class RdpGiveUp(RdpError):
+    """Retransmission exhausted MAX_RETRIES with no ACK progress.
+
+    Raised by :meth:`RdpConnection.next_outgoing` (and re-raised to any
+    later send/receive against the connection) instead of stalling
+    silently: the caller learns *that* and *why* delivery stopped.  Any
+    ACK progress resets the retry counter, so only a genuinely dead peer
+    or a blacked-out path trips this."""
+
+    def __init__(self, message: str, retries: int = 0) -> None:
+        super().__init__(message)
+        self.retries = retries
+
+
 @dataclass(frozen=True)
 class RdpSegment:
     kind: int
@@ -72,25 +86,37 @@ class RdpConnection:
     last_send_tick: int = 0
     retries: int = 0
     retransmissions: int = 0
+    error: RdpError | None = None
 
     @property
     def can_send_now(self) -> bool:
         return self.state == STATE_ESTABLISHED and self.unacked is None
 
     def queue_send(self, payload: bytes) -> None:
+        if self.error is not None:
+            raise self.error
         if self.state == STATE_CLOSED:
             raise RdpError("connection closed")
         self.send_queue.append(payload)
 
+    def _give_up(self, what: str) -> RdpGiveUp:
+        self.state = STATE_CLOSED
+        self.error = RdpGiveUp(
+            f"{what} retransmitted {MAX_RETRIES} times with no ACK "
+            f"progress; giving up", retries=self.retries)
+        return self.error
+
     def next_outgoing(self, now: int) -> RdpSegment | None:
-        """The segment to transmit now, if any (new data or retransmit)."""
+        """The segment to transmit now, if any (new data or retransmit).
+
+        Raises :class:`RdpGiveUp` once MAX_RETRIES elapse without ACK
+        progress — the connection closes and the error sticks to it."""
         if self.state == STATE_SYN_SENT:
             if now - self.last_send_tick >= RETRANSMIT_TICKS or self.retries == 0:
                 self.last_send_tick = now
                 self.retries += 1
                 if self.retries > MAX_RETRIES:
-                    self.state = STATE_CLOSED
-                    return None
+                    raise self._give_up("SYN")
                 return RdpSegment(TYPE_SYN, self.conn_id, 0, 0)
             return None
         if self.state != STATE_ESTABLISHED:
@@ -101,8 +127,7 @@ class RdpConnection:
                 self.retries += 1
                 self.retransmissions += 1
                 if self.retries > MAX_RETRIES:
-                    self.state = STATE_CLOSED
-                    return None
+                    raise self._give_up(f"DATA seq {self.send_seq}")
                 return self.unacked
             return None
         if self.send_queue:

@@ -21,6 +21,7 @@ from repro.nros.net.ip import Ipv4Packet, PacketError, PROTO_UDP
 from repro.nros.net.rdp import (
     RdpConnection,
     RdpError,
+    RdpGiveUp,
     RdpSegment,
     STATE_ESTABLISHED,
 )
@@ -64,6 +65,7 @@ class NetStack:
         self.stats_bad = 0
         self.stats_arp_requests = 0
         self.stats_arp_replies = 0
+        self.stats_gave_up = 0
 
     # -- neighbours ---------------------------------------------------------------
 
@@ -132,6 +134,9 @@ class NetStack:
     def rdp_recv(self, conn: RdpConnection) -> bytes | None:
         if conn.recv_queue:
             return conn.recv_queue.popleft()
+        if conn.error is not None:
+            # delivery stopped for a reason; surface it, don't stall
+            raise conn.error
         return None
 
     def rdp_close(self, conn: RdpConnection) -> None:
@@ -270,9 +275,18 @@ class NetStack:
     # -- timers ------------------------------------------------------------------------------
 
     def tick(self, now: int | None = None) -> None:
-        """Advance RDP timers; (re)transmit whatever is due."""
+        """Advance RDP timers; (re)transmit whatever is due.
+
+        A connection that exhausts its retries closes with a sticky
+        :class:`RdpGiveUp`; the timer loop survives and the error reaches
+        the application at its next send/recv against that connection."""
         self.now = self.now + 1 if now is None else now
-        for conn in list(self._conns.values()):
-            segment = conn.next_outgoing(self.now)
+        for key, conn in list(self._conns.items()):
+            try:
+                segment = conn.next_outgoing(self.now)
+            except RdpGiveUp:
+                self.stats_gave_up += 1
+                del self._conns[key]
+                continue
             if segment is not None:
                 self._send_segment(conn, segment)

@@ -17,7 +17,12 @@ from repro.hw.mem import PhysicalMemory
 
 
 class OutOfMemory(Exception):
-    """No block of the requested order is available."""
+    """No block of the requested order is available.
+
+    Also the typed error surfaced for an injected allocation failure
+    (:mod:`repro.faults` site ``"pmem.alloc"``) — callers already treat it
+    as recoverable (the kernel maps it to ENOMEM), which is exactly the
+    degradation path a fault campaign audits."""
 
 
 @dataclass
@@ -39,7 +44,7 @@ class BuddyAllocator:
     MAX_ORDER = 10  # 4 MiB blocks
 
     def __init__(self, memory: PhysicalMemory, start: int = 0,
-                 end: int | None = None) -> None:
+                 end: int | None = None, fault_plan=None) -> None:
         if end is None:
             end = memory.size
         if not wordlib.is_aligned(start, defs.PAGE_SIZE):
@@ -51,6 +56,8 @@ class BuddyAllocator:
         self.memory = memory
         self.start = start
         self.end = end
+        self.fault_plan = fault_plan
+        self.injected_failures = 0
         self._free: list[set[int]] = [set() for _ in range(self.MAX_ORDER + 1)]
         # allocated block -> order (needed to free without a size argument)
         self._allocated: dict[int, int] = {}
@@ -76,6 +83,12 @@ class BuddyAllocator:
         """Allocate a block of 2**order frames; returns its base paddr."""
         if not 0 <= order <= self.MAX_ORDER:
             raise ValueError(f"order {order} out of range")
+        if self.fault_plan is not None:
+            decision = self.fault_plan.draw("pmem.alloc")
+            if decision is not None and decision.kind == "alloc-fail":
+                self.injected_failures += 1
+                raise OutOfMemory(
+                    f"injected allocation failure (order {order})")
         found = None
         for k in range(order, self.MAX_ORDER + 1):
             if self._free[k]:

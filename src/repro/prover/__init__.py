@@ -27,6 +27,7 @@ from repro.prover.scheduler import (
     DEFAULT_CONFLICT_BUDGET,
     ProverConfig,
     ProverScheduler,
+    WorkerCrash,
     prove_all,
 )
 
@@ -38,6 +39,7 @@ __all__ = [
     "ProofEvent",
     "ProverConfig",
     "ProverScheduler",
+    "WorkerCrash",
     "default_cache_dir",
     "goal_fingerprint",
     "prove_all",

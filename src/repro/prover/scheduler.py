@@ -76,6 +76,11 @@ class ProverConfig:
     #: When True the final attempt keeps the largest finite budget instead
     #: of running unbounded — undecided goals then surface as TIMEOUT.
     hard_budget: bool = False
+    #: Optional :class:`repro.faults.plan.FaultPlan`.  The inline and
+    #: thread lanes draw at site ``"prover.worker"`` before each
+    #: discharge; a firing ``worker-crash`` rule kills that worker, which
+    #: the scheduler must absorb as an ERROR verdict, never a lost run.
+    fault_plan: object | None = None
 
     def budgets(self) -> list[int | None]:
         """The retry ladder of conflict budgets, e.g. [100k, 400k, None]."""
@@ -93,6 +98,20 @@ class ProverConfig:
         else:
             ladder.append(None)
         return ladder
+
+
+class WorkerCrash(RuntimeError):
+    """A (simulated) prover worker died mid-discharge."""
+
+
+def _crash_result(vc: VC, exc: BaseException) -> VCResult:
+    return VCResult(
+        name=vc.name,
+        status=VCStatus.ERROR,
+        seconds=0.0,
+        category=vc.category,
+        detail=f"worker failed: {type(exc).__name__}: {exc}",
+    )
 
 
 def _discharge_with_ladder(vc: VC, budgets) -> tuple[VCResult, int]:
@@ -292,11 +311,28 @@ class ProverScheduler:
         if self.progress is not None:
             self.progress(result)
 
+    def _maybe_crash(self, vc: VC) -> None:
+        plan = self.config.fault_plan
+        if plan is None:
+            return
+        decision = plan.draw("prover.worker")
+        if decision is not None and decision.kind == "worker-crash":
+            raise WorkerCrash(f"injected crash discharging {vc.name}")
+
+    def _lane_discharge(self, vc: VC, budgets) -> tuple[VCResult, int]:
+        self._maybe_crash(vc)
+        return _discharge_with_ladder(vc, budgets)
+
     def _run_inline(self, pending, results, fresh_timings) -> None:
         budgets = self.config.budgets()
         for job in pending:
             self._emit(ev.STARTED, job.vc, worker="inline")
-            result, attempt = _discharge_with_ladder(job.vc, budgets)
+            try:
+                result, attempt = self._lane_discharge(job.vc, budgets)
+            except Exception as exc:
+                # a dead worker costs one ERROR verdict, not the run —
+                # same contract the pool lanes already keep
+                result, attempt = _crash_result(job.vc, exc), 1
             self._finish(job, result, attempt, "inline", results,
                          fresh_timings)
 
@@ -348,7 +384,7 @@ class ProverScheduler:
                 for job in thread_jobs:
                     self._emit(ev.STARTED, job.vc, worker="thread")
                     future = executor.submit(
-                        _discharge_with_ladder, job.vc, budgets)
+                        self._lane_discharge, job.vc, budgets)
                     future_to_job[future] = (job, "thread")
 
             outstanding = set(future_to_job)
@@ -360,14 +396,7 @@ class ProverScheduler:
                     try:
                         payload = future.result()
                     except Exception as exc:
-                        result = VCResult(
-                            name=job.vc.name,
-                            status=VCStatus.ERROR,
-                            seconds=0.0,
-                            category=job.vc.category,
-                            detail=f"worker failed: "
-                                   f"{type(exc).__name__}: {exc}",
-                        )
+                        result = _crash_result(job.vc, exc)
                         attempt = 1
                     else:
                         if lane == "proc":

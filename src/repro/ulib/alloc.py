@@ -14,18 +14,34 @@ PAGE_SIZE = 4096
 ALIGN = 8
 
 
+class AllocFailed(MemoryError):
+    """The heap cannot satisfy this allocation.
+
+    Typed and recoverable — the caller can shed load, free, and retry.
+    Raised for injected failures (:mod:`repro.faults` site
+    ``"heap.alloc"``) so out-of-memory handling is exercised without an
+    actually exhausted kernel."""
+
+
 class Heap:
     """Per-process user heap."""
 
-    def __init__(self) -> None:
+    def __init__(self, fault_plan=None) -> None:
         # free list of (vaddr, size), kept sorted by vaddr
         self._free: list[tuple[int, int]] = []
         self.pages_mapped = 0
+        self.fault_plan = fault_plan
+        self.injected_failures = 0
 
     def alloc(self, size: int):
         """Allocate `size` bytes; returns the vaddr (generator)."""
         if size <= 0:
             raise ValueError("allocation size must be positive")
+        if self.fault_plan is not None:
+            decision = self.fault_plan.draw("heap.alloc")
+            if decision is not None and decision.kind == "alloc-fail":
+                self.injected_failures += 1
+                raise AllocFailed(f"injected heap failure ({size} bytes)")
         size = (size + ALIGN - 1) & ~(ALIGN - 1)
         for index, (vaddr, block_size) in enumerate(self._free):
             if block_size >= size:

@@ -12,10 +12,15 @@ import random
 import pytest
 
 from repro.nros.net.rdp import (
+    MAX_RETRIES,
+    RETRANSMIT_TICKS,
     RdpConnection,
+    RdpGiveUp,
     RdpSegment,
+    STATE_CLOSED,
     STATE_ESTABLISHED,
     STATE_SYN_SENT,
+    TYPE_ACK,
     TYPE_SYN,
     TYPE_SYNACK,
 )
@@ -74,7 +79,10 @@ def run_session(seed, messages, drop=0.25, duplicate=0.2, reorder=0.3,
     now = 0
     for _ in range(max_rounds):
         now += 1
-        outgoing = client.next_outgoing(now)
+        try:
+            outgoing = client.next_outgoing(now)
+        except RdpGiveUp:
+            break  # sticky on client.error; the session is over
         if outgoing is not None:
             channel.send("c2s", outgoing)
         for direction, segment in channel.deliver_some():
@@ -125,14 +133,46 @@ class TestExactlyOnceInOrder:
             assert delivered == MESSAGES  # exact equality: no dups
 
     def test_total_blackout_gives_up(self):
-        """With 100% loss the sender retries MAX_RETRIES times then closes
-        rather than spinning forever."""
+        """With 100% loss the sender retries MAX_RETRIES times, then
+        surfaces a typed RdpGiveUp instead of spinning forever."""
         delivered, client, _, _ = run_session(
             7, MESSAGES[:1], drop=0.999999, duplicate=0.0, reorder=0.0,
             max_rounds=2000,
         )
         assert delivered == []
-        assert client.state in (STATE_SYN_SENT, "closed")
+        assert client.state == STATE_CLOSED
+        assert isinstance(client.error, RdpGiveUp)
+        assert client.error.retries > MAX_RETRIES
+        # the error sticks: later sends surface it instead of stalling
+        with pytest.raises(RdpGiveUp):
+            client.queue_send(b"more")
+
+    def test_retry_counter_resets_on_ack_progress(self):
+        """Slow-but-alive peers never trip the give-up: each ACK resets
+        the retry counter, so only cumulative silence kills a session."""
+        client = RdpConnection(conn_id=1, local_port=5, remote_ip=2,
+                               remote_port=9, state=STATE_ESTABLISHED)
+        for i in range(3):
+            client.queue_send(f"m{i}".encode())
+        now = 0
+        per_message = MAX_RETRIES - 5  # near the limit, never over it
+        for _ in range(3):
+            segment = None
+            for _ in range(per_message):
+                now += RETRANSMIT_TICKS
+                got = client.next_outgoing(now)
+                if got is not None:
+                    segment = got
+            assert segment is not None
+            client.on_segment(
+                RdpSegment(TYPE_ACK, client.conn_id, 0, segment.seq))
+            assert client.retries == 0  # progress resets the counter
+        # 3 * (MAX_RETRIES - 5) retransmissions in total, far beyond
+        # MAX_RETRIES, yet the connection is alive and error-free
+        assert client.error is None
+        assert client.state == STATE_ESTABLISHED
+        assert client.unacked is None
+        assert not client.send_queue
 
     def test_handshake_syn_retransmitted(self):
         """The first SYNs are droppable; the handshake must still complete
