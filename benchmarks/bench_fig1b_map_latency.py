@@ -20,6 +20,7 @@ from benchmarks._common import (
 )
 from repro.nr.datastructures import VSpaceModel
 from repro.nr.timed import TimedNrConfig, run_timed_workload
+from repro.obs import Histogram
 
 
 def map_workload(core, i):
@@ -60,14 +61,18 @@ def test_fig1b_map_latency(benchmark, calibration, capsys):
         f"  measured impl cost ratio (verified/unverified): "
         f"{calibration['ratio']:.2f}",
         "",
-        "  cores   unverified [us]   verified [us]   max batch",
+        "  cores   unverified [us]   verified [us]   p99 [us]   max batch",
     ]
     for cores in CORE_COUNTS:
         u = unverified[cores]
         v = verified[cores]
+        # latency and batch-size populations are both repro.obs Histograms
+        assert isinstance(v.latency, Histogram)
+        assert v.batch_sizes.max == v.max_batch
         lines.append(
             f"  {cores:5d}   {u.latency.mean_us:15.2f}   "
-            f"{v.latency.mean_us:13.2f}   {v.max_batch:9d}"
+            f"{v.latency.mean_us:13.2f}   {v.latency.p99_us:8.2f}   "
+            f"{int(v.batch_sizes.max):9d}"
         )
         benchmark.extra_info[f"unverified_us_{cores}"] = round(
             u.latency.mean_us, 2)

@@ -15,45 +15,67 @@ fault-injection campaign (:mod:`repro.faults`): seeded faults at the disk,
 network link, allocator, and prover layers, with per-site
 injected/survived/degraded/failed accounting and a nonzero exit on any
 invariant violation.
+
+``--trace out.jsonl`` on either subcommand streams every
+:mod:`repro.obs` event of the run — prover lifecycle, SMT-phase spans,
+VC discharges, fault-site tallies — into one JSONL file;
+``python -m repro trace {schema,validate,summary}`` works with such
+files.  All human-facing text goes through :mod:`repro.obs.console`;
+nothing under ``src/repro`` writes to stdout directly.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro import __version__
+from repro import __version__, obs
+from repro.obs.console import err, out
+
+
+def _start_trace(path: str):
+    """Subscribe a JSONL writer to the process-wide bus."""
+    writer = obs.JsonlWriter(path)
+    obs.bus().subscribe(writer)
+    return writer
+
+
+def _stop_trace(writer) -> None:
+    obs.bus().unsubscribe(writer)
+    writer.close()
+    out(f"trace: {writer.count} events -> {writer.path}")
 
 
 def tour() -> int:
     from repro.core.refine.proof import build_proof, proof_structure
     from repro.related.tables import table1, table2
 
-    print(f"repro {__version__} — 'Beyond isolation' (HotOS '23) "
-          f"reproduction\n")
+    out(f"repro {__version__} — 'Beyond isolation' (HotOS '23) "
+        f"reproduction\n")
 
-    print("Table 1 — OS verification projects")
+    out("Table 1 — OS verification projects")
     for line in table1():
-        print("  " + line)
-    print("\nTable 2 — verified OS components")
+        out("  " + line)
+    out("\nTable 2 — verified OS components")
     for line in table2():
-        print("  " + line)
+        out("  " + line)
 
-    print("\nFigure 2 — proof structure")
+    out("\nFigure 2 — proof structure")
     for line in proof_structure():
-        print("  " + line)
+        out("  " + line)
 
-    print("\nQuick proof slice (SMT lemmas + a bounded structural check):")
+    out("\nQuick proof slice (SMT lemmas + a bounded structural check):")
     engine = build_proof(include_nr=True, include_contract=True,
                          include_structural=False)
     report = engine.run()
-    print(f"  {report.proved}/{report.total} verification conditions "
-          f"proved in {report.total_seconds:.1f} s")
-    print("\nNext steps:")
-    print("  python -m repro prove --jobs 4        # scheduled + cached")
-    print("  python examples/quickstart.py")
-    print("  python examples/verified_pagetable_proof.py   # all 220 VCs")
-    print("  pytest benchmarks/ --benchmark-only           # every figure")
+    out(f"  {report.proved}/{report.total} verification conditions "
+        f"proved in {report.total_seconds:.1f} s")
+    out("\nNext steps:")
+    out("  python -m repro prove --jobs 4        # scheduled + cached")
+    out("  python examples/quickstart.py")
+    out("  python examples/verified_pagetable_proof.py   # all 220 VCs")
+    out("  pytest benchmarks/ --benchmark-only           # every figure")
     return 0
 
 
@@ -81,10 +103,11 @@ def prove(args) -> int:
     from repro.prover import ProofCache, ProverConfig, prove_all
     from repro.prover.cache import default_cache_dir
 
+    writer = _start_trace(args.trace) if args.trace else None
     engine = _build_engine(args.layers, args.quick)
-    print(f"prover: {engine.vc_count} verification conditions, "
-          f"jobs={args.jobs}, cache="
-          f"{'off' if args.no_cache else (args.cache_dir or default_cache_dir())}")
+    out(f"prover: {engine.vc_count} verification conditions, "
+        f"jobs={args.jobs}, cache="
+        f"{'off' if args.no_cache else (args.cache_dir or default_cache_dir())}")
 
     cache = None
     config = ProverConfig(
@@ -96,42 +119,45 @@ def prove(args) -> int:
         cache = ProofCache(args.cache_dir or default_cache_dir())
         if args.clear_cache:
             removed = cache.clear()
-            print(f"prover: cleared {removed} cached entries")
+            out(f"prover: cleared {removed} cached entries")
 
     done = {"count": 0}
 
     def progress(result):
         done["count"] += 1
         if not result.ok and result.status.value != "timeout":
-            print(f"  FAILED {result.name}: {result.detail}")
+            out(f"  FAILED {result.name}: {result.detail}")
         elif done["count"] % 40 == 0:
-            print(f"  ... {done['count']}/{engine.vc_count}")
+            out(f"  ... {done['count']}/{engine.vc_count}")
 
     report = prove_all(engine, jobs=args.jobs, cache=cache, config=config,
                        progress=progress)
 
-    print()
+    out()
     for line in report.summary_lines():
-        print("  " + line)
+        out("  " + line)
     if cache is not None:
-        print(f"  cache: {cache.stats.hits} hits, {cache.stats.misses} "
-              f"misses, {cache.stats.stores} stored "
-              f"({cache.stats.hit_rate:.0%} hit rate)")
+        out(f"  cache: {cache.stats.hits} hits, {cache.stats.misses} "
+            f"misses, {cache.stats.stores} stored "
+            f"({cache.stats.hit_rate:.0%} hit rate)")
 
     if args.events:
-        print("\n  slowest discharges:")
+        out("\n  slowest discharges:")
         slowest = sorted(report.results,
                          key=lambda r: -r.seconds)[:args.events]
         for r in slowest:
-            print(f"    {r.name:45s} {r.status.value:8s} "
-                  f"{r.seconds:7.3f}s solver={r.solver_seconds:7.3f}s"
-                  f"{'  [cache]' if r.cached else ''}")
+            out(f"    {r.name:45s} {r.status.value:8s} "
+                f"{r.seconds:7.3f}s solver={r.solver_seconds:7.3f}s"
+                f"{'  [cache]' if r.cached else ''}")
+
+    if writer is not None:
+        _stop_trace(writer)
 
     if args.min_hit_rate is not None:
         rate = report.cache_hits / report.total if report.total else 0.0
         if rate < args.min_hit_rate:
-            print(f"prover: cache hit rate {rate:.0%} below required "
-                  f"{args.min_hit_rate:.0%}", file=sys.stderr)
+            err(f"prover: cache hit rate {rate:.0%} below required "
+                f"{args.min_hit_rate:.0%}")
             return 3
 
     if not report.all_proved:
@@ -139,27 +165,112 @@ def prove(args) -> int:
     return 0
 
 
+def _emit_site_events(reports) -> None:
+    """Publish every campaign's per-site counters on the bus (the JSONL
+    view of what `summary_lines` prints)."""
+    from repro.faults.campaign import OUTCOMES
+
+    bus = obs.bus()
+    for report in reports:
+        for name in sorted(report.sites):
+            site = report.sites[name]
+            bus.emit("faults.site", campaign=report.name, seed=report.seed,
+                     site=name,
+                     **{outcome: getattr(site, outcome)
+                        for outcome in OUTCOMES})
+        bus.emit("faults.campaign", campaign=report.name, seed=report.seed,
+                 injections=report.injections,
+                 violations=len(report.violations))
+
+
 def faults(args) -> int:
     from repro.faults import run_campaign
     from repro.faults.campaign import summary_text
 
-    print(f"faults: campaign={args.campaign} seed={args.seed}")
+    writer = _start_trace(args.trace) if args.trace else None
+    out(f"faults: campaign={args.campaign} seed={args.seed}")
     reports = run_campaign(args.campaign, seed=args.seed)
     text = summary_text(reports)
-    print(text)
+    out(text)
+
+    if writer is not None:
+        _emit_site_events(reports)
+        # the determinism replay below must not double the trace
+        _stop_trace(writer)
 
     if args.check_determinism:
         replay = summary_text(run_campaign(args.campaign, seed=args.seed))
         if replay != text:
-            print("faults: NONDETERMINISM — replay with the same seed "
-                  "produced a different summary", file=sys.stderr)
+            err("faults: NONDETERMINISM — replay with the same seed "
+                "produced a different summary")
             return 2
-        print("faults: replay with the same seed is byte-identical")
+        out("faults: replay with the same seed is byte-identical")
 
     if any(report.violations for report in reports):
-        print("faults: invariant violations detected", file=sys.stderr)
+        err("faults: invariant violations detected")
         return 1
     return 0
+
+
+def trace(args) -> int:
+    """Work with JSONL trace files: schema / validate / summary."""
+    if args.trace_command == "schema":
+        out("trace record schema (one JSON object per line):")
+        for key, types in obs.SCHEMA_REQUIRED.items():
+            names = "|".join(t.__name__ for t in types)
+            out(f"  {key:<8} required  {names}")
+        out(f"  clock    one of {list(obs.CLOCK_DOMAINS)}")
+        out("  *        any further field must be a JSON scalar "
+            "(str|int|float|bool|null)")
+        out("span events carry `dur` (duration in the emitting clock's "
+            "unit: wall seconds or simulated ns)")
+        return 0
+
+    problems_total = 0
+    records = []
+    try:
+        with open(args.file, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        err(f"trace: cannot read {args.file}: {exc}")
+        return 2
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        problems = obs.validate_jsonl_line(line)
+        if problems:
+            problems_total += 1
+            for problem in problems:
+                err(f"{args.file}:{lineno}: {problem}")
+        else:
+            records.append(json.loads(line))
+
+    if args.trace_command == "validate":
+        out(f"trace: {len(records)} valid records, "
+            f"{problems_total} invalid lines")
+        return 1 if problems_total else 0
+
+    # summary
+    counts: dict[str, int] = {}
+    durations: dict[str, obs.Histogram] = {}
+    for record in records:
+        name = record["name"]
+        counts[name] = counts.get(name, 0) + 1
+        if "dur" in record:
+            durations.setdefault(
+                name, obs.Histogram(name=name)).record(record["dur"])
+    out(f"trace: {len(records)} events, {len(counts)} event types"
+        + (f", {problems_total} invalid lines skipped"
+           if problems_total else ""))
+    for name in sorted(counts):
+        line = f"  {name:<24} {counts[name]:>6}"
+        if name in durations:
+            snap = durations[name].snapshot()
+            line += (f"   dur mean={snap['mean']:.6g} "
+                     f"p50={snap['p50']:.6g} p99={snap['p99']:.6g} "
+                     f"max={snap['max']:.6g}")
+        out(line)
+    return 1 if problems_total else 0
 
 
 def main(argv=None) -> int:
@@ -192,6 +303,9 @@ def main(argv=None) -> int:
     prove_parser.add_argument("--min-hit-rate", type=float, default=None,
                               help="exit 3 if the cache hit rate is below "
                                    "this fraction (CI warm-cache check)")
+    prove_parser.add_argument("--trace", default=None, metavar="FILE",
+                              help="stream every obs event of the run "
+                                   "into FILE (JSONL)")
 
     faults_parser = sub.add_parser(
         "faults", help="run the deterministic fault-injection campaign")
@@ -204,10 +318,27 @@ def main(argv=None) -> int:
     faults_parser.add_argument("--check-determinism", action="store_true",
                                help="run twice and require byte-identical "
                                     "summaries")
+    faults_parser.add_argument("--trace", default=None, metavar="FILE",
+                               help="stream every obs event of the run "
+                                    "into FILE (JSONL)")
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect/validate JSONL trace files")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+    trace_sub.add_parser("schema", help="print the event record schema")
+    validate_parser = trace_sub.add_parser(
+        "validate", help="validate every line against the schema")
+    validate_parser.add_argument("file")
+    summary_parser = trace_sub.add_parser(
+        "summary", help="per-event counts and span duration stats")
+    summary_parser.add_argument("file")
 
     args = parser.parse_args(argv)
     if args.command == "faults":
         return faults(args)
+    if args.command == "trace":
+        return trace(args)
     if args.command == "prove":
         if args.budget is None:
             from repro.prover import DEFAULT_CONFLICT_BUDGET

@@ -31,18 +31,52 @@ import shutil
 import tempfile
 from dataclasses import dataclass, field
 
+from repro import obs
+from repro.obs.registry import Registry
 from repro.faults.crash import CRASH_SCENARIOS, run_crash_matrix
 from repro.faults.plan import FaultPlan, FaultRule
 
 CAMPAIGNS = ("disk", "net", "mem", "prover")
 
+#: The four outcome classes a fault-injection site tallies.
+OUTCOMES = ("injected", "survived", "degraded", "failed")
 
-@dataclass
+
 class SiteSummary:
-    injected: int = 0
-    survived: int = 0
-    degraded: int = 0
-    failed: int = 0
+    """Per-site tallies, backed by labeled :mod:`repro.obs` counters
+    (``faults.injected{site=...}`` etc.) in the campaign's registry.
+
+    The ``site.injected += n`` call sites read naturally while every
+    count lives in the shared instrument substrate — ``trace summary``
+    and the JSONL export see the same numbers the text report prints.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, registry: Registry, site: str) -> None:
+        self._counters = {
+            outcome: registry.counter(f"faults.{outcome}", site=site)
+            for outcome in OUTCOMES
+        }
+
+    def _get(self, outcome: str) -> int:
+        return self._counters[outcome].value
+
+    def _set(self, outcome: str, value: int) -> None:
+        counter = self._counters[outcome]
+        delta = value - counter.value
+        if delta < 0:
+            raise ValueError(f"faults.{outcome} cannot decrease")
+        counter.inc(delta)
+
+    injected = property(lambda s: s._get("injected"),
+                        lambda s, v: s._set("injected", v))
+    survived = property(lambda s: s._get("survived"),
+                        lambda s, v: s._set("survived", v))
+    degraded = property(lambda s: s._get("degraded"),
+                        lambda s, v: s._set("degraded", v))
+    failed = property(lambda s: s._get("failed"),
+                      lambda s, v: s._set("failed", v))
 
 
 @dataclass
@@ -52,15 +86,22 @@ class CampaignReport:
     sites: dict[str, SiteSummary] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Every per-site counter of this run lives here; summaries read the
+    #: counters back, so the campaign has no private tallies left.
+    registry: Registry = field(default_factory=Registry)
 
     def site(self, name: str) -> SiteSummary:
         if name not in self.sites:
-            self.sites[name] = SiteSummary()
+            self.sites[name] = SiteSummary(self.registry, name)
         return self.sites[name]
 
     def violation(self, site: str, message: str) -> None:
         self.site(site).failed += 1
         self.violations.append(f"[{self.name}] {site}: {message}")
+        shared = obs.bus()
+        if shared.active:
+            shared.emit("faults.violation", campaign=self.name, site=site,
+                        message=message)
 
     @property
     def ok(self) -> bool:

@@ -22,8 +22,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
+from repro.obs.instruments import Histogram
 from repro.nr.log import Log, LogEntry
 from repro.nr.rwlock import RwLock
+
+# Process-wide view of combiner behaviour across every NR instance; the
+# per-instance population lives in NodeReplicated.batch_sizes.
+_BATCHES = obs.counter("nr.batches")
 
 
 class SequentialDataStructure:
@@ -81,6 +87,10 @@ class NodeReplicated:
         self.replicas = [Replica(ds_factory()) for _ in range(num_nodes)]
         self.auto_gc_threshold = auto_gc_threshold
         self.auto_gcs = 0
+        #: The flat combiner's batch-size population (one sample per
+        #: combine) — the mechanism behind Figure 1b/1c's latency growth,
+        #: now a first-class instrument instead of just a max.
+        self.batch_sizes = Histogram(name="nr.batch_size")
 
     @property
     def num_nodes(self) -> int:
@@ -132,6 +142,8 @@ class NodeReplicated:
             self.log.append_batch(entries)
             replica.batches += 1
             replica.max_batch = max(replica.max_batch, len(entries))
+            self.batch_sizes.record(len(entries))
+            _BATCHES.inc()
             yield APPEND
 
             while not replica.lock.try_acquire_write():

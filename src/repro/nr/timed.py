@@ -16,6 +16,9 @@ from typing import Callable
 
 from repro.nr import core as nrcore
 from repro.nr.core import NodeReplicated
+from repro.obs.events import EventBus
+from repro.obs.instruments import Histogram
+from repro.obs.span import Span, sim_clock
 from repro.sim.kernel import Delay, Simulator
 from repro.sim.resources import CacheLine
 from repro.sim.stats import LatencyRecorder
@@ -45,6 +48,9 @@ class TimedNrResult:
     batches: int = 0
     max_batch: int = 0
     log_appends: int = 0
+    #: Combiner batch-size population (merged across replicas/shards).
+    batch_sizes: Histogram = field(
+        default_factory=lambda: Histogram(name="nr.batch_size"))
 
     def kind(self, name: str) -> LatencyRecorder:
         return self.by_kind.setdefault(name, LatencyRecorder())
@@ -106,16 +112,23 @@ def run_timed_workload(
     ds_factory: Callable,
     op_fn: Callable[[int, int], tuple[object, bool]],
     cfg: TimedNrConfig,
+    bus: EventBus | None = None,
 ) -> TimedNrResult:
     """Run `ops_per_core` operations on each of `num_cores` cores.
 
     `op_fn(core, i)` returns `(op, is_read)` for the i-th operation of a
-    core.  Returns latency statistics in simulated nanoseconds."""
+    core.  Returns latency statistics in simulated nanoseconds.
+
+    Per-operation timing is a :class:`repro.obs.span.Span` driven by the
+    simulator's virtual clock, so every duration is an integer count of
+    simulated nanoseconds — a traced run (pass `bus`) is byte-identical
+    between repetitions."""
     topology = Topology(cfg.num_cores, cores_per_node=cfg.cores_per_node)
     num_nodes = topology.num_nodes
     nr = NodeReplicated(ds_factory, num_nodes=num_nodes)
     lines = _SharedLines(topology, num_nodes, cfg.num_cores)
     sim = Simulator()
+    clock = sim_clock(sim)
     result = TimedNrResult()
     cores_by_node = {
         n: topology.cores_on_node(n) for n in range(num_nodes)
@@ -126,7 +139,9 @@ def run_timed_workload(
         node_cores = cores_by_node[node]
         for i in range(cfg.ops_per_core):
             op, is_read = op_fn(core, i)
-            started = sim.now
+            kind = op[0] if isinstance(op, tuple) else str(op)
+            span = Span("nr.op", clock=clock, histogram=result.latency,
+                        bus=bus, core=core, kind=kind).start()
             if cfg.syscall_overhead:
                 yield Delay(topology.costs.syscall_entry)
             if is_read:
@@ -149,9 +164,7 @@ def run_timed_workload(
                     yield Delay(extra)
             if cfg.syscall_overhead:
                 yield Delay(topology.costs.syscall_exit)
-            elapsed = sim.now - started
-            result.latency.record(elapsed)
-            kind = op[0] if isinstance(op, tuple) else str(op)
+            elapsed = span.finish()
             result.kind(kind).record(elapsed)
             yield Delay(cfg.op_gap_ns)
 
@@ -163,6 +176,7 @@ def run_timed_workload(
     result.batches = sum(r.batches for r in nr.replicas)
     result.max_batch = max(r.max_batch for r in nr.replicas)
     result.log_appends = nr.log.appends
+    result.batch_sizes.merge(nr.batch_sizes)
     return result
 
 
@@ -171,6 +185,7 @@ def run_timed_sharded(
     op_fn: Callable[[int, int], tuple[object, object, bool]],
     cfg: TimedNrConfig,
     num_shards: int,
+    bus: EventBus | None = None,
 ) -> TimedNrResult:
     """Like :func:`run_timed_workload`, but over a :class:`ShardedNr`.
 
@@ -189,6 +204,7 @@ def run_timed_sharded(
         for _ in range(num_shards)
     ]
     sim = Simulator()
+    clock = sim_clock(sim)
     result = TimedNrResult()
     cores_by_node = {n: topology.cores_on_node(n) for n in range(num_nodes)}
 
@@ -198,7 +214,9 @@ def run_timed_sharded(
         for i in range(cfg.ops_per_core):
             key, op, is_read = op_fn(core, i)
             shard = sharded.shard_for(key)
-            started = sim.now
+            kind = op[0] if isinstance(op, tuple) else str(op)
+            span = Span("nr.op", clock=clock, histogram=result.latency,
+                        bus=bus, core=core, kind=kind, shard=shard).start()
             if cfg.syscall_overhead:
                 yield Delay(topology.costs.syscall_entry)
             if is_read:
@@ -216,9 +234,7 @@ def run_timed_sharded(
                     yield Delay(cost)
             if cfg.syscall_overhead:
                 yield Delay(topology.costs.syscall_exit)
-            elapsed = sim.now - started
-            result.latency.record(elapsed)
-            kind = op[0] if isinstance(op, tuple) else str(op)
+            elapsed = span.finish()
             result.kind(kind).record(elapsed)
             yield Delay(cfg.op_gap_ns)
 
@@ -234,6 +250,8 @@ def run_timed_sharded(
         default=0,
     )
     result.log_appends = sum(s.log.appends for s in sharded.shards)
+    for shard in sharded.shards:
+        result.batch_sizes.merge(shard.batch_sizes)
     return result
 
 

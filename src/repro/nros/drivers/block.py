@@ -23,8 +23,18 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro import obs
 from repro.hw.devices.disk import Disk, DiskCrash, DiskIOError
 from repro.nros.fs.blockdev import BLOCK_SIZE
+
+# Process-wide instruments for the driver hot path.  Per-driver totals
+# stay on the instance (tests and campaign notes read those); these
+# aggregate across all drivers in the process, which is what a traced
+# run or a `trace summary` wants to see.
+_RETRIES = obs.counter("block.io_retries")
+_FAILURES = obs.counter("block.io_failures")
+_REJECTIONS = obs.counter("block.queue_full")
+_QUEUE_DEPTH = obs.gauge("block.queue_depth")
 
 
 class QueueFull(Exception):
@@ -78,15 +88,18 @@ class BlockDriver:
         if decision is not None and decision.kind == "queue-full":
             # device reports itself busy regardless of actual depth
             self.queue_full_rejections += 1
+            _REJECTIONS.inc()
             raise QueueFull("device busy (injected)")
         if len(self.pending) >= self.QUEUE_DEPTH:
             self.queue_full_rejections += 1
+            _REJECTIONS.inc()
             raise QueueFull(
                 f"request queue at depth {self.QUEUE_DEPTH}; "
                 f"service() and retry"
             )
         self.requests_submitted += 1
         self.pending.append(request)
+        _QUEUE_DEPTH.set(len(self.pending))
         if decision is not None and decision.kind == "stall" \
                 and request.kind == "write":
             # hold completion: the queue visibly fills under write bursts
@@ -107,6 +120,7 @@ class BlockDriver:
                 # power loss: leave the queue as the crash found it
                 raise
             self.pending.popleft()
+            _QUEUE_DEPTH.set(len(self.pending))
             done += 1
             self.requests_completed += 1
             self.completed.append(request)
@@ -136,8 +150,10 @@ class BlockDriver:
                 request.retries = attempt + 1
                 if attempt < self.MAX_IO_RETRIES:
                     self.io_retries += 1
+                    _RETRIES.inc()
                     continue
                 self.io_failures += 1
+                _FAILURES.inc()
                 request.error = exc
                 request.done = True
                 return

@@ -14,8 +14,10 @@ the remount tests)."""
 
 from __future__ import annotations
 
+import functools
 import struct
 
+from repro import obs
 from repro.nros.fs import dir as dirfmt
 from repro.nros.fs.alloc import BlockBitmap, NoSpace
 from repro.nros.fs.blockdev import BLOCK_SIZE, BlockDevice
@@ -68,6 +70,21 @@ class FileTooBig(FsError):
 
 class Corrupt(FsError):
     """An on-disk structure failed to decode (damaged directory data)."""
+
+
+def _timed(op: str):
+    """Record the wall-clock latency of a filesystem operation into the
+    labeled ``fs.op_seconds{op=...}`` histogram (and the trace, when
+    someone is listening) — the per-operation population a latency
+    figure over the FS layer reads from."""
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with obs.span("fs.op", histogram="fs.op_seconds",
+                          labels={"op": op}):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate
 
 
 class FileSystem:
@@ -175,6 +192,7 @@ class FileSystem:
 
     # -- file I/O by inode number ----------------------------------------------------------
 
+    @_timed("read_at")
     def read_at(self, inum: int, offset: int, length: int) -> bytes:
         inode = self._read_inode(inum)
         if inode.itype == TYPE_FREE:
@@ -195,6 +213,7 @@ class FileSystem:
             length -= chunk
         return bytes(out)
 
+    @_timed("write_at")
     def write_at(self, inum: int, offset: int, data: bytes) -> int:
         inode = self._read_inode(inum)
         if inode.itype == TYPE_FREE:
@@ -225,6 +244,7 @@ class FileSystem:
             self._write_inode(inum, inode)
         return len(data)
 
+    @_timed("truncate")
     def truncate(self, inum: int, size: int = 0) -> None:
         inode = self._read_inode(inum)
         if inode.itype == TYPE_FREE:
@@ -342,6 +362,7 @@ class FileSystem:
             dirfmt.validate_name(part)
         return parts
 
+    @_timed("lookup")
     def lookup(self, path: str) -> int:
         """Resolve `path` to an inode number."""
         parts = self._components(path)
@@ -353,10 +374,12 @@ class FileSystem:
             inum = entries[part]
         return inum
 
+    @_timed("create")
     def create(self, path: str) -> int:
         """Create an empty regular file."""
         return self._create(path, TYPE_FILE)
 
+    @_timed("mkdir")
     def mkdir(self, path: str) -> int:
         return self._create(path, TYPE_DIR)
 
@@ -372,6 +395,7 @@ class FileSystem:
         self._add_dir_entry(parent, name, inum)
         return inum
 
+    @_timed("link")
     def link(self, old_path: str, new_path: str) -> None:
         """Create a hard link: `new_path` names the same inode as
         `old_path`.  Directories cannot be hard-linked."""
@@ -390,6 +414,7 @@ class FileSystem:
         inode.nlink += 1
         self._write_inode(inum, inode)
 
+    @_timed("unlink")
     def unlink(self, path: str) -> None:
         parent, name = self._split(path)
         entries = self._dir_entries(parent)
@@ -412,6 +437,7 @@ class FileSystem:
             self.truncate(inum, 0)
             self._write_inode(inum, Inode())  # last link: free everything
 
+    @_timed("rename")
     def rename(self, old_path: str, new_path: str) -> None:
         old_parent, old_name = self._split(old_path)
         old_entries = self._dir_entries(old_parent)
@@ -436,6 +462,7 @@ class FileSystem:
         self._add_dir_entry(new_parent, new_name, inum)
         self._del_dir_entry(old_parent, old_name)
 
+    @_timed("readdir")
     def readdir(self, path: str) -> list[str]:
         inum = self.lookup(path) if path != "/" else ROOT_INUM
         return sorted(self._dir_entries(inum))

@@ -13,6 +13,8 @@ import struct
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import obs
+
 TYPE_SYN = 1
 TYPE_SYNACK = 2
 TYPE_DATA = 3
@@ -23,6 +25,12 @@ _HEADER = struct.Struct(">BIII")  # type, conn_id, seq, ack
 
 RETRANSMIT_TICKS = 4
 MAX_RETRIES = 30
+
+# Process-wide RDP instruments: retransmissions are the protocol's cost
+# of riding out loss, give-ups its typed surrender — both first-class
+# counters so a traced run shows how hard the transport had to work.
+_RETRANSMITS = obs.counter("rdp.retransmissions")
+_GIVE_UPS = obs.counter("rdp.give_ups")
 
 
 class RdpError(Exception):
@@ -101,6 +109,7 @@ class RdpConnection:
 
     def _give_up(self, what: str) -> RdpGiveUp:
         self.state = STATE_CLOSED
+        _GIVE_UPS.inc()
         self.error = RdpGiveUp(
             f"{what} retransmitted {MAX_RETRIES} times with no ACK "
             f"progress; giving up", retries=self.retries)
@@ -126,6 +135,7 @@ class RdpConnection:
                 self.last_send_tick = now
                 self.retries += 1
                 self.retransmissions += 1
+                _RETRANSMITS.inc()
                 if self.retries > MAX_RETRIES:
                     raise self._give_up(f"DATA seq {self.send_seq}")
                 return self.unacked

@@ -1,0 +1,99 @@
+"""`repro.obs` — the unified observability substrate.
+
+One spans/counters/histograms layer for every subsystem that used to
+roll its own: the prover's event stream, the simulator's latency
+recorder, the fault campaign's per-site tallies, and the raw
+``time.perf_counter()`` pairs in the SMT solver and VC discharge path
+all feed the instruments here, so the distributional evidence the paper
+reports (Figure 1a's CDF, Figures 1b/1c's latency populations) is
+produced by exactly one implementation.
+
+Pieces:
+
+* :mod:`repro.obs.instruments` — :class:`Counter`, :class:`Gauge`, and
+  the mergeable :class:`Histogram` (nearest-rank percentiles,
+  ``cdf(points)``);
+* :mod:`repro.obs.span` — :class:`Span`, timing wall-clock work or
+  charging simulated nanoseconds under the sim kernel's virtual clock;
+* :mod:`repro.obs.events` — the typed, frozen :class:`Event` records,
+  the :class:`EventBus` (off by default; free when inactive), JSONL
+  export, and the trace schema (:func:`validate_record`);
+* :mod:`repro.obs.registry` — the process-wide :class:`Registry` with
+  labeled instrument lookup;
+* :mod:`repro.obs.console` — the one sink CLI text goes through
+  (library code never prints).
+
+Shorthand: ``obs.counter(...)``, ``obs.gauge(...)``,
+``obs.histogram(...)``, ``obs.span(...)`` and ``obs.bus()`` operate on
+the process-wide registry.
+"""
+
+from repro.obs.console import Console, err, get_console, out, set_console
+from repro.obs.events import (
+    CLOCK_DOMAINS,
+    Event,
+    EventBus,
+    JsonlWriter,
+    SCHEMA_REQUIRED,
+    make_event,
+    validate_jsonl_line,
+    validate_record,
+)
+from repro.obs.instruments import Counter, Gauge, Histogram
+from repro.obs.registry import Registry, registry
+from repro.obs.span import Span, sim_clock
+
+__all__ = [
+    "CLOCK_DOMAINS",
+    "Console",
+    "Counter",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "JsonlWriter",
+    "Registry",
+    "SCHEMA_REQUIRED",
+    "Span",
+    "bus",
+    "counter",
+    "err",
+    "gauge",
+    "get_console",
+    "histogram",
+    "make_event",
+    "out",
+    "registry",
+    "set_console",
+    "sim_clock",
+    "span",
+    "validate_jsonl_line",
+    "validate_record",
+]
+
+
+def counter(name: str, **labels) -> Counter:
+    """A labeled counter from the process-wide registry."""
+    return registry().counter(name, **labels)
+
+
+def gauge(name: str, **labels) -> Gauge:
+    """A labeled gauge from the process-wide registry."""
+    return registry().gauge(name, **labels)
+
+
+def histogram(name: str, **labels) -> Histogram:
+    """A labeled histogram from the process-wide registry."""
+    return registry().histogram(name, **labels)
+
+
+def span(name: str, clock=None, histogram: str | None = None,
+         labels: dict | None = None, **fields) -> Span:
+    """A span wired to the process-wide registry's bus."""
+    return registry().span(name, clock=clock, histogram=histogram,
+                           labels=labels, **fields)
+
+
+def bus() -> EventBus:
+    """The process-wide event bus (inactive until enabled/subscribed)."""
+    return registry().bus

@@ -1,0 +1,77 @@
+"""The console sink: the one place repro writes human-facing text.
+
+Library code never prints; CLI output flows through :func:`out` /
+:func:`err`, which a caller can redirect wholesale (tests capture with a
+list, the trace CLI tees into a file) by swapping the active
+:class:`Console`.  Output is byte-compatible with the ``print()`` calls
+it replaced: one line per call, ``\\n``-terminated, resolved against
+``sys.stdout``/``sys.stderr`` at call time so pytest's capsys and shell
+redirection both keep working.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+class Console:
+    """Writes lines to stdout/stderr (or wherever it is pointed)."""
+
+    def __init__(self, stdout=None, stderr=None) -> None:
+        # None = resolve sys.stdout/sys.stderr at write time.
+        self._stdout = stdout
+        self._stderr = stderr
+
+    def out(self, text: str = "") -> None:
+        stream = self._stdout if self._stdout is not None else sys.stdout
+        stream.write(f"{text}\n")
+
+    def err(self, text: str = "") -> None:
+        stream = self._stderr if self._stderr is not None else sys.stderr
+        stream.write(f"{text}\n")
+
+    def out_lines(self, lines, indent: str = "") -> None:
+        for line in lines:
+            self.out(f"{indent}{line}")
+
+
+class CapturedConsole(Console):
+    """A console that remembers everything (for tests)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.stdout_lines: list[str] = []
+        self.stderr_lines: list[str] = []
+
+    def out(self, text: str = "") -> None:
+        self.stdout_lines.append(text)
+
+    def err(self, text: str = "") -> None:
+        self.stderr_lines.append(text)
+
+
+_ACTIVE = Console()
+
+
+def get_console() -> Console:
+    return _ACTIVE
+
+
+def set_console(console: Console) -> Console:
+    """Install `console` as the active sink; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = console
+    return previous
+
+
+def out(text: str = "") -> None:
+    _ACTIVE.out(text)
+
+
+def err(text: str = "") -> None:
+    _ACTIVE.err(text)
+
+
+def out_lines(lines, indent: str = "") -> None:
+    _ACTIVE.out_lines(lines, indent=indent)

@@ -1,0 +1,184 @@
+"""The three instrument kinds of the observability substrate.
+
+* :class:`Counter` — a monotone (well, add-only) accumulator;
+* :class:`Gauge` — a point-in-time value with a high-water mark;
+* :class:`Histogram` — a mergeable sample population with nearest-rank
+  percentiles and the CDF downsampling behind Figure 1a.
+
+The histogram is *the* distribution type of the repository: per-VC
+discharge times (:class:`repro.verif.engine.ProofReport`), per-operation
+simulated latencies (:class:`repro.sim.stats.LatencyRecorder`), combiner
+batch sizes (:class:`repro.nr.core.NodeReplicated`), and filesystem op
+timings all store their populations here, so every figure-producing curve
+is computed by exactly one implementation of the distribution math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """An add-only accumulator.  ``inc``/``add`` never go below zero-sum
+    semantics on purpose: decrements are a :class:`Gauge`'s job."""
+
+    name: str = ""
+    labels: tuple = ()
+    value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot add {amount}")
+        self.value += amount
+
+    add = inc
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value; remembers its high-water mark."""
+
+    name: str = ""
+    labels: tuple = ()
+    value: int | float = 0
+    high_water: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0
+        self.high_water = 0
+
+
+@dataclass
+class Histogram:
+    """A mergeable population of samples.
+
+    Keeps the raw samples (populations here are hundreds to a few
+    thousands — the paper's own evaluation is 220 VCs), so percentiles
+    are exact nearest-rank, merging is concatenation, and the CDF can be
+    downsampled without binning error.
+    """
+
+    name: str = ""
+    labels: tuple = ()
+    samples: list[int | float] = field(default_factory=list)
+
+    def record(self, value: int | float) -> None:
+        self.samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+    # -- summary statistics -------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> int | float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def max(self) -> int | float:
+        return max(self.samples, default=0)
+
+    @property
+    def min(self) -> int | float:
+        return min(self.samples, default=0)
+
+    def percentile(self, p: float) -> int | float:
+        """Nearest-rank percentile, ``p`` in [0, 100].
+
+        This is the single implementation of the repo's percentile
+        convention (rank = round(p/100 * (n-1)) over the sorted samples);
+        :meth:`repro.sim.stats.LatencyRecorder.percentile_ns` is an alias
+        of it.  An empty histogram reports 0.
+        """
+        if not self.samples:
+            return 0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(p / 100 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def sorted_samples(self) -> list[int | float]:
+        return sorted(self.samples)
+
+    def fraction_within(self, bound: int | float) -> float:
+        """Cumulative fraction of samples <= `bound` (a CDF point)."""
+        if not self.samples:
+            return 0.0
+        within = sum(1 for s in self.samples if s <= bound)
+        return within / len(self.samples)
+
+    def cdf(self, points: int = 50) -> list[tuple[int | float, float]]:
+        """(value, cumulative fraction) pairs — the Figure 1a series.
+
+        Downsampled to at most `points` entries, evenly spaced over the
+        sorted population and always including the maximum, so plotting
+        220 VCs at ``points=50`` yields 50 representative steps rather
+        than silently returning all 220.  This is the single
+        implementation of the repo's CDF convention;
+        :meth:`repro.verif.engine.ProofReport.cdf` delegates here.
+        """
+        ordered = self.sorted_samples()
+        n = len(ordered)
+        if not n:
+            return []
+        if points <= 0:
+            raise ValueError(f"points must be positive, got {points}")
+        if n <= points:
+            return [(value, (i + 1) / n) for i, value in enumerate(ordered)]
+        # Evenly spaced ranks 1..n, rounded to integers; the last sample
+        # is always rank n (the max), so the CDF still reaches 1.0.
+        samples = []
+        for j in range(1, points + 1):
+            rank = round(j * n / points)
+            samples.append((ordered[rank - 1], rank / n))
+        return samples
+
+    # -- composition --------------------------------------------------------
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold `other`'s population into this one (concatenation: exact
+        for every statistic above, unlike bucketed histogram merges)."""
+        self.samples.extend(other.samples)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready summary (what ``trace summary`` prints)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }

@@ -1,0 +1,76 @@
+"""Spans: timed regions that work in either clock domain.
+
+A span times real wall-clock work by default (``time.perf_counter``), or
+charges **simulated nanoseconds** when given the virtual clock of a
+:class:`repro.sim.kernel.Simulator` (``clock=lambda: sim.now``).  The
+second mode is what keeps deterministic runs deterministic: a traced
+simulated workload produces byte-identical JSONL on every run, because
+no wall-clock value ever enters the trace.
+
+A span can deliver its elapsed time to up to two sinks:
+
+* a :class:`repro.obs.instruments.Histogram` (the duration joins a
+  population — this is how every latency figure is fed), and
+* an :class:`repro.obs.events.EventBus` (a ``name`` event with ``dur``
+  appears in the trace — free when the bus is inactive).
+
+Spans compose with generator-style simulated processes too: because the
+clock is sampled only at :meth:`start` and :meth:`finish`, a process may
+``yield`` between the two and the span charges exactly the simulated
+time that passed.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed region.  Usable as a context manager or via explicit
+    ``start()`` / ``finish()`` (the latter for generator code)."""
+
+    __slots__ = ("name", "clock", "clock_domain", "histogram", "bus",
+                 "fields", "t0", "elapsed")
+
+    def __init__(self, name: str, clock=None, clock_domain: str | None = None,
+                 histogram=None, bus=None, **fields) -> None:
+        self.name = name
+        self.clock = clock if clock is not None else time.perf_counter
+        # Wall is the default domain; passing any custom clock without
+        # saying otherwise marks the span as simulated time.
+        if clock_domain is None:
+            clock_domain = "wall" if clock is None else "sim"
+        self.clock_domain = clock_domain
+        self.histogram = histogram
+        self.bus = bus
+        self.fields = fields
+        self.t0: int | float | None = None
+        self.elapsed: int | float = 0
+
+    def start(self) -> "Span":
+        self.t0 = self.clock()
+        return self
+
+    def finish(self) -> int | float:
+        """Stop the span; records/emits and returns the elapsed time."""
+        if self.t0 is None:
+            raise RuntimeError(f"span {self.name!r} finished before start")
+        end = self.clock()
+        self.elapsed = end - self.t0
+        if self.histogram is not None:
+            self.histogram.record(self.elapsed)
+        if self.bus is not None and self.bus.active:
+            self.bus.emit(self.name, t=end, clock=self.clock_domain,
+                          dur=self.elapsed, **self.fields)
+        return self.elapsed
+
+    def __enter__(self) -> "Span":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+
+def sim_clock(simulator):
+    """The virtual clock of a simulator as a span clock (integer ns)."""
+    return lambda: simulator.now

@@ -1,16 +1,24 @@
-"""Structured event stream of a scheduled proof run.
+"""Typed events of a scheduled proof run, carried by :mod:`repro.obs`.
 
 Every VC's lifecycle is observable: ``queued`` when the scheduler accepts
 it, ``cache-hit`` when the persistent proof cache already holds a verdict,
 ``started``/``finished`` around an actual discharge (with the attempt
 number of the retry ladder), and ``run-finished`` with the run totals.
-The stream is consumed by :class:`repro.verif.engine.ProofReport` summaries,
-``benchmarks/bench_fig1a_vc_times.py``, and ``python -m repro prove``.
+
+:class:`ProofEvent` is the typed, frozen record; :class:`EventLog` keeps
+the run's own (bounded) list for report summaries *and* republishes every
+event on the process-wide :func:`repro.obs.bus` as ``prover.<kind>`` —
+which is how ``python -m repro prove --trace out.jsonl`` lands prover
+events in the same JSONL stream as SMT-phase spans and kernel-path
+counters, instead of the private stream this module used to maintain.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro import obs
+from repro.obs.events import Event
 
 QUEUED = "queued"
 STARTED = "started"
@@ -37,6 +45,25 @@ class ProofEvent:
     #: 1-based attempt number in the conflict-budget retry ladder.
     attempt: int = 0
 
+    def to_obs_event(self) -> Event:
+        """This record as a bus event (name ``prover.<kind>``), carrying
+        only the fields that are meaningful for the kind."""
+        fields: dict = {}
+        if self.vc:
+            fields["vc"] = self.vc
+        if self.category:
+            fields["category"] = self.category
+        if self.worker:
+            fields["worker"] = self.worker
+        if self.kind in (FINISHED, RUN_FINISHED):
+            fields["dur"] = self.seconds
+            fields["solver_seconds"] = self.solver_seconds
+        if self.status:
+            fields["status"] = self.status
+        if self.attempt:
+            fields["attempt"] = self.attempt
+        return obs.make_event(f"prover.{self.kind}", t=self.t, **fields)
+
     def line(self) -> str:
         parts = [f"{self.t:8.3f}s", f"{self.kind:<12}"]
         if self.vc:
@@ -54,13 +81,18 @@ class ProofEvent:
 
 @dataclass
 class EventLog:
-    """In-memory collector; an optional sink sees every event as it lands."""
+    """The run's event record: a bounded typed list for summaries, with
+    every event republished on the shared :mod:`repro.obs` bus (free when
+    nobody is tracing) and to an optional per-run callable sink."""
 
     events: list[ProofEvent] = field(default_factory=list)
     sink: object = None  # callable(ProofEvent) | None
 
     def emit(self, event: ProofEvent) -> None:
         self.events.append(event)
+        shared = obs.bus()
+        if shared.active:
+            shared.emit_event(event.to_obs_event())
         if self.sink is not None:
             self.sink(event)
 

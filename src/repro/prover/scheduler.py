@@ -33,6 +33,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
     ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.prover import events as ev
 from repro.prover import registry
 from repro.prover.cache import ProofCache, default_cache_dir
@@ -231,6 +232,8 @@ class ProverScheduler:
 
     def run(self) -> ProofReport:
         self._t0 = time.perf_counter()
+        run_span = obs.span("prover.run",
+                            histogram="prover.run_seconds").start()
         ordered = self.engine.vcs()
         results: list[VCResult | None] = [None] * len(ordered)
         history = self.cache.load_timings() if self.cache else {}
@@ -274,6 +277,7 @@ class ProverScheduler:
                     result = self.cache.result_from(hit, vc,
                                                     job.build_seconds)
                     results[index] = result
+                    obs.counter("prover.cache_hits").inc()
                     self._emit(ev.CACHE_HIT, vc, seconds=job.build_seconds)
                     if self.progress is not None:
                         self.progress(result)
@@ -289,6 +293,7 @@ class ProverScheduler:
             self._run_pools(pending, results, fresh_timings)
 
         report = ProofReport(results=[r for r in results if r is not None])
+        run_span.finish()
         report.wall_seconds = self._now()
         if self.cache is not None and fresh_timings:
             self.cache.store_timings(fresh_timings)
@@ -303,6 +308,7 @@ class ProverScheduler:
         result.seconds += job.build_seconds
         results[job.index] = result
         fresh_timings[job.vc.name] = result.seconds
+        obs.counter("prover.discharged", lane=lane).inc()
         if (job.fingerprint is not None and self.cache is not None):
             self.cache.put(job.fingerprint, result)
         self._emit(ev.FINISHED, job.vc, seconds=result.seconds,

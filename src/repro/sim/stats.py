@@ -1,43 +1,41 @@
-"""Latency statistics for the benchmark harness."""
+"""Latency statistics for the benchmark harness.
+
+:class:`LatencyRecorder` is a thin nanosecond-flavoured view over
+:class:`repro.obs.instruments.Histogram` — the same type that backs the
+Figure 1a verification-time CDF — so the per-operation populations of
+Figures 1b/1c and the per-VC population of Figure 1a share one
+implementation of the distribution math (percentiles, CDF, merge).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.instruments import Histogram
 
 
-@dataclass
-class LatencyRecorder:
+class LatencyRecorder(Histogram):
     """Collects per-operation latencies (ns) and summarises them."""
 
-    samples: list[int] = field(default_factory=list)
+    def __init__(self, samples: list[int] | None = None) -> None:
+        super().__init__(name="latency_ns",
+                         samples=samples if samples is not None else [])
 
     def record(self, latency_ns: int) -> None:
         if latency_ns < 0:
             raise ValueError(f"negative latency {latency_ns}")
-        self.samples.append(latency_ns)
-
-    def __len__(self) -> int:
-        return len(self.samples)
+        super().record(latency_ns)
 
     @property
     def mean_ns(self) -> float:
-        if not self.samples:
-            return 0.0
-        return sum(self.samples) / len(self.samples)
+        return self.mean
 
     @property
     def mean_us(self) -> float:
         return self.mean_ns / 1000.0
 
     def percentile_ns(self, p: float) -> int:
-        """Nearest-rank percentile, p in [0, 100]."""
-        if not self.samples:
-            return 0
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile {p} out of range")
-        ordered = sorted(self.samples)
-        rank = max(0, min(len(ordered) - 1, int(round(p / 100 * (len(ordered) - 1)))))
-        return ordered[rank]
+        """Nearest-rank percentile, p in [0, 100] (the shared
+        :meth:`Histogram.percentile` implementation)."""
+        return self.percentile(p)
 
     @property
     def p50_us(self) -> float:
@@ -49,7 +47,4 @@ class LatencyRecorder:
 
     @property
     def max_us(self) -> float:
-        return max(self.samples, default=0) / 1000.0
-
-    def merge(self, other: "LatencyRecorder") -> None:
-        self.samples.extend(other.samples)
+        return self.max / 1000.0

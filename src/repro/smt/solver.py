@@ -9,9 +9,9 @@ produce a bogus counterexample silently.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.smt import ast, interp, rewrite
 from repro.smt.aig import FALSE, TRUE
 from repro.smt.bitblast import BitBlaster
@@ -91,10 +91,11 @@ class Solver:
         original = ast.and_(*self._assertions) if self._assertions else ast.true()
         formula = original
 
-        start = time.perf_counter()
-        if self.simplify:
-            formula = rewrite.simplify(formula)
-        stats.rewrite_seconds = time.perf_counter() - start
+        with obs.span("smt.rewrite", histogram="smt.phase_seconds",
+                      labels={"phase": "rewrite"}) as span:
+            if self.simplify:
+                formula = rewrite.simplify(formula)
+        stats.rewrite_seconds = span.elapsed
 
         if formula.is_const:
             stats.decided_structurally = True
@@ -104,10 +105,11 @@ class Solver:
                 )
             return SolverResult(sat=False, stats=stats)
 
-        start = time.perf_counter()
-        blaster = BitBlaster()
-        out = blaster.blast_bool(formula)
-        stats.blast_seconds = time.perf_counter() - start
+        with obs.span("smt.blast", histogram="smt.phase_seconds",
+                      labels={"phase": "blast"}) as span:
+            blaster = BitBlaster()
+            out = blaster.blast_bool(formula)
+        stats.blast_seconds = span.elapsed
         stats.aig_nodes = len(blaster.aig)
 
         if out == TRUE:
@@ -123,9 +125,10 @@ class Solver:
         stats.cnf_vars = sat_solver.num_vars
         stats.cnf_clauses = mapping.num_clauses
 
-        start = time.perf_counter()
-        result = sat_solver.solve(max_conflicts=max_conflicts)
-        stats.sat_seconds = time.perf_counter() - start
+        with obs.span("smt.sat", histogram="smt.phase_seconds",
+                      labels={"phase": "sat"}) as span:
+            result = sat_solver.solve(max_conflicts=max_conflicts)
+        stats.sat_seconds = span.elapsed
         stats.sat_conflicts = result.stats.conflicts
         stats.sat_decisions = result.stats.decisions
         stats.sat_propagations = result.stats.propagations

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.instruments import Histogram
 from repro.verif.vc import VC, VCGroup, VCResult, VCStatus
 
 
@@ -64,39 +65,26 @@ class ProofReport:
     def max_seconds(self) -> float:
         return max((r.seconds for r in self.results), default=0.0)
 
+    def histogram(self) -> Histogram:
+        """The per-VC discharge-time population as the repo's one
+        distribution type (:class:`repro.obs.instruments.Histogram`) —
+        what the Figure 1a benchmark consumes."""
+        hist = Histogram(name="vc.discharge_seconds")
+        for r in self.results:
+            hist.record(r.seconds)
+        return hist
+
     def times(self) -> list[float]:
-        return sorted(r.seconds for r in self.results)
+        return self.histogram().sorted_samples()
 
     def cdf(self, points: int = 50) -> list[tuple[float, float]]:
-        """(seconds, cumulative fraction) pairs — the Figure 1a series.
-
-        Downsampled to at most `points` entries, evenly spaced over the
-        sorted population and always including the slowest VC, so plotting
-        220 VCs at `points=50` yields 50 representative steps rather than
-        silently returning all 220.
-        """
-        times = self.times()
-        n = len(times)
-        if not n:
-            return []
-        if points <= 0:
-            raise ValueError(f"points must be positive, got {points}")
-        if n <= points:
-            return [(t, (i + 1) / n) for i, t in enumerate(times)]
-        # Evenly spaced ranks 1..n, rounded to integers; the last sample is
-        # always rank n (the max), so the CDF still reaches 1.0.
-        samples = []
-        for j in range(1, points + 1):
-            rank = round(j * n / points)
-            samples.append((times[rank - 1], rank / n))
-        return samples
+        """(seconds, cumulative fraction) pairs — the Figure 1a series,
+        computed by the shared :meth:`Histogram.cdf` downsampler."""
+        return self.histogram().cdf(points)
 
     def fraction_within(self, seconds: float) -> float:
         """Cumulative fraction of VCs verified within `seconds`."""
-        if not self.results:
-            return 0.0
-        within = sum(1 for r in self.results if r.seconds <= seconds)
-        return within / len(self.results)
+        return self.histogram().fraction_within(seconds)
 
     def by_category(self) -> dict[str, list[VCResult]]:
         groups: dict[str, list[VCResult]] = {}
