@@ -8,7 +8,31 @@ same numbers to `benchmark.extra_info` for machine consumption.
 
 from __future__ import annotations
 
+import json
+import os
 import time
+
+#: Version of the BENCH_*.json layout; bump on incompatible change so the
+#: CI validator (`benchmarks/check_bench_json.py`) can reject stale files.
+BENCH_SCHEMA_VERSION = 1
+
+
+def write_bench_json(name: str, payload: dict, out_dir: str | None = None) -> str:
+    """Write the machine-readable result file ``BENCH_<name>.json``.
+
+    Every figure benchmark emits one of these next to the working directory
+    (override with `out_dir` or ``$REPRO_BENCH_DIR``) so CI and the
+    experiment log can consume the same numbers the console report prints.
+    Returns the path written."""
+    out_dir = out_dir or os.environ.get("REPRO_BENCH_DIR") or os.getcwd()
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    document = {"schema_version": BENCH_SCHEMA_VERSION, "bench": name}
+    document.update(payload)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def report_lines(capsys, title: str, lines) -> None:

@@ -1,15 +1,26 @@
-"""Ablation: the SMT rewriter/structural-hashing front end.
+"""Ablation: the SMT solving pipeline, stage by stage.
 
 DESIGN.md calls out the rewrite + AIG structural-hashing pipeline as the
 reason most bit-level lemmas discharge without touching the SAT solver.
-This ablation proves the same lemma population with the rewriter disabled
-and reports the effect on discharge time and on how many goals reach SAT.
+This module ablates each optimisation independently over the same lemma
+population:
+
+* the term rewriter (`simplify`) — how many goals even reach SAT;
+* the SatELite CNF preprocessor (`preprocess`) — clause-level reductions;
+* family grouping / incremental assumption solving (`incremental`) —
+  shared-solver discharge of same-shape lemmas.
+
+The preprocess/incremental arms run through the prover scheduler exactly
+as ``repro prove --no-preprocess`` / ``--no-incremental`` would, and every
+arm must produce bit-identical verdicts.
 """
 
 import time
 
 from benchmarks._common import report_lines
 from repro.core.refine.lemmas import all_lemma_vcs, c64
+from repro.core.refine.proof import build_proof
+from repro.prover import ProverConfig, prove_all
 from repro.smt import ast
 from repro.smt.solver import prove
 
@@ -78,6 +89,50 @@ def test_ablation_rewriter(benchmark, capsys):
     benchmark.extra_info["without_ms"] = round(without_time * 1000, 1)
     # the rewriter must keep more goals away from SAT
     assert with_sat <= without_sat
+
+
+SCHEDULER_ARMS = (
+    ("full pipeline", dict(preprocess=True, incremental=True)),
+    ("no preprocess", dict(preprocess=False, incremental=True)),
+    ("no incremental", dict(preprocess=True, incremental=False)),
+    ("neither", dict(preprocess=False, incremental=False)),
+)
+
+
+def _run_arm(flags):
+    engine = build_proof(include_structural=False, include_nr=False,
+                         include_contract=False)
+    start = time.perf_counter()
+    report = prove_all(engine, config=ProverConfig(use_cache=False, **flags))
+    elapsed = time.perf_counter() - start
+    return elapsed, report
+
+
+def test_ablation_preprocess_incremental(benchmark, capsys):
+    """The PR's two optimisations ablated independently over the 80-lemma
+    SMT slice: CNF preprocessing and family-grouped incremental solving.
+    All four arms must agree on every verdict."""
+
+    def run_all():
+        return [(name, *_run_arm(flags)) for name, flags in SCHEDULER_ARMS]
+
+    arms = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    baseline_keys = [r.key() for r in arms[0][2].results]
+    lines = []
+    for name, elapsed, report in arms:
+        counters = report.solver_counters()
+        lines.append(
+            f"  {name:15s} {elapsed * 1000:8.1f} ms wall   "
+            f"{counters.get('sat_conflicts', 0):6d} conflicts   "
+            f"{counters.get('decided_by_preprocessing', 0):3d} by-preprocess"
+        )
+        benchmark.extra_info[name.replace(" ", "_") + "_ms"] = round(
+            elapsed * 1000, 1)
+        assert report.all_proved, [r.name for r in report.failed]
+        assert [r.key() for r in report.results] == baseline_keys, name
+    report_lines(capsys, "Ablation — CNF preprocessing / incremental SAT",
+                 lines)
 
 
 def test_full_lemma_population_time(benchmark):

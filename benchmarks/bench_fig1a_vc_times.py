@@ -9,14 +9,30 @@ Figure 1a cost, the warm re-verification run is served almost entirely
 from the cache.
 """
 
+import os
+
 import pytest
 
-from benchmarks._common import report_lines
+from benchmarks._common import report_lines, write_bench_json
 from repro.core.refine.proof import build_proof
 from repro.obs import Histogram
 from repro.prover import ProofCache, prove_all
 
 THRESHOLDS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 11.0)
+
+#: CI's perf-smoke job sets this to run the same benchmark over a reduced
+#: VC population (small scenario caps): same SMT lemma set — so the
+#: deterministic solver counters match the committed baseline — but far
+#: fewer structural enumeration VCs.
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+
+def _build_population():
+    if QUICK:
+        return build_proof(scenario_depth=2, scenario_cap=12)
+    engine = build_proof()
+    assert engine.vc_count == 220
+    return engine
 
 
 @pytest.fixture(scope="module")
@@ -26,9 +42,7 @@ def proof_cache(tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def proof_report(proof_cache):
-    engine = build_proof()
-    assert engine.vc_count == 220
-    return prove_all(engine, cache=proof_cache)
+    return prove_all(_build_population(), cache=proof_cache)
 
 
 def test_fig1a_vc_time_cdf(benchmark, proof_report, capsys):
@@ -90,7 +104,7 @@ def test_fig1a_warm_cache_reverification(benchmark, proof_report,
     cold = proof_report  # ensures the cache is populated first
 
     def reverify():
-        return prove_all(build_proof(), cache=proof_cache)
+        return prove_all(_build_population(), cache=proof_cache)
 
     warm = benchmark.pedantic(reverify, rounds=1, iterations=1,
                               warmup_rounds=0)
@@ -109,6 +123,24 @@ def test_fig1a_warm_cache_reverification(benchmark, proof_report,
     benchmark.extra_info["cold_wall_seconds"] = round(cold.wall_seconds, 2)
     benchmark.extra_info["warm_wall_seconds"] = round(warm.wall_seconds, 2)
     benchmark.extra_info["cache_hit_rate"] = round(hit_rate, 3)
+
+    def timing_block(report):
+        population = report.histogram()
+        return {
+            "p50_seconds": round(population.percentile(50), 4),
+            "p99_seconds": round(population.percentile(99), 4),
+            "total_seconds": round(report.total_seconds, 3),
+            "wall_seconds": round(report.wall_seconds, 3),
+        }
+
+    write_bench_json("fig1a", {
+        "quick": QUICK,
+        "total_vcs": cold.total,
+        "cold": timing_block(cold),
+        "warm": timing_block(warm),
+        "cache_hit_rate": round(hit_rate, 3),
+        "solver_counters": cold.solver_counters(),
+    })
     assert warm.all_proved
     assert warm.total == cold.total
     assert hit_rate >= 0.9, f"warm-cache hit rate {hit_rate:.0%} < 90%"

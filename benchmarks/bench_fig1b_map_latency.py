@@ -17,6 +17,7 @@ from benchmarks._common import (
     OPS_PER_CORE,
     calibrate_impl_cost,
     report_lines,
+    write_bench_json,
 )
 from repro.nr.datastructures import VSpaceModel
 from repro.nr.timed import TimedNrConfig, run_timed_workload
@@ -84,6 +85,19 @@ def test_fig1b_map_latency(benchmark, calibration, capsys):
         "(~5 us -> ~60 us at 28); verified closely matches unverified",
     ]
     report_lines(capsys, "Figure 1b — map latency", lines)
+
+    write_bench_json("fig1b", {
+        "impl_cost_ratio": round(calibration["ratio"], 3),
+        "series": {
+            str(cores): {
+                "unverified_mean_us": round(
+                    unverified[cores].latency.mean_us, 2),
+                "verified_mean_us": round(verified[cores].latency.mean_us, 2),
+                "verified_p99_us": round(verified[cores].latency.p99_us, 2),
+            }
+            for cores in CORE_COUNTS
+        },
+    })
 
     # shape assertions: monotone growth, and verified within 60% of
     # unverified everywhere (the paper's 'closely match')

@@ -15,6 +15,7 @@ from benchmarks._common import (
     OPS_PER_CORE,
     calibrate_impl_cost,
     report_lines,
+    write_bench_json,
 )
 from repro.nr.datastructures import VSpaceModel
 from repro.nr.timed import TimedNrConfig, run_timed_workload, tlb_shootdown_cost
@@ -83,6 +84,21 @@ def test_fig1c_unmap_latency(benchmark, calibration, capsys):
         "verified closely matches unverified",
     ]
     report_lines(capsys, "Figure 1c — unmap latency", lines)
+
+    write_bench_json("fig1c", {
+        "impl_cost_ratio": round(calibration["ratio"], 3),
+        "series": {
+            str(cores): {
+                "unverified_mean_us": round(
+                    unverified[cores].kind("unmap").mean_us, 2),
+                "verified_mean_us": round(
+                    verified[cores].kind("unmap").mean_us, 2),
+                "verified_p99_us": round(
+                    verified[cores].kind("unmap").p99_us, 2),
+            }
+            for cores in CORE_COUNTS
+        },
+    })
 
     u_means = [unverified[c].kind("unmap").mean_us for c in CORE_COUNTS]
     v_means = [verified[c].kind("unmap").mean_us for c in CORE_COUNTS]

@@ -1,0 +1,129 @@
+"""Validate a ``BENCH_*.json`` result file and guard against solver
+regressions.
+
+Usage::
+
+    python benchmarks/check_bench_json.py BENCH_fig1a.json \
+        [--baseline benchmarks/baseline_fig1a.json]
+
+Two checks:
+
+* **schema** — the file must carry the expected ``schema_version`` and the
+  per-benchmark required keys with the right types (a benchmark refactor
+  that silently stops emitting a field fails CI here);
+* **baseline** (fig1a only, when ``--baseline`` is given) — the
+  *deterministic* solver counters are compared against the committed
+  baseline: the number of goals settled without CDCL search
+  (``decided_structurally`` + ``decided_by_preprocessing``) must not drop
+  below half the baseline, and ``sat_conflicts`` must not exceed twice the
+  baseline.  Wall-clock is deliberately not compared — CI machines vary;
+  the counters do not.
+
+Exit status 0 on success, 1 with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA_VERSION = 1
+
+_TIMING_KEYS = ("p50_seconds", "p99_seconds", "total_seconds",
+                "wall_seconds")
+
+#: Required top-level keys (and types) per benchmark name.
+SCHEMAS: dict[str, dict[str, type | tuple]] = {
+    "fig1a": {
+        "quick": bool,
+        "total_vcs": int,
+        "cold": dict,
+        "warm": dict,
+        "cache_hit_rate": (int, float),
+        "solver_counters": dict,
+    },
+    "fig1b": {"impl_cost_ratio": (int, float), "series": dict},
+    "fig1c": {"impl_cost_ratio": (int, float), "series": dict},
+}
+
+
+def _fail(message: str) -> None:
+    print(f"check_bench_json: FAIL: {message}")
+    raise SystemExit(1)
+
+
+def validate_schema(document: dict) -> None:
+    if document.get("schema_version") != EXPECTED_SCHEMA_VERSION:
+        _fail(f"schema_version {document.get('schema_version')!r} != "
+              f"{EXPECTED_SCHEMA_VERSION}")
+    bench = document.get("bench")
+    if bench not in SCHEMAS:
+        _fail(f"unknown bench name {bench!r} (known: {sorted(SCHEMAS)})")
+    for key, expected_type in SCHEMAS[bench].items():
+        if key not in document:
+            _fail(f"{bench}: missing required key {key!r}")
+        if not isinstance(document[key], expected_type):
+            _fail(f"{bench}: key {key!r} has type "
+                  f"{type(document[key]).__name__}, expected "
+                  f"{expected_type}")
+    if bench == "fig1a":
+        for block in ("cold", "warm"):
+            for key in _TIMING_KEYS:
+                value = document[block].get(key)
+                if not isinstance(value, (int, float)):
+                    _fail(f"fig1a: {block}.{key} missing or non-numeric "
+                          f"({value!r})")
+
+
+def compare_to_baseline(document: dict, baseline: dict) -> list[str]:
+    """Deterministic-counter regression gates; returns report lines."""
+    current = document.get("solver_counters", {})
+    expected = baseline.get("solver_counters", {})
+    lines = []
+
+    decided_now = (current.get("decided_structurally", 0)
+                   + current.get("decided_by_preprocessing", 0))
+    decided_base = (expected.get("decided_structurally", 0)
+                    + expected.get("decided_by_preprocessing", 0))
+    lines.append(f"decided without search: {decided_now} "
+                 f"(baseline {decided_base})")
+    if decided_now * 2 < decided_base:
+        _fail(f"goals decided without CDCL search regressed more than 2x: "
+              f"{decided_now} vs baseline {decided_base}")
+
+    conflicts_now = current.get("sat_conflicts", 0)
+    conflicts_base = expected.get("sat_conflicts", 0)
+    lines.append(f"sat conflicts: {conflicts_now} "
+                 f"(baseline {conflicts_base})")
+    if conflicts_now > 2 * max(conflicts_base, 1):
+        _fail(f"sat_conflicts regressed more than 2x: {conflicts_now} vs "
+              f"baseline {conflicts_base}")
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="BENCH_*.json file to validate")
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline JSON to compare "
+                             "deterministic solver counters against")
+    args = parser.parse_args(argv)
+
+    with open(args.file) as fh:
+        document = json.load(fh)
+    validate_schema(document)
+    print(f"check_bench_json: schema OK "
+          f"({document['bench']}, v{document['schema_version']})")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        for line in compare_to_baseline(document, baseline):
+            print(f"check_bench_json: {line}")
+        print("check_bench_json: baseline comparison OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -114,6 +114,8 @@ def prove(args) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         conflict_budget=args.budget,
+        preprocess=not args.no_preprocess,
+        incremental=not args.no_incremental,
     )
     if not args.no_cache:
         cache = ProofCache(args.cache_dir or default_cache_dir())
@@ -298,6 +300,12 @@ def main(argv=None) -> int:
                               help="drop cached verdicts before running")
     prove_parser.add_argument("--budget", type=int, default=None,
                               help="first-attempt SMT conflict budget")
+    prove_parser.add_argument("--no-preprocess", action="store_true",
+                              help="disable the SatELite CNF preprocessor "
+                                   "(ablation)")
+    prove_parser.add_argument("--no-incremental", action="store_true",
+                              help="disable family grouping / incremental "
+                                   "assumption solving (ablation)")
     prove_parser.add_argument("--events", type=int, default=0, metavar="N",
                               help="print the N slowest discharges")
     prove_parser.add_argument("--min-hit-rate", type=float, default=None,

@@ -5,10 +5,11 @@ A cache key must change exactly when the *meaning* of a discharge changes:
 * the goal term — serialized canonically (a postorder DAG walk with local
   numbering, so fingerprints are stable across processes and interpreter
   runs even though :class:`repro.smt.ast.Term` interning ids are not);
-* the solver configuration — the `simplify` flag plus a digest of the
-  :mod:`repro.smt` source code, so any edit to the solver stack invalidates
-  every cached verdict while leaving spec-side edits to invalidate only the
-  goals they actually change.
+* the solver configuration — the `simplify` / `preprocess` / `incremental`
+  flags (including the preprocessor's own parameter fingerprint) plus a
+  digest of the :mod:`repro.smt` source code, so any edit to the solver
+  stack invalidates every cached verdict while leaving spec-side edits to
+  invalidate only the goals they actually change.
 """
 
 from __future__ import annotations
@@ -54,6 +55,43 @@ def term_fingerprint(term: Term) -> str:
     return hashlib.sha256(serialize_term(term).encode()).hexdigest()
 
 
+def serialize_shape(term: Term) -> str:
+    """Like :func:`serialize_term` but abstracting constant *values* and
+    operator params while keeping ops, sorts, variable names, and DAG shape.
+
+    Two goals with the same shape serialization are the same lemma template
+    instantiated at different constants (``index_extract_12`` vs
+    ``index_extract_30``, ``no_carry_0x1000`` vs ``no_carry_0x20_0000``):
+    their AIG cones overlap heavily under structural hashing, which is what
+    makes discharging them through one shared incremental solver pay off.
+    """
+    numbering: dict[int, int] = {}
+    lines: list[str] = []
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, children_done = stack.pop()
+        if id(node) in numbering:
+            continue
+        if not children_done:
+            stack.append((node, True))
+            for child in reversed(node.args):
+                if id(child) not in numbering:
+                    stack.append((child, False))
+            continue
+        numbering[id(node)] = len(numbering)
+        child_ids = ",".join(str(numbering[id(a)]) for a in node.args)
+        lines.append(
+            f"{numbering[id(node)]} {node.op} {node.sort.width} "
+            f"{node.name!r} [{child_ids}]"
+        )
+    return "\n".join(lines)
+
+
+def family_fingerprint(term: Term) -> str:
+    """Groups structurally-similar goals for shared-solver discharge."""
+    return hashlib.sha256(serialize_shape(term).encode()).hexdigest()
+
+
 @lru_cache(maxsize=1)
 def smt_code_digest() -> str:
     """Digest of every source file in the repro.smt package.
@@ -75,14 +113,31 @@ def smt_code_digest() -> str:
     return digest.hexdigest()
 
 
-def solver_config_fingerprint(simplify: bool = True) -> str:
-    blob = f"simplify={simplify};smt={smt_code_digest()}"
+def solver_config_fingerprint(simplify: bool = True, preprocess: bool = True,
+                              incremental: bool = True) -> str:
+    """Digest of everything about the solver stack that can change a
+    verdict's provenance: the rewriter flag, the CNF-preprocessor
+    configuration, whether family discharge (incremental assumption
+    solving) is enabled, and the smt source digest.  Cached entries from a
+    differently-configured stack never match."""
+    from repro.smt.preprocess import PreprocessConfig
+
+    pre = PreprocessConfig().fingerprint() if preprocess else "off"
+    blob = (
+        f"simplify={simplify};preprocess={pre}"
+        f";incremental={incremental};smt={smt_code_digest()}"
+    )
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def goal_fingerprint(goal: Term, simplify: bool = True) -> str:
+def goal_fingerprint(goal: Term, simplify: bool = True,
+                     preprocess: bool = True,
+                     incremental: bool = True) -> str:
     """The proof-cache key: goal content + solver configuration."""
-    blob = f"{term_fingerprint(goal)}:{solver_config_fingerprint(simplify)}"
+    blob = (
+        f"{term_fingerprint(goal)}:"
+        f"{solver_config_fingerprint(simplify, preprocess, incremental)}"
+    )
     return hashlib.sha256(blob.encode()).hexdigest()
 
 

@@ -13,6 +13,14 @@ cached, observable job system:
 * **ordering** — longest-expected-first, using last-observed durations from
   the cache's timing history, so the slowest VC (the paper's 11 s tail)
   starts first instead of serializing the end of the run;
+* **family grouping** — SMT goals with the same *shape* (same lemma
+  template at different constants) are grouped by
+  :func:`repro.prover.fingerprint.family_fingerprint` and discharged as one
+  unit through a shared :class:`repro.smt.solver.FamilySolver`: one AIG,
+  one CNF, per-goal assumption literals, learnt clauses amortised across
+  the family.  Singleton families keep the classic single-shot path, so
+  their results (counterexample models included) are bit-identical to the
+  serial engine's;
 * **per-VC timeout + retry** — SMT discharges run under a deterministic
   conflict budget; a budget overrun is a ``TIMEOUT`` that is retried with a
   geometrically larger budget, unbounded on the final attempt by default so
@@ -38,9 +46,10 @@ from repro.prover import events as ev
 from repro.prover import registry
 from repro.prover.cache import ProofCache, default_cache_dir
 from repro.prover.events import EventLog, ProofEvent
-from repro.prover.fingerprint import goal_fingerprint, structural_fingerprint
+from repro.prover.fingerprint import family_fingerprint, goal_fingerprint, \
+    structural_fingerprint
 from repro.verif.engine import ProofEngine, ProofReport
-from repro.verif.vc import VC, VCResult, VCStatus
+from repro.verif.vc import VC, VCResult, VCStatus, discharge_family
 
 #: First-attempt conflict budget.  Generous — the Figure 1a population
 #: stays well under it — so timeouts only appear for genuinely hard goals
@@ -82,6 +91,12 @@ class ProverConfig:
     #: discharge; a firing ``worker-crash`` rule kills that worker, which
     #: the scheduler must absorb as an ERROR verdict, never a lost run.
     fault_plan: object | None = None
+    #: Run the SatELite CNF preprocessor on every SMT discharge.
+    preprocess: bool = True
+    #: Group same-shape SMT goals into families discharged through one
+    #: shared incremental solver (assumption-based).  Disabling forces the
+    #: classic one-solver-per-VC path for every goal.
+    incremental: bool = True
 
     def budgets(self) -> list[int | None]:
         """The retry ladder of conflict budgets, e.g. [100k, 400k, None]."""
@@ -115,14 +130,15 @@ def _crash_result(vc: VC, exc: BaseException) -> VCResult:
     )
 
 
-def _discharge_with_ladder(vc: VC, budgets) -> tuple[VCResult, int]:
+def _discharge_with_ladder(vc: VC, budgets,
+                           preprocess: bool = True) -> tuple[VCResult, int]:
     """Run the retry ladder; returns the final result (its `seconds`
     accumulated across attempts) and the attempt count."""
     total_seconds = 0.0
     total_solver = 0.0
     ladder = budgets if vc.is_smt else [None]
     for attempt, budget in enumerate(ladder, start=1):
-        result = vc.discharge(max_conflicts=budget)
+        result = vc.discharge(max_conflicts=budget, preprocess=preprocess)
         total_seconds += result.seconds
         total_solver += result.solver_seconds
         if result.status is not VCStatus.TIMEOUT or attempt == len(ladder):
@@ -172,11 +188,24 @@ def _deserialize_result(payload: dict) -> tuple[VCResult, int]:
 
 
 def _pool_discharge(builder: str, kwargs: dict, vc_name: str,
-                    budgets: list) -> dict:
+                    budgets: list, preprocess: bool = True) -> dict:
     """Worker entry point: rebuild the VC by name and discharge it."""
     vc = registry.rebuild_vc(builder, kwargs, vc_name)
-    result, attempt = _discharge_with_ladder(vc, budgets)
+    result, attempt = _discharge_with_ladder(vc, budgets, preprocess)
     return _serialize_result(result, attempt)
+
+
+def _pool_discharge_family(builder: str, kwargs: dict, vc_names: list,
+                           budgets: list,
+                           preprocess: bool = True) -> list[dict]:
+    """Worker entry point for a whole family: rebuild every member and
+    discharge them in order through one shared solver."""
+    vcs = [registry.rebuild_vc(builder, kwargs, name) for name in vc_names]
+    return [
+        _serialize_result(result, attempt)
+        for result, attempt in discharge_family(vcs, budgets,
+                                                preprocess=preprocess)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -189,6 +218,7 @@ class _Job:
     index: int       # position in the engine's canonical order
     vc: VC
     fingerprint: str | None = None   # cache key (SMT VCs only)
+    family: str | None = None        # shape-grouping key (SMT VCs only)
     build_seconds: float = 0.0       # goal construction + cache lookup
     expected: float = _EXPECTED_DEFAULT
 
@@ -253,14 +283,21 @@ class ProverScheduler:
             job.expected = history.get(
                 vc.name, _EXPECTED_BY_CATEGORY.get(vc.category,
                                                    _EXPECTED_DEFAULT))
-            if self.cache is not None:
+            if self.cache is not None or (self.config.incremental
+                                          and vc.is_smt):
                 start = time.perf_counter()
                 hit = None
                 try:
                     if vc.is_smt:
                         goal = vc.goal_builder()
-                        job.fingerprint = goal_fingerprint(goal, vc.simplify)
-                    elif (self.engine.rebuild_spec is not None
+                        if self.config.incremental:
+                            job.family = family_fingerprint(goal)
+                        if self.cache is not None:
+                            job.fingerprint = goal_fingerprint(
+                                goal, vc.simplify, self.config.preprocess,
+                                self.config.incremental)
+                    elif (self.cache is not None
+                          and self.engine.rebuild_spec is not None
                           and vc.name in self._unique_names):
                         builder, kwargs = self.engine.rebuild_spec
                         job.fingerprint = structural_fingerprint(
@@ -272,6 +309,7 @@ class ProverScheduler:
                     # will surface the error through the normal discharge
                     # path below; never let the cache pass crash the run.
                     job.fingerprint = None
+                    job.family = None
                 job.build_seconds = time.perf_counter() - start
                 if hit is not None:
                     result = self.cache.result_from(hit, vc,
@@ -286,11 +324,12 @@ class ProverScheduler:
 
         # Longest-expected-first; index breaks ties deterministically.
         pending.sort(key=lambda j: (-j.expected, j.index))
+        units = self._form_units(pending)
 
         if self.config.jobs <= 1 or not pending:
-            self._run_inline(pending, results, fresh_timings)
+            self._run_inline(units, results, fresh_timings)
         else:
-            self._run_pools(pending, results, fresh_timings)
+            self._run_pools(units, results, fresh_timings)
 
         report = ProofReport(results=[r for r in results if r is not None])
         run_span.finish()
@@ -327,20 +366,68 @@ class ProverScheduler:
 
     def _lane_discharge(self, vc: VC, budgets) -> tuple[VCResult, int]:
         self._maybe_crash(vc)
-        return _discharge_with_ladder(vc, budgets)
+        return _discharge_with_ladder(vc, budgets, self.config.preprocess)
 
-    def _run_inline(self, pending, results, fresh_timings) -> None:
-        budgets = self.config.budgets()
+    def _lane_discharge_family(self, unit, budgets):
+        return discharge_family([job.vc for job in unit], budgets,
+                                preprocess=self.config.preprocess,
+                                on_member=self._maybe_crash)
+
+    def _form_units(self, pending) -> list[list[_Job]]:
+        """Group pending jobs into dispatch units.
+
+        A unit is a list of jobs discharged together: singletons take the
+        classic one-solver-per-VC path; families of ≥2 same-shape SMT goals
+        share one incremental solver.  A unit is placed at the position of
+        its highest-priority member, with members in canonical engine
+        order, so unit formation is a deterministic function of the
+        population regardless of job count.
+        """
+        if not self.config.incremental:
+            return [[job] for job in pending]
+        by_family: dict[tuple, list[_Job]] = {}
         for job in pending:
-            self._emit(ev.STARTED, job.vc, worker="inline")
-            try:
-                result, attempt = self._lane_discharge(job.vc, budgets)
-            except Exception as exc:
-                # a dead worker costs one ERROR verdict, not the run —
-                # same contract the pool lanes already keep
-                result, attempt = _crash_result(job.vc, exc), 1
-            self._finish(job, result, attempt, "inline", results,
-                         fresh_timings)
+            if job.family is not None:
+                key = (job.family, job.vc.simplify)
+                by_family.setdefault(key, []).append(job)
+        units: list[list[_Job]] = []
+        claimed: set[int] = set()
+        for job in pending:
+            if job.index in claimed:
+                continue
+            members = (by_family.get((job.family, job.vc.simplify), [])
+                       if job.family is not None else [])
+            if len(members) >= 2:
+                unit = sorted(members, key=lambda j: j.index)
+                claimed.update(j.index for j in unit)
+                obs.counter("prover.family_reuse").inc(len(unit) - 1)
+                units.append(unit)
+            else:
+                units.append([job])
+        return units
+
+    def _run_inline(self, units, results, fresh_timings) -> None:
+        budgets = self.config.budgets()
+        for unit in units:
+            for job in unit:
+                self._emit(ev.STARTED, job.vc, worker="inline")
+            if len(unit) == 1:
+                job = unit[0]
+                try:
+                    result, attempt = self._lane_discharge(job.vc, budgets)
+                except Exception as exc:
+                    # a dead worker costs one ERROR verdict, not the run —
+                    # same contract the pool lanes already keep
+                    result, attempt = _crash_result(job.vc, exc), 1
+                outs = [(result, attempt)]
+            else:
+                try:
+                    outs = self._lane_discharge_family(unit, budgets)
+                except Exception as exc:
+                    outs = [(_crash_result(j.vc, exc), 1) for j in unit]
+            for job, (result, attempt) in zip(unit, outs):
+                self._finish(job, result, attempt, "inline", results,
+                             fresh_timings)
 
     # -- parallel lanes ----------------------------------------------------
 
@@ -352,65 +439,83 @@ class ProverScheduler:
         except ValueError:
             return None
 
-    def _run_pools(self, pending, results, fresh_timings) -> None:
+    def _run_pools(self, units, results, fresh_timings) -> None:
         budgets = self.config.budgets()
         spec = self.engine.rebuild_spec
         context = self._fork_context() if spec is not None else None
 
-        proc_jobs: list[_Job] = []
-        thread_jobs: list[_Job] = []
+        proc_units: list[list[_Job]] = []
+        thread_units: list[list[_Job]] = []
         if spec is not None and context is not None:
-            for job in pending:
+            for unit in units:
                 # Reconstruction is by name: ambiguous (duplicated) names
-                # cannot be dispatched to a worker process.
-                (proc_jobs if job.vc.name in self._unique_names
-                 else thread_jobs).append(job)
+                # cannot be dispatched to a worker process.  A family unit
+                # travels whole — one ambiguous member keeps the family in
+                # the thread lane.
+                (proc_units
+                 if all(j.vc.name in self._unique_names for j in unit)
+                 else thread_units).append(unit)
         else:
-            thread_jobs = list(pending)
+            thread_units = list(units)
 
         pools = []
-        future_to_job = {}
+        future_to_unit = {}
         try:
-            if proc_jobs:
+            if proc_units:
                 executor = ProcessPoolExecutor(
                     max_workers=self.config.jobs, mp_context=context)
                 pools.append(executor)
                 builder_name, builder_kwargs = spec
-                for job in proc_jobs:
-                    self._emit(ev.STARTED, job.vc, worker="proc")
-                    future = executor.submit(
-                        _pool_discharge, builder_name, builder_kwargs,
-                        job.vc.name, budgets)
-                    future_to_job[future] = (job, "proc")
-            if thread_jobs:
+                for unit in proc_units:
+                    for job in unit:
+                        self._emit(ev.STARTED, job.vc, worker="proc")
+                    if len(unit) == 1:
+                        future = executor.submit(
+                            _pool_discharge, builder_name, builder_kwargs,
+                            unit[0].vc.name, budgets, self.config.preprocess)
+                    else:
+                        future = executor.submit(
+                            _pool_discharge_family, builder_name,
+                            builder_kwargs, [j.vc.name for j in unit],
+                            budgets, self.config.preprocess)
+                    future_to_unit[future] = (unit, "proc")
+            if thread_units:
                 executor = ThreadPoolExecutor(
                     max_workers=self.config.jobs,
                     thread_name_prefix="prover")
                 pools.append(executor)
-                for job in thread_jobs:
-                    self._emit(ev.STARTED, job.vc, worker="thread")
-                    future = executor.submit(
-                        self._lane_discharge, job.vc, budgets)
-                    future_to_job[future] = (job, "thread")
+                for unit in thread_units:
+                    for job in unit:
+                        self._emit(ev.STARTED, job.vc, worker="thread")
+                    if len(unit) == 1:
+                        future = executor.submit(
+                            self._lane_discharge, unit[0].vc, budgets)
+                    else:
+                        future = executor.submit(
+                            self._lane_discharge_family, unit, budgets)
+                    future_to_unit[future] = (unit, "thread")
 
-            outstanding = set(future_to_job)
+            outstanding = set(future_to_unit)
             while outstanding:
                 done, outstanding = wait(outstanding,
                                          return_when=FIRST_COMPLETED)
                 for future in done:
-                    job, lane = future_to_job[future]
+                    unit, lane = future_to_unit[future]
                     try:
                         payload = future.result()
                     except Exception as exc:
-                        result = _crash_result(job.vc, exc)
-                        attempt = 1
+                        outs = [(_crash_result(j.vc, exc), 1) for j in unit]
                     else:
-                        if lane == "proc":
-                            result, attempt = _deserialize_result(payload)
+                        if len(unit) == 1:
+                            outs = [_deserialize_result(payload)
+                                    if lane == "proc" else payload]
+                        elif lane == "proc":
+                            outs = [_deserialize_result(p) for p in payload]
                         else:
-                            result, attempt = payload
-                    self._finish(job, result, attempt, lane, results,
-                                 fresh_timings)
+                            outs = payload
+                    for job, (result, attempt) in zip(unit, outs):
+                        self._finish(job, result, attempt, lane, results,
+                                     fresh_timings)
         finally:
             for pool in pools:
                 pool.shutdown(wait=True)

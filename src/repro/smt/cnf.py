@@ -2,6 +2,15 @@
 
 Only the transitive fan-in of the requested output literals is encoded, so
 lemmas that collapse structurally in the AIG produce tiny CNFs.
+
+The encoder is incremental: pass the :class:`CnfMapping` returned by an
+earlier call to extend an already-populated solver with just the *new*
+nodes of a further cone (nodes already mapped keep their SAT variables and
+are not re-encoded — the structural-hashing win carries straight through to
+the clause database).  With ``assert_outputs=False`` the outputs are left
+unasserted so callers can solve under per-output assumption literals
+(:func:`output_literal`) instead — the mechanism behind the shared
+family solver in :mod:`repro.smt.solver`.
 """
 
 from __future__ import annotations
@@ -9,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.smt.aig import Aig, is_complement, node_of
-from repro.smt.sat import SatSolver
 
 
 @dataclass
@@ -25,19 +33,42 @@ def _sat_lit(mapping: CnfMapping, lit: int) -> int:
     return -var if is_complement(lit) else var
 
 
-def encode(aig: Aig, outputs: list[int], solver: SatSolver) -> CnfMapping:
-    """Encode the cones of `outputs` into `solver` and assert each output.
+def output_literal(mapping: CnfMapping, lit: int) -> int:
+    """The SAT literal equivalent to AIG literal `lit` under `mapping` —
+    what an incremental caller passes as an assumption.  Constant literals
+    have no SAT encoding and must be handled structurally by the caller."""
+    if node_of(lit) == 0:
+        raise ValueError("constant AIG literal has no SAT encoding")
+    return _sat_lit(mapping, lit)
+
+
+def encode(aig: Aig, outputs: list[int], solver,
+           mapping: CnfMapping | None = None,
+           assert_outputs: bool = True) -> CnfMapping:
+    """Encode the cones of `outputs` into `solver`; assert each output
+    unless ``assert_outputs=False``.
+
+    `solver` is anything with the :class:`repro.smt.sat.SatSolver`
+    construction API (``new_var`` / ``add_clause``) — the preprocessing
+    pipeline passes a :class:`repro.smt.preprocess.CnfBuffer`.
+
+    When `mapping` is given, encoding *extends* it: nodes already present
+    keep their variables and emit no new clauses, so repeated calls against
+    one solver build a single shared CNF across overlapping cones.
 
     Constant outputs are handled directly: TRUE is a no-op, FALSE makes the
-    problem trivially unsatisfiable.
+    problem trivially unsatisfiable (the asserted empty clause counts
+    toward ``num_clauses`` like every other asserted clause).
     """
-    mapping = CnfMapping()
+    if mapping is None:
+        mapping = CnfMapping()
     cone = aig.cone(outputs)
 
-    for node in cone:
+    fresh = [node for node in cone if node not in mapping.node_to_var]
+    for node in fresh:
         mapping.node_to_var[node] = solver.new_var()
 
-    for node in cone:
+    for node in fresh:
         definition = aig.definition(node)
         if definition is None:
             continue  # primary input: free variable
@@ -50,12 +81,14 @@ def encode(aig: Aig, outputs: list[int], solver: SatSolver) -> CnfMapping:
         solver.add_clause([out, -a, -b])
         mapping.num_clauses += 3
 
-    for lit in outputs:
-        node = node_of(lit)
-        if node == 0:
-            if is_complement(lit):  # constant FALSE asserted
-                solver.add_clause([])  # forces UNSAT via empty clause path
-            continue
-        solver.add_clause([_sat_lit(mapping, lit)])
-        mapping.num_clauses += 1
+    if assert_outputs:
+        for lit in outputs:
+            node = node_of(lit)
+            if node == 0:
+                if is_complement(lit):  # constant FALSE asserted
+                    solver.add_clause([])  # forces UNSAT via empty clause
+                    mapping.num_clauses += 1
+                continue
+            solver.add_clause([_sat_lit(mapping, lit)])
+            mapping.num_clauses += 1
     return mapping

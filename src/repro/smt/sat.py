@@ -5,6 +5,15 @@ first-UIP conflict analysis with clause learning, VSIDS-style variable
 activities with phase saving, Luby restarts, and periodic deletion of
 low-activity learnt clauses.
 
+The solver is *incremental* in the MiniSat sense: `solve()` accepts an
+``assumptions`` list of literals that are enqueued as pseudo-decisions below
+every real decision, so one solver instance can answer a sequence of
+"satisfiable under these extra units?" queries while keeping its clause
+database — and everything it has learnt — between calls.  Clauses may also
+be added between calls (the trail is rewound to the root level after each
+solve), which is what lets the SMT layer grow one shared CNF cone by cone
+across a family of related goals.
+
 Variables are positive integers; literals are non-zero signed integers
 (DIMACS convention).  The solver is deliberately dependency-free so it can be
 tested exhaustively against brute-force enumeration.
@@ -365,16 +374,36 @@ class SatSolver:
 
     # -- main loop -------------------------------------------------------------------
 
-    def solve(self, max_conflicts: int | None = None) -> SatResult:
+    def solve(self, max_conflicts: int | None = None,
+              assumptions: list[int] | None = None) -> SatResult:
         """Run the CDCL loop.  Returns a :class:`SatResult`; if
         `max_conflicts` is hit a :class:`BudgetExceeded` is raised (our VCs
-        are expected to be decided)."""
+        are expected to be decided).
+
+        `assumptions` are literals held true for this call only, enqueued as
+        pseudo-decisions at levels 1..k below every real decision (the
+        MiniSat discipline).  ``sat=False`` with assumptions means
+        "unsatisfiable *under these assumptions*"; the clause database stays
+        usable, and the trail is rewound to the root level on every exit so
+        further clauses and further `solve()` calls are welcome.
+
+        `max_conflicts` is a budget *for this call*: the limit applies to
+        conflicts incurred since entry, not to the solver's lifetime
+        counter, so a long-lived incremental solver does not inherit earlier
+        calls' spending.
+        """
+        assumptions = list(assumptions) if assumptions else []
+        for lit in assumptions:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"assumption literal {lit} out of range")
+        self._backtrack(0)
         if self._unsat:
             return SatResult(sat=False, stats=self.stats)
         if self._propagate() is not None:
             self._unsat = True
             return SatResult(sat=False, stats=self.stats)
 
+        budget_start = self.stats.conflicts
         restart_count = 0
         conflicts_until_restart = 100 * _luby(1)
         conflicts_in_run = 0
@@ -386,11 +415,13 @@ class SatSolver:
                 self.stats.conflicts += 1
                 conflicts_in_run += 1
                 if len(self._trail_lim) == 0:
+                    self._unsat = True
                     return SatResult(sat=False, stats=self.stats)
                 learnt, back_level = self._analyze(conflict)
                 self._backtrack(back_level)
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
+                        self._unsat = True
                         return SatResult(sat=False, stats=self.stats)
                 else:
                     clause = _Clause(learnt, learnt=True)
@@ -401,8 +432,10 @@ class SatSolver:
                     self._enqueue(learnt[0], clause)
                 self._var_inc *= self._var_decay
                 self._cla_inc *= 1.001
-                if max_conflicts is not None and self.stats.conflicts > max_conflicts:
-                    raise BudgetExceeded(max_conflicts, self.stats.conflicts)
+                spent = self.stats.conflicts - budget_start
+                if max_conflicts is not None and spent > max_conflicts:
+                    self._backtrack(0)
+                    raise BudgetExceeded(max_conflicts, spent)
                 continue
 
             if conflicts_in_run >= conflicts_until_restart:
@@ -417,11 +450,30 @@ class SatSolver:
                 self._reduce_learnts()
                 max_learnts = int(max_learnts * 1.3)
 
+            if len(self._trail_lim) < len(assumptions):
+                # Establish the next assumption as a pseudo-decision.
+                lit = assumptions[len(self._trail_lim)]
+                value = self._value(lit)
+                if value == 1:
+                    # Already implied: open a dummy level so level index k
+                    # keeps corresponding to assumption k.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == 0:
+                    # The clause database (plus earlier assumptions) forces
+                    # the complement: UNSAT under these assumptions.
+                    self._backtrack(0)
+                    return SatResult(sat=False, stats=self.stats)
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                continue
+
             var = self._decide()
             if var == 0:
                 model = {
                     v: self._assign[v] == 1 for v in range(1, self.num_vars + 1)
                 }
+                self._backtrack(0)
                 return SatResult(sat=True, model=model, stats=self.stats)
             self.stats.decisions += 1
             self._trail_lim.append(len(self._trail))

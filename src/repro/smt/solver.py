@@ -1,21 +1,36 @@
 """User-facing SMT solving API.
 
 Pipeline: term rewriting -> bit-blasting into an AIG (structural hashing) ->
-Tseitin CNF of the output cone -> CDCL SAT.  Models are lifted back to a
+Tseitin CNF of the output cone -> SatELite-style CNF preprocessing
+(:mod:`repro.smt.preprocess`) -> CDCL SAT.  Models are lifted back to a
 mapping from variable names to Python ints/bools and re-checked against the
-concrete evaluator before being returned, so a buggy lower layer can never
-produce a bogus counterexample silently.
+concrete evaluator before being returned, so a buggy lower layer — the
+preprocessor's model reconstruction included — can never produce a bogus
+counterexample silently.
+
+Two entry points share the pipeline:
+
+* :class:`Solver` / :func:`prove` — the single-shot path: one goal, one
+  solver, full preprocessing (variable elimination included).
+* :class:`FamilySolver` — the incremental path: a *family* of
+  structurally-similar goals discharged through one shared AIG, one shared
+  CNF, and one shared CDCL instance.  Every goal's negation cone is encoded
+  unasserted up front, the union CNF is preprocessed once (full reductions,
+  with primary inputs and output variables frozen), and each member is
+  solved under a per-goal assumption literal — so structural hashing,
+  preprocessing, and learnt clauses all amortise across the family.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro import obs
 from repro.smt import ast, interp, rewrite
 from repro.smt.aig import FALSE, TRUE
 from repro.smt.bitblast import BitBlaster
-from repro.smt.cnf import encode
+from repro.smt.cnf import CnfMapping, encode, output_literal
+from repro.smt.preprocess import CnfBuffer, PreprocessResult, preprocess
 from repro.smt.sat import SatSolver
 from repro.smt.ast import Term
 
@@ -32,11 +47,23 @@ class SolverStats:
 
     rewrite_seconds: float = 0.0
     blast_seconds: float = 0.0
+    preprocess_seconds: float = 0.0
     sat_seconds: float = 0.0
     aig_nodes: int = 0
     cnf_vars: int = 0
     cnf_clauses: int = 0
+    #: Clauses actually loaded into the CDCL solver after preprocessing
+    #: (equals `cnf_clauses` when preprocessing is disabled or skipped).
+    cnf_clauses_preprocessed: int = 0
     decided_structurally: bool = False
+    #: The preprocessor alone settled the query (root-level refutation or
+    #: a clause set reduced to nothing) — no CDCL search was needed.
+    decided_by_preprocessing: bool = False
+    pre_units: int = 0
+    pre_pure_literals: int = 0
+    pre_subsumed: int = 0
+    pre_strengthened: int = 0
+    pre_eliminated_vars: int = 0
     sat_conflicts: int = 0
     sat_decisions: int = 0
     sat_propagations: int = 0
@@ -45,7 +72,8 @@ class SolverStats:
     @property
     def solver_seconds(self) -> float:
         """Total time attributable to the solving pipeline itself."""
-        return self.rewrite_seconds + self.blast_seconds + self.sat_seconds
+        return (self.rewrite_seconds + self.blast_seconds
+                + self.preprocess_seconds + self.sat_seconds)
 
     def deterministic(self) -> dict[str, int | bool]:
         """The machine-independent counters (cacheable / comparable)."""
@@ -53,12 +81,26 @@ class SolverStats:
             "aig_nodes": self.aig_nodes,
             "cnf_vars": self.cnf_vars,
             "cnf_clauses": self.cnf_clauses,
+            "cnf_clauses_preprocessed": self.cnf_clauses_preprocessed,
             "decided_structurally": self.decided_structurally,
+            "decided_by_preprocessing": self.decided_by_preprocessing,
+            "pre_units": self.pre_units,
+            "pre_pure_literals": self.pre_pure_literals,
+            "pre_subsumed": self.pre_subsumed,
+            "pre_strengthened": self.pre_strengthened,
+            "pre_eliminated_vars": self.pre_eliminated_vars,
             "sat_conflicts": self.sat_conflicts,
             "sat_decisions": self.sat_decisions,
             "sat_propagations": self.sat_propagations,
             "sat_restarts": self.sat_restarts,
         }
+
+    def absorb_preprocess(self, pre: PreprocessResult) -> None:
+        self.pre_units = pre.stats.units_fixed
+        self.pre_pure_literals = pre.stats.pure_literals
+        self.pre_subsumed = pre.stats.subsumed
+        self.pre_strengthened = pre.stats.strengthened
+        self.pre_eliminated_vars = pre.stats.eliminated_vars
 
 
 @dataclass
@@ -73,13 +115,15 @@ class SolverResult:
 class Solver:
     """An incremental-ish solver: collect assertions, then `check()`.
 
-    `simplify=False` disables the rewriting pass (used by the SMT ablation
-    benchmark to quantify how much the rewriter buys).
+    `simplify=False` disables the rewriting pass and `preprocess=False` the
+    CNF preprocessor (both used by the SMT ablation benchmark to quantify
+    what each stage buys).
     """
 
-    def __init__(self, simplify: bool = True) -> None:
+    def __init__(self, simplify: bool = True, preprocess: bool = True) -> None:
         self._assertions: list[Term] = []
         self.simplify = simplify
+        self.preprocess = preprocess
 
     def add(self, term: Term) -> None:
         if not term.sort.is_bool:
@@ -121,9 +165,33 @@ class Solver:
             return SolverResult(sat=False, stats=stats)
 
         sat_solver = SatSolver()
-        mapping = encode(blaster.aig, [out], sat_solver)
-        stats.cnf_vars = sat_solver.num_vars
+        pre: PreprocessResult | None = None
+        buffer = CnfBuffer()
+        mapping = encode(blaster.aig, [out], buffer)
+        stats.cnf_vars = buffer.num_vars
         stats.cnf_clauses = mapping.num_clauses
+        if self.preprocess and len(buffer.clauses) >= SINGLE_PREPROCESS_MIN_CLAUSES:
+            # Primary inputs carry the lifted model bits; the preprocessor
+            # must not resolve them away.
+            frozen = [var for node, var in mapping.node_to_var.items()
+                      if blaster.aig.definition(node) is None]
+            with obs.span("smt.preprocess", histogram="smt.phase_seconds",
+                          labels={"phase": "preprocess"}) as span:
+                pre = preprocess(buffer.num_vars, buffer.clauses,
+                                 frozen=frozen)
+            stats.preprocess_seconds = span.elapsed
+            stats.absorb_preprocess(pre)
+            if pre.unsat:
+                stats.decided_by_preprocessing = True
+                return SolverResult(sat=False, stats=stats)
+            if not pre.clauses:
+                stats.decided_by_preprocessing = True
+            stats.cnf_clauses_preprocessed = pre.load_into(sat_solver)
+        else:
+            sat_solver.ensure_vars(buffer.num_vars)
+            for clause in buffer.clauses:
+                sat_solver.add_clause(clause)
+            stats.cnf_clauses_preprocessed = len(buffer.clauses)
 
         with obs.span("smt.sat", histogram="smt.phase_seconds",
                       labels={"phase": "sat"}) as span:
@@ -137,7 +205,8 @@ class Solver:
         if not result.sat:
             return SolverResult(sat=False, stats=stats)
 
-        model = self._lift_model(formula, blaster, mapping, result.model)
+        sat_model = pre.model(result.model) if pre is not None else result.model
+        model = self._lift_model(formula, blaster, mapping, sat_model)
         # Variables the simplifier eliminated are unconstrained: default them
         # so the model covers the *original* assertions.
         for var in ast.free_vars(original):
@@ -191,8 +260,221 @@ class Solver:
         return model
 
 
+#: Single-shot preprocessing only runs when the asserted cone's CNF is at
+#: least this large.  Below it the cone is small enough that CDCL search on
+#: the raw Tseitin clauses finishes before the preprocessor's occurrence
+#: lists are even built; above it root unit propagation plus the reductions
+#: shrink the instance faster than search explores it.  Measured on this
+#: population: preprocessing is a wash or a small loss up to ~1.7k clauses
+#: and wins >=2x from ~2k up (the hard square-expansion goals, ~6k clauses,
+#: solve almost twice as fast preprocessed).
+SINGLE_PREPROCESS_MIN_CLAUSES = 2048
+
+
+#: Family-union preprocessing only runs when the union CNF is at least this
+#: large.  Nothing is asserted in a family CNF, so there is no root unit
+#: propagation to do the preprocessor's work for free (the thing that makes
+#: single-shot preprocessing cheap): the reductions must grind through the
+#: whole definitional clause set.  On small unions — where clause sharing
+#: already makes each assumption solve nearly free — that grind costs more
+#: than every member's search combined; it pays once CDCL search on the raw
+#: union would dominate.  Measured crossover on this population sits between
+#: ~2.4k clauses (preprocessing still loses) and ~6.4k (preprocessing wins
+#: ~30%).
+FAMILY_PREPROCESS_MIN_CLAUSES = 4096
+
+
+class FamilySolver:
+    """One shared solving context for a family of structurally-similar goals.
+
+    Construction takes the *whole* family: every goal's negation is
+    rewritten and bit-blasted into one shared AIG (structural hashing folds
+    the parts the members have in common onto the same nodes), the union of
+    the cones is Tseitin-encoded *unasserted* into one CNF, and that CNF is
+    preprocessed **once** — full SatELite reductions, variable elimination
+    included — with the primary inputs and every member's output variable
+    frozen.  Each :meth:`prove_member` call then solves the shared CDCL
+    instance under that member's single assumption literal, so
+    preprocessing *and* learnt clauses amortise across the family.
+
+    Soundness: unasserted Tseitin cones constrain nothing on their own (the
+    clauses are satisfiable definitions ``out_i <-> cone_i(inputs)``), so
+    member `k`'s query answers exactly "is cone_k satisfiable?" — the same
+    question the single-shot path asks.  Running the satisfiability-only
+    preprocessing techniques here is sound because the clause set is
+    *complete* before they run (nothing is added afterwards) and
+    assumptions only touch frozen variables: bounded variable elimination
+    is Davis–Putnam resolution, i.e. exact existential quantification — the
+    reduced CNF is equivalent to the original over the surviving variables
+    — and a model repaired through the reconstruction stack still passes
+    the concrete re-evaluation gate.
+
+    Per-member `SolverStats` report the shared context (AIG/CNF sizes and
+    preprocessing counters are those of the union) plus *deltas* of the
+    shared solver's cumulative SAT counters, so per-VC stats remain a
+    deterministic function of the (ordered) family regardless of which
+    scheduler lane runs it.
+    """
+
+    def __init__(self, goals: list[Term], simplify: bool = True,
+                 preprocess: bool = True) -> None:
+        self.simplify = simplify
+        self.preprocess = preprocess
+        self._blaster = BitBlaster()
+        self._sat = SatSolver()
+        self._mapping = CnfMapping()
+        self._pre: PreprocessResult | None = None
+        self._base = SolverStats()
+        # Per member: ("const", sat?, original) for goals settled before
+        # the CNF exists, or ("solve", out literal, formula, original).
+        self._entries: list[tuple] = []
+        self._build(goals)
+
+    @property
+    def setup_seconds(self) -> float:
+        """Wall-clock spent building the shared context (rewrite + blast +
+        encode + preprocess) — the cost `prove_member` calls amortise."""
+        return (self._base.rewrite_seconds + self._base.blast_seconds
+                + self._base.preprocess_seconds)
+
+    def _build(self, goals: list[Term]) -> None:
+        base = self._base
+        for goal in goals:
+            original = ast.not_(goal)
+            formula = original
+            with obs.span("smt.rewrite", histogram="smt.phase_seconds",
+                          labels={"phase": "rewrite"}) as span:
+                if self.simplify:
+                    formula = rewrite.simplify(formula)
+            base.rewrite_seconds += span.elapsed
+            if formula.is_const:
+                self._entries.append(("const", bool(formula.value), original))
+                continue
+            with obs.span("smt.blast", histogram="smt.phase_seconds",
+                          labels={"phase": "blast"}) as span:
+                out = self._blaster.blast_bool(formula)
+            base.blast_seconds += span.elapsed
+            if out == TRUE:
+                self._entries.append(("const", True, original))
+                continue
+            if out == FALSE:
+                self._entries.append(("const", False, original))
+                continue
+            self._entries.append(("solve", out, formula, original))
+
+        buffer = CnfBuffer()
+        outputs = [entry[1] for entry in self._entries
+                   if entry[0] == "solve"]
+        for out in outputs:
+            # Encoding extends the shared mapping: overlapping cones emit
+            # their common nodes exactly once.
+            encode(self._blaster.aig, [out], buffer, mapping=self._mapping,
+                   assert_outputs=False)
+        base.aig_nodes = len(self._blaster.aig)
+        base.cnf_vars = buffer.num_vars
+        base.cnf_clauses = self._mapping.num_clauses
+
+        if (self.preprocess
+                and len(buffer.clauses) >= FAMILY_PREPROCESS_MIN_CLAUSES):
+            # Frozen: primary inputs (model lifting reads them) and every
+            # member's output variable (assumption literals name them).
+            frozen = [var for node, var in self._mapping.node_to_var.items()
+                      if self._blaster.aig.definition(node) is None]
+            frozen += [output_literal(self._mapping, out) for out in outputs]
+            frozen = [abs(v) for v in frozen]
+            with obs.span("smt.preprocess", histogram="smt.phase_seconds",
+                          labels={"phase": "preprocess"}) as span:
+                pre = preprocess(buffer.num_vars, buffer.clauses,
+                                 frozen=frozen)
+            base.preprocess_seconds = span.elapsed
+            base.absorb_preprocess(pre)
+            if pre.unsat:
+                # Definitional clauses are satisfiable by construction; an
+                # UNSAT union means a preprocessor bug, never a verdict.
+                raise RuntimeError(
+                    "internal solver error: unasserted family CNF "
+                    "preprocessed to UNSAT"
+                )
+            base.cnf_clauses_preprocessed = pre.load_into(self._sat)
+            self._pre = pre
+        else:
+            self._sat.ensure_vars(buffer.num_vars)
+            for clause in buffer.clauses:
+                self._sat.add_clause(clause)
+            base.cnf_clauses_preprocessed = len(buffer.clauses)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def prove_member(self, index: int,
+                     max_conflicts: int | None = None) -> SolverResult:
+        """Attempt to prove member `index`'s goal valid (sat=False) or
+        refute it with a model of its negation (sat=True), under the shared
+        family context.  Calls may repeat (the scheduler's retry ladder) —
+        clauses learnt during a failed attempt still help the next one."""
+        entry = self._entries[index]
+        # Each member carries the shared-context counters verbatim and a
+        # 1/N share of the shared setup time, so summing members' solver
+        # seconds over the family counts the setup exactly once.
+        share = 1.0 / len(self._entries)
+        stats = replace(
+            self._base,
+            rewrite_seconds=self._base.rewrite_seconds * share,
+            blast_seconds=self._base.blast_seconds * share,
+            preprocess_seconds=self._base.preprocess_seconds * share,
+        )
+        if entry[0] == "const":
+            _, truthy, original = entry
+            stats.decided_structurally = True
+            if truthy:
+                return SolverResult(
+                    sat=True, model=Solver._arbitrary_model(original),
+                    stats=stats)
+            return SolverResult(sat=False, stats=stats)
+
+        _, out, formula, original = entry
+        assumption = output_literal(self._mapping, out)
+        if self._pre is not None:
+            root = self._pre.fixed.get(abs(assumption))
+            if root is not None and root != (assumption > 0):
+                # Root propagation already refuted this cone's output.
+                stats.decided_by_preprocessing = True
+                return SolverResult(sat=False, stats=stats)
+
+        cumulative = self._sat.stats
+        before = (cumulative.conflicts, cumulative.decisions,
+                  cumulative.propagations, cumulative.restarts)
+        with obs.span("smt.sat", histogram="smt.phase_seconds",
+                      labels={"phase": "sat"}) as span:
+            result = self._sat.solve(max_conflicts=max_conflicts,
+                                     assumptions=[assumption])
+        stats.sat_seconds = span.elapsed
+        stats.sat_conflicts = cumulative.conflicts - before[0]
+        stats.sat_decisions = cumulative.decisions - before[1]
+        stats.sat_propagations = cumulative.propagations - before[2]
+        stats.sat_restarts = cumulative.restarts - before[3]
+
+        if not result.sat:
+            return SolverResult(sat=False, stats=stats)
+
+        sat_model = (self._pre.model(result.model)
+                     if self._pre is not None else result.model)
+        model = Solver._lift_model(formula, self._blaster, self._mapping,
+                                   sat_model)
+        for var in ast.free_vars(original):
+            if var.name not in model:
+                model[var.name] = False if var.sort.is_bool else 0
+        value = interp.evaluate(original, model)
+        if value is not True:
+            raise RuntimeError(
+                "internal solver error: SAT model fails concrete evaluation"
+            )
+        return SolverResult(sat=True, model=model, stats=stats)
+
+
 def prove(
-    goal: Term, simplify: bool = True, max_conflicts: int | None = None
+    goal: Term, simplify: bool = True, max_conflicts: int | None = None,
+    preprocess: bool = True
 ) -> SolverResult:
     """Attempt to prove `goal` valid: returns sat=False when proved
     (the negation is unsatisfiable), else a counterexample model.
@@ -202,7 +484,7 @@ def prove(
     mechanism, expressed as a deterministic conflict budget rather than a
     wall-clock deadline so results do not depend on machine speed or job
     count."""
-    solver = Solver(simplify=simplify)
+    solver = Solver(simplify=simplify, preprocess=preprocess)
     solver.add(ast.not_(goal))
     return solver.check(max_conflicts=max_conflicts)
 

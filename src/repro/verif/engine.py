@@ -86,6 +86,18 @@ class ProofReport:
         """Cumulative fraction of VCs verified within `seconds`."""
         return self.histogram().fraction_within(seconds)
 
+    def solver_counters(self) -> dict[str, int]:
+        """Machine-independent solver counters summed across every SMT
+        result (booleans like ``decided_structurally`` count results).
+        Deterministic for a fixed VC population and solver configuration —
+        the quantity the perf-smoke CI job compares against its committed
+        baseline."""
+        totals: dict[str, int] = {}
+        for r in self.results:
+            for key, value in r.solver_stats.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
     def by_category(self) -> dict[str, list[VCResult]]:
         groups: dict[str, list[VCResult]] = {}
         for r in self.results:
@@ -108,6 +120,15 @@ class ProofReport:
         if self.cache_hits:
             lines.append(f"proof-cache hits: {self.cache_hits}/{self.total} "
                          f"({self.cache_hits / self.total:.0%})")
+        counters = self.solver_counters()
+        if counters:
+            lines.append(
+                f"solver: {counters.get('sat_conflicts', 0)} conflicts, "
+                f"{counters.get('decided_structurally', 0)} decided "
+                f"structurally, {counters.get('decided_by_preprocessing', 0)} "
+                f"by preprocessing, {counters.get('pre_eliminated_vars', 0)} "
+                f"vars eliminated"
+            )
         for category, results in sorted(self.by_category().items()):
             secs = sum(r.seconds for r in results)
             lines.append(

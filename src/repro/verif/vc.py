@@ -87,17 +87,19 @@ class VC:
     def is_smt(self) -> bool:
         return self.goal_builder is not None
 
-    def _invoke(self, max_conflicts: int | None):
+    def _invoke(self, max_conflicts: int | None, preprocess: bool):
         if self.goal_builder is not None:
             from repro.smt.solver import prove
 
             result = prove(self.goal_builder(), simplify=self.simplify,
-                           max_conflicts=max_conflicts)
+                           max_conflicts=max_conflicts,
+                           preprocess=preprocess)
             return result.model if result.sat else None, result.stats
         assert self.check is not None, f"VC {self.name} has no strategy"
         return self.check(), None
 
-    def discharge(self, max_conflicts: int | None = None) -> VCResult:
+    def discharge(self, max_conflicts: int | None = None,
+                  preprocess: bool = True) -> VCResult:
         from repro.smt.sat import BudgetExceeded
 
         # The span is the Figure 1a unit of measurement: its duration
@@ -107,7 +109,7 @@ class VC:
                         labels={"category": self.category},
                         vc=self.name).start()
         try:
-            counterexample, stats = self._invoke(max_conflicts)
+            counterexample, stats = self._invoke(max_conflicts, preprocess)
         except BudgetExceeded as exc:
             elapsed = span.finish()
             return VCResult(
@@ -149,6 +151,133 @@ class VC:
             solver_seconds=solver_seconds,
             solver_stats=solver_stats,
         )
+
+
+def _discharge_single_with_ladder(vc: "VC", budgets, preprocess: bool,
+                                  on_member) -> tuple[VCResult, int]:
+    """Classic single-shot discharge under a retry ladder — the degraded
+    path for family members whose shared context failed to build."""
+    try:
+        if on_member is not None:
+            on_member(vc)
+    except Exception as exc:
+        return (VCResult(
+            name=vc.name, status=VCStatus.ERROR, seconds=0.0,
+            category=vc.category,
+            detail=f"worker failed: {type(exc).__name__}: {exc}",
+        ), 1)
+    total_seconds = 0.0
+    total_solver = 0.0
+    ladder = list(budgets) or [None]
+    for attempt, budget in enumerate(ladder, start=1):
+        result = vc.discharge(max_conflicts=budget, preprocess=preprocess)
+        total_seconds += result.seconds
+        total_solver += result.solver_seconds
+        if result.status is not VCStatus.TIMEOUT or attempt == len(ladder):
+            result.seconds = total_seconds
+            result.solver_seconds = total_solver
+            return result, attempt
+    raise AssertionError("unreachable: ladder always returns")
+
+
+def discharge_family(vcs: list["VC"], budgets=(None,), preprocess: bool = True,
+                     on_member: Callable[["VC"], None] | None = None,
+                     ) -> list[tuple[VCResult, int]]:
+    """Discharge structurally-similar SMT VCs through one shared
+    incremental solver (:class:`repro.smt.solver.FamilySolver`).
+
+    Members run in the given order — the scheduler passes canonical engine
+    order, which makes every member's delta-counters a deterministic
+    function of the family alone.  Each member gets the same per-attempt
+    span / TIMEOUT / ERROR semantics as :meth:`VC.discharge`, with the
+    retry ladder `budgets` applied per member (a retry reuses the shared
+    solver, so clauses learnt during the failed attempt still help).
+
+    `on_member` is called before each member's first attempt; an exception
+    it raises (the scheduler's fault-injection hook) costs that member an
+    ERROR verdict and the family moves on.
+    """
+    from repro.smt.sat import BudgetExceeded
+    from repro.smt.solver import FamilySolver
+
+    assert vcs and all(vc.is_smt for vc in vcs)
+    try:
+        goals = [vc.goal_builder() for vc in vcs]
+        shared = FamilySolver(goals, simplify=vcs[0].simplify,
+                              preprocess=preprocess)
+    except Exception as exc:
+        # A family that cannot even build its shared context degrades to
+        # one classic single-shot discharge per member — the goal builder
+        # (or solver) error then surfaces per-VC, exactly as it would have
+        # without grouping.
+        return [
+            _discharge_single_with_ladder(vc, budgets, preprocess, on_member)
+            for vc in vcs
+        ]
+    # Setup (rewrite + blast + encode + preprocess of the union) happened
+    # once for everyone; spread it evenly over the members' timings.
+    setup_share = shared.setup_seconds / len(vcs)
+    out: list[tuple[VCResult, int]] = []
+    for index, vc in enumerate(vcs):
+        try:
+            if on_member is not None:
+                on_member(vc)
+        except Exception as exc:
+            out.append((VCResult(
+                name=vc.name, status=VCStatus.ERROR, seconds=0.0,
+                category=vc.category,
+                detail=f"worker failed: {type(exc).__name__}: {exc}",
+            ), 1))
+            continue
+        total_seconds = setup_share
+        total_solver = 0.0
+        ladder = list(budgets)
+        for attempt, budget in enumerate(ladder, start=1):
+            span = obs.span("vc.discharge",
+                            histogram="vc.discharge_seconds",
+                            labels={"category": vc.category},
+                            vc=vc.name).start()
+            try:
+                res = shared.prove_member(index, max_conflicts=budget)
+            except BudgetExceeded as exc:
+                elapsed = span.finish()
+                result = VCResult(
+                    name=vc.name, status=VCStatus.TIMEOUT, seconds=elapsed,
+                    category=vc.category, detail=str(exc),
+                    solver_seconds=elapsed,
+                )
+            except Exception as exc:
+                elapsed = span.finish()
+                result = VCResult(
+                    name=vc.name, status=VCStatus.ERROR, seconds=elapsed,
+                    category=vc.category,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                elapsed = span.finish()
+                if res.sat:
+                    result = VCResult(
+                        name=vc.name, status=VCStatus.FAILED, seconds=elapsed,
+                        category=vc.category, detail=str(res.model),
+                        counterexample=res.model,
+                        solver_seconds=res.stats.solver_seconds,
+                        solver_stats=res.stats.deterministic(),
+                    )
+                else:
+                    result = VCResult(
+                        name=vc.name, status=VCStatus.PROVED, seconds=elapsed,
+                        category=vc.category,
+                        solver_seconds=res.stats.solver_seconds,
+                        solver_stats=res.stats.deterministic(),
+                    )
+            total_seconds += result.seconds
+            total_solver += result.solver_seconds
+            if result.status is not VCStatus.TIMEOUT or attempt == len(ladder):
+                result.seconds = total_seconds
+                result.solver_seconds = total_solver
+                out.append((result, attempt))
+                break
+    return out
 
 
 @dataclass

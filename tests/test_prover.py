@@ -438,3 +438,127 @@ class TestReportCdf:
 
     def test_empty_report(self):
         assert self._report(0).cdf() == []
+
+
+# ---------------------------------------------------------------------------
+# Family grouping / incremental assumption solving
+# ---------------------------------------------------------------------------
+
+
+def _family_goal(k, width=8):
+    """One instantiation of a shared lemma template: (x | k) & k == k.
+    Valid for every constant k; all instantiations share their AIG shape."""
+    x = ast.bv_var("x", width)
+    c = ast.bv_const(k, width)
+    return ast.eq(ast.bvand(ast.bvor(x, c), c), c)
+
+
+def _family_engine(constants=(0x0F, 0x3C, 0x55, 0xF0)) -> ProofEngine:
+    engine = ProofEngine()
+    for k in constants:
+        engine.add(smt_vc(f"family_or_absorb_{k:#x}", "lemmas",
+                          lambda k=k: _family_goal(k)))
+    return engine
+
+
+class TestFamilyGrouping:
+    def test_same_shape_goals_share_a_fingerprint(self):
+        from repro.prover.fingerprint import family_fingerprint
+
+        fps = {family_fingerprint(_family_goal(k))
+               for k in (0x0F, 0x3C, 0x55)}
+        assert len(fps) == 1
+        # a different template is a different family
+        assert family_fingerprint(_goal_x_eq_x()) not in fps
+
+    def test_family_discharge_matches_classic_verdicts(self):
+        incremental = prove_all(
+            _family_engine(),
+            config=ProverConfig(use_cache=False, incremental=True))
+        classic = prove_all(
+            _family_engine(),
+            config=ProverConfig(use_cache=False, incremental=False))
+        assert incremental.all_proved
+        assert [r.key() for r in incremental.results] == \
+            [r.key() for r in classic.results]
+
+    def test_lemma_population_identical_with_and_without_grouping(self):
+        grouped = prove_all(
+            _lemma_engine(),
+            config=ProverConfig(use_cache=False, incremental=True))
+        ungrouped = prove_all(
+            _lemma_engine(),
+            config=ProverConfig(use_cache=False, incremental=False))
+        assert [r.key() for r in grouped.results] == \
+            [r.key() for r in ungrouped.results]
+
+    def test_family_reuse_counter_increments(self):
+        from repro import obs
+
+        counter = obs.counter("prover.family_reuse")
+        before = counter.value
+        report = prove_all(
+            _family_engine(),
+            config=ProverConfig(use_cache=False, incremental=True))
+        assert report.all_proved
+        # 4 members, 1 shared solver: 3 discharges reused a context
+        assert counter.value - before == 3
+
+    def test_failing_member_keeps_counterexample(self):
+        """A family where one member is false: its model must survive the
+        shared-solver path (reconstruction + concrete re-evaluation) while
+        the true members still prove."""
+        engine = _family_engine(constants=(0x0F, 0x3C))
+        x = ast.bv_var("x", 8)
+        bad = ast.eq(ast.bvand(ast.bvor(x, ast.bv_const(0x55, 8)),
+                               ast.bv_const(0x55, 8)),
+                     ast.bv_const(0x54, 8))  # never true
+        engine.add(smt_vc("family_or_absorb_bad", "lemmas", lambda: bad))
+        report = prove_all(
+            engine, config=ProverConfig(use_cache=False, incremental=True))
+        by_name = {r.name: r for r in report.results}
+        assert by_name["family_or_absorb_0xf"].ok
+        assert by_name["family_or_absorb_0x3c"].ok
+        failed = by_name["family_or_absorb_bad"]
+        assert failed.status is VCStatus.FAILED
+        assert failed.counterexample is not None
+
+    def test_jobs4_matches_jobs1_with_families(self):
+        serial = prove_all(_family_engine(), jobs=1,
+                           config=ProverConfig(use_cache=False))
+        parallel = prove_all(_family_engine(), jobs=4,
+                             config=ProverConfig(use_cache=False))
+        assert [r.key() for r in serial.results] == \
+            [r.key() for r in parallel.results]
+        assert [r.solver_stats for r in serial.results] == \
+            [r.solver_stats for r in parallel.results]
+
+    def test_incremental_flag_changes_cache_key(self):
+        goal = _goal_x_eq_x()
+        assert goal_fingerprint(goal, incremental=True) != \
+            goal_fingerprint(goal, incremental=False)
+        assert goal_fingerprint(goal, preprocess=True) != \
+            goal_fingerprint(goal, preprocess=False)
+
+    def test_hard_family_sound_under_shared_solver(self):
+        """A family needing real CDCL search: shared-solver verdicts must
+        match single-shot verdicts member by member."""
+        from repro.smt.solver import FamilySolver, prove
+
+        def goal(k, width=4):
+            x = ast.bv_var("x", width)
+            c = ast.bv_const(k, width)
+            s = ast.bvadd(x, c)
+            lhs = ast.bvmul(s, s)
+            two_c = ast.bv_const((2 * k) % (1 << width), width)
+            rhs = ast.bvadd(ast.bvadd(ast.bvmul(x, x),
+                                      ast.bvmul(two_c, x)),
+                            ast.bvmul(c, c))
+            return ast.eq(lhs, rhs)
+
+        goals = [goal(k) for k in (1, 2, 3)]
+        shared = FamilySolver(goals)
+        for index, g in enumerate(goals):
+            member = shared.prove_member(index)
+            single = prove(g)
+            assert member.sat == single.sat is False, index

@@ -103,3 +103,98 @@ class TestTseitin:
         mapping = encode(g, [out], solver)
         # vars: a, b, shared, inner, out = 5 nodes
         assert len(mapping.node_to_var) == 5
+
+
+class TestIncrementalEncoding:
+    def test_asserted_empty_clause_is_counted(self):
+        """Regression: a constant-FALSE output asserts the empty clause,
+        which must count toward num_clauses like any asserted clause."""
+        g = Aig()
+        solver = SatSolver()
+        mapping = encode(g, [FALSE], solver)
+        assert mapping.num_clauses == 1
+        assert not solver.solve().sat
+
+    def test_unasserted_cone_stays_satisfiable(self):
+        """With assert_outputs=False the Tseitin clauses are pure
+        definitions — satisfiable regardless of what the cone computes —
+        and the output is queried via its assumption literal."""
+        from repro.smt.cnf import output_literal
+
+        g = Aig()
+        a = g.new_input("a")
+        b = g.new_input("b")
+        # (a & b) & (a & ~b): unsatisfiable, but deep enough that the
+        # one-level AIG simplifier doesn't fold it to constant FALSE
+        contradiction = g.and_(g.and_(a, b), g.and_(a, neg(b)))
+        solver = SatSolver()
+        mapping = encode(g, [contradiction], solver, assert_outputs=False)
+        assert solver.solve().sat  # nothing asserted yet
+        lit = output_literal(mapping, contradiction)
+        assert not solver.solve(assumptions=[lit]).sat
+        assert solver.solve(assumptions=[-lit]).sat
+
+    def test_extension_reuses_shared_nodes(self):
+        """Encoding a second cone against the same mapping emits variables
+        and clauses only for the nodes the first cone didn't cover."""
+        g = Aig()
+        a = g.new_input("a")
+        b = g.new_input("b")
+        c = g.new_input("c")
+        shared = g.and_(a, b)
+        first = g.and_(shared, c)
+        second = g.and_(shared, neg(c))
+        solver = SatSolver()
+        mapping = encode(g, [first], solver, assert_outputs=False)
+        vars_after_first = len(mapping.node_to_var)
+        clauses_after_first = mapping.num_clauses
+        mapping = encode(g, [second], solver, mapping=mapping,
+                         assert_outputs=False)
+        # only the `second` AND node is fresh: +1 var, +3 clauses
+        assert len(mapping.node_to_var) == vars_after_first + 1
+        assert mapping.num_clauses == clauses_after_first + 3
+
+    def test_extension_agrees_with_evaluation(self):
+        """Differential: two random cones encoded incrementally into one
+        solver must each agree with direct AIG evaluation under every input
+        assignment (queried via assumptions, inputs forced as units)."""
+        from repro.smt.cnf import output_literal
+
+        rng = random.Random(41)
+        for _ in range(20):
+            g, inputs, out1 = random_aig(rng)
+            pool = [lit for lit in inputs]
+            extra = g.and_(pool[0], neg(pool[-1]))
+            out2 = g.and_(extra, out1 if rng.random() < 0.5 else neg(out1))
+            outs = [out for out in (out1, out2) if node_of(out) != 0]
+            if not outs:
+                continue
+            solver = SatSolver()
+            mapping = None
+            for out in outs:
+                mapping = encode(g, [out], solver, mapping=mapping,
+                                 assert_outputs=False)
+            for bits in itertools.product([False, True],
+                                          repeat=len(inputs)):
+                forced = [
+                    mapping.node_to_var[node_of(lit)] * (1 if value else -1)
+                    for lit, value in zip(inputs, bits)
+                    if node_of(lit) in mapping.node_to_var
+                ]
+                env = {node_of(lit): value
+                       for lit, value in zip(inputs, bits)}
+                for out in outs:
+                    expected = g.evaluate(out, env)
+                    got = solver.solve(
+                        assumptions=forced + [output_literal(mapping, out)]
+                    ).sat
+                    assert got == expected, (bits, out)
+
+    def test_output_literal_rejects_constants(self):
+        from repro.smt.cnf import CnfMapping, output_literal
+        try:
+            output_literal(CnfMapping(), TRUE)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")

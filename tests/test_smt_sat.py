@@ -182,3 +182,109 @@ class TestHarderStructured:
         result = s.solve()
         assert result.sat
         assert result.stats.propagations >= 0
+
+
+class TestAssumptions:
+    def php_clauses(self, holes):
+        """Pigeonhole clauses for holes+1 pigeons (UNSAT, non-trivial)."""
+        pigeons = holes + 1
+        var = lambda p, h: p * holes + h + 1
+        clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+        for h in range(holes):
+            for p in range(pigeons):
+                for q in range(p + 1, pigeons):
+                    clauses.append([-var(p, h), -var(q, h)])
+        return pigeons * holes, clauses
+
+    def test_assumption_solving_matches_unit_clauses(self):
+        """solve(assumptions=[a, ...]) must agree with a fresh solver where
+        the assumptions are asserted as units — on both verdict and (via the
+        model check) on satisfying the clauses."""
+        rng = random.Random(5)
+        for _ in range(120):
+            num_vars = rng.randint(2, 8)
+            clauses = []
+            for _ in range(rng.randint(2, 20)):
+                size = rng.randint(1, 3)
+                clauses.append([
+                    rng.randint(1, num_vars) * rng.choice([1, -1])
+                    for _ in range(size)
+                ])
+            assumed = sorted(rng.sample(range(1, num_vars + 1),
+                                        rng.randint(1, num_vars)))
+            assumptions = [v * rng.choice([1, -1]) for v in assumed]
+
+            incremental = SatSolver(num_vars)
+            for clause in clauses:
+                incremental.add_clause(clause)
+            got = incremental.solve(assumptions=assumptions)
+
+            expected = brute_force_sat(
+                num_vars, clauses + [[a] for a in assumptions])
+            assert got.sat == expected, (clauses, assumptions)
+            if got.sat:
+                check_model(got.model, clauses + [[a] for a in assumptions])
+
+    def test_solver_reusable_across_assumption_calls(self):
+        """One long-lived solver queried under different assumptions must
+        answer each query as a fresh solver would (learnt clauses are
+        consequences of the clause set alone, never of past assumptions)."""
+        rng = random.Random(17)
+        num_vars = 8
+        clauses = []
+        for _ in range(24):
+            clauses.append([
+                rng.randint(1, num_vars) * rng.choice([1, -1])
+                for _ in range(3)
+            ])
+        shared = SatSolver(num_vars)
+        for clause in clauses:
+            shared.add_clause(clause)
+        for _ in range(30):
+            lit = rng.randint(1, num_vars) * rng.choice([1, -1])
+            expected = brute_force_sat(num_vars, clauses + [[lit]])
+            result = shared.solve(assumptions=[lit])
+            assert result.sat == expected, lit
+            if result.sat:
+                check_model(result.model, clauses + [[lit]])
+        # the solver itself is still intact for an unconstrained query
+        assert shared.solve().sat == brute_force_sat(num_vars, clauses)
+
+    def test_conflicting_assumptions_unsat_but_recoverable(self):
+        s = SatSolver(3)
+        s.add_clause([1, 2])
+        assert not s.solve(assumptions=[1, -1]).sat
+        assert s.solve().sat
+
+    def test_assumption_out_of_range_rejected(self):
+        s = SatSolver(2)
+        s.add_clause([1, 2])
+        try:
+            s.solve(assumptions=[5])
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_budget_is_per_call_not_lifetime(self):
+        """A conflict budget counts from call entry: spending conflicts in
+        one call must not starve the next call's budget."""
+        from repro.smt.sat import BudgetExceeded
+
+        num_vars, clauses = self.php_clauses(5)
+        s = SatSolver(num_vars)
+        for clause in clauses:
+            s.add_clause(clause)
+        try:
+            s.solve(max_conflicts=3)
+        except BudgetExceeded:
+            pass
+        else:
+            raise AssertionError("php(5) should exceed 3 conflicts")
+        # same budget, fresh call: must get its own 3 conflicts, then a
+        # larger per-call budget decides the instance outright
+        try:
+            s.solve(max_conflicts=3)
+        except BudgetExceeded:
+            pass
+        assert not s.solve(max_conflicts=100_000).sat
