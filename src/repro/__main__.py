@@ -16,7 +16,12 @@ network link, allocator, and prover layers, with per-site
 injected/survived/degraded/failed accounting and a nonzero exit on any
 invariant violation.
 
-``--trace out.jsonl`` on either subcommand streams every
+``python -m repro analyze`` runs the verification-aware static analysis
+(:mod:`repro.analysis`): the layering/ghost-code-erasure checker over
+the import graph, the contract-purity lint, and the NR step-protocol
+race detector — nonzero exit on any unsuppressed finding.
+
+``--trace out.jsonl`` on any subcommand streams every
 :mod:`repro.obs` event of the run — prover lifecycle, SMT-phase spans,
 VC discharges, fault-site tallies — into one JSONL file;
 ``python -m repro trace {schema,validate,summary}`` works with such
@@ -214,6 +219,17 @@ def faults(args) -> int:
     return 0
 
 
+def analyze(args) -> int:
+    from repro.analysis import cli as analysis_cli
+
+    writer = _start_trace(args.trace) if args.trace else None
+    try:
+        return analysis_cli.main(args)
+    finally:
+        if writer is not None:
+            _stop_trace(writer)
+
+
 def trace(args) -> int:
     """Work with JSONL trace files: schema / validate / summary."""
     if args.trace_command == "schema":
@@ -330,6 +346,32 @@ def main(argv=None) -> int:
                                help="stream every obs event of the run "
                                     "into FILE (JSONL)")
 
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="verification-aware static analysis (layering, purity, races)")
+    analyze_parser.add_argument("--root", default=None, metavar="DIR",
+                                help="analyze an alternate tree (expects "
+                                     "layer_map.json in DIR; default: this "
+                                     "repository)")
+    analyze_parser.add_argument("--skip", default=None,
+                                help="comma list of passes to skip: "
+                                     "layering,purity,race")
+    analyze_parser.add_argument("--seed", type=int, default=None,
+                                help="replay the race detector under one "
+                                     "seed only (default: the seed sweep)")
+    analyze_parser.add_argument("--max-steps", type=int, default=200_000,
+                                help="race-replay step budget per schedule")
+    analyze_parser.add_argument("--mutant", default=None, metavar="NAME",
+                                help="run the race detector against a "
+                                     "seeded mutant (expected to be "
+                                     "flagged): reader-lock-elision, "
+                                     "writer-lock-elision")
+    analyze_parser.add_argument("--list-rules", action="store_true",
+                                help="print every rule id and exit")
+    analyze_parser.add_argument("--trace", default=None, metavar="FILE",
+                                help="stream every obs event of the run "
+                                     "into FILE (JSONL)")
+
     trace_parser = sub.add_parser(
         "trace", help="inspect/validate JSONL trace files")
     trace_sub = trace_parser.add_subparsers(dest="trace_command",
@@ -347,6 +389,8 @@ def main(argv=None) -> int:
         return faults(args)
     if args.command == "trace":
         return trace(args)
+    if args.command == "analyze":
+        return analyze(args)
     if args.command == "prove":
         if args.budget is None:
             from repro.prover import DEFAULT_CONFLICT_BUDGET

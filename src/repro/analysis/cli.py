@@ -1,0 +1,185 @@
+"""``python -m repro analyze`` — run the verification-aware static
+analysis passes and gate CI on the result.
+
+Exit status: 0 when every finding is suppressed or absent, 1 otherwise.
+Findings stream through :mod:`repro.obs` as ``analysis.finding`` events,
+so ``--trace out.jsonl`` captures them alongside everything else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro import obs
+from repro.analysis.findings import AnalysisReport, apply_suppressions
+from repro.analysis.imports import check_layering, discover_sources
+from repro.analysis.purity import check_purity
+from repro.analysis.race import default_scripts, detect_races
+from repro.obs.console import err, out
+
+PASSES = ("layering", "purity", "race")
+
+#: Seeds replayed by the race pass; quick mode keeps CI cheap.
+RACE_SEEDS = tuple(range(16))
+RACE_SEEDS_QUICK = tuple(range(4))
+
+
+def repo_root() -> pathlib.Path:
+    """The repository this installed package was loaded from."""
+    import repro
+
+    return pathlib.Path(repro.__file__).resolve().parents[2]
+
+
+def _load_layer_map(root: pathlib.Path):
+    """A fixture tree carries its own map as layer_map.json:
+    ``[[prefix, layer], ...]`` (optionally ``[prefix, layer, loc]``)."""
+    path = root / "layer_map.json"
+    if not path.exists():
+        return None
+    entries = json.loads(path.read_text(encoding="utf-8"))
+    return [tuple(entry) for entry in entries]
+
+
+def run_analysis(root=None, skip=(), seeds=None, max_steps: int = 200_000,
+                 mutant: str | None = None) -> AnalysisReport:
+    """Run the selected passes and return the combined report."""
+    report = AnalysisReport()
+    quick = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+    custom_root = root is not None
+    root = pathlib.Path(root) if custom_root else repo_root()
+    layer_map = _load_layer_map(root) if custom_root else None
+    sources = discover_sources(root, None if layer_map else "src/repro")
+
+    if "layering" not in skip:
+        findings, stats = check_layering(sources, layer_map)
+        report.extend(findings)
+        report.stats["layering"] = stats
+
+    if "purity" not in skip:
+        findings, stats = check_purity(sources, layer_map)
+        report.extend(findings)
+        report.stats["purity"] = stats
+
+    apply_suppressions(report.findings, sources)
+
+    if "race" not in skip:
+        if seeds is None:
+            seeds = RACE_SEEDS_QUICK if quick else RACE_SEEDS
+        nr_factory = None
+        if mutant is not None:
+            from repro.analysis.mutants import MUTANTS
+            from repro.nr.datastructures import KvStore
+
+            if mutant not in MUTANTS:
+                raise SystemExit(f"unknown --mutant {mutant!r}; choose from "
+                                 f"{sorted(MUTANTS)}")
+            cls = MUTANTS[mutant]
+            nr_factory = lambda: cls(KvStore, num_nodes=2)  # noqa: E731
+        race_report = detect_races(seeds, nr_factory=nr_factory,
+                                   scripts=default_scripts(),
+                                   max_steps=max_steps)
+        for race in race_report.races:
+            report.findings.append(_race_finding(race, mutant))
+        report.stats["race"] = {
+            "schedules": race_report.schedules,
+            "steps": race_report.steps,
+            "accesses": race_report.accesses,
+            "races": len(race_report.races),
+            "target": mutant or "nr-protocol",
+        }
+    return report
+
+
+def _race_finding(race, mutant):
+    from repro.analysis.findings import Finding
+
+    source = f"mutant:{mutant}" if mutant else "repro.nr protocol"
+    return Finding(rule="race.unordered-access",
+                   path="src/repro/nr/core.py" if not mutant
+                        else "src/repro/analysis/mutants.py",
+                   line=1,
+                   message=f"[{source}] {race.render()}")
+
+
+def _emit_events(report: AnalysisReport) -> None:
+    bus = obs.bus()
+    for finding in report.findings:
+        bus.emit("analysis.finding", rule=finding.rule, file=finding.path,
+                 line=finding.line, message=finding.message,
+                 suppressed=finding.suppressed)
+    for name, stats in report.stats.items():
+        bus.emit("analysis.pass", stage=name, **{
+            k: v for k, v in stats.items()
+            if isinstance(v, (str, int, float, bool))})
+    bus.emit("analysis.summary", violations=len(report.active),
+             suppressed=len(report.suppressed))
+
+
+def main(args) -> int:
+    if args.list_rules:
+        out("analysis rules:")
+        for rule, text in sorted(RULES.items()):
+            out(f"  {rule:<28} {text}")
+        return 0
+
+    skip = {name for name in (args.skip or "").split(",") if name}
+    unknown = skip - set(PASSES)
+    if unknown:
+        raise SystemExit(f"unknown --skip {sorted(unknown)}; choose from "
+                         f"{sorted(PASSES)}")
+
+    seeds = None
+    if args.seed is not None:
+        seeds = [args.seed]
+
+    report = run_analysis(root=args.root, skip=skip, seeds=seeds,
+                          max_steps=args.max_steps, mutant=args.mutant)
+    _emit_events(report)
+
+    for finding in report.findings:
+        (out if finding.suppressed else err)("  " + finding.render())
+    for line in report.summary_lines():
+        out("analyze: " + line)
+
+    return 0 if report.clean else 1
+
+
+#: rule id -> one-line description (for --list-rules and the README).
+RULES = {
+    "layering.spec-imports-exec":
+        "a spec module imports the implementation it specifies",
+    "layering.exec-imports-proof":
+        "an exec module imports spec/proof at module level "
+        "(breaks ghost-code erasure)",
+    "layering.forbidden-import":
+        "an import the layer map's allowed-imports matrix forbids",
+    "ghost-import":
+        "deferred spec/proof import from exec code without an explicit "
+        "'# repro: allow(ghost-import)' marker",
+    "erasure.exec-reaches-proof":
+        "an exec module reaches the proof layer transitively at import "
+        "time",
+    "erasure.spec-reaches-exec":
+        "a spec module reaches the implementation transitively at "
+        "import time",
+    "layers.unmapped":
+        "a file the layer map does not classify",
+    "purity.mutation":
+        "a contract predicate or spec function mutates observable state",
+    "purity.io":
+        "a contract predicate or spec function performs I/O",
+    "purity.nondeterminism":
+        "a contract predicate or spec function reads a nondeterministic "
+        "source (unseeded random, wall clock)",
+    "console.bare-print":
+        "bare print() outside repro.obs.console",
+    "race.unordered-access":
+        "two conflicting NR step accesses with no happens-before edge "
+        "and no common lock",
+    "parse-error":
+        "a source file failed to parse",
+}

@@ -1,0 +1,106 @@
+"""Structured findings and the ``# repro: allow(<rule>)`` suppression
+syntax shared by every analysis pass.
+
+A finding is (rule id, file, line, message).  A finding is *suppressed*
+when the offending line — or a standalone comment on the line directly
+above it — carries ``# repro: allow(rule)`` naming its rule (several
+rules may be comma-separated).  Suppressed findings are still reported,
+separately, so the EXPERIMENTS table can count what was waived and CI
+output shows where.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str          # repo-relative path
+    line: int          # 1-based
+    message: str
+    suppressed: bool = False
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}{tag}"
+
+
+def allowed_rules(source: str) -> dict[int, set[str]]:
+    """Map line number -> rules allowed on that line.
+
+    An ``allow`` comment applies to its own line; when the comment is
+    the only thing on the line, it also applies to the next line.
+    """
+    allowed: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(text)
+        if not match:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        allowed.setdefault(lineno, set()).update(rules)
+        if text.strip().startswith("#"):
+            allowed.setdefault(lineno + 1, set()).update(rules)
+    return allowed
+
+
+@dataclass
+class AnalysisReport:
+    """Findings accumulated across passes, with per-pass statistics."""
+
+    findings: list[Finding] = field(default_factory=list)
+    stats: dict[str, dict] = field(default_factory=dict)
+
+    def extend(self, findings) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.active:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    @property
+    def clean(self) -> bool:
+        return not self.active
+
+    def summary_lines(self) -> list[str]:
+        lines = []
+        for name in sorted(self.stats):
+            detail = ", ".join(f"{k}={v}" for k, v in self.stats[name].items())
+            lines.append(f"{name}: {detail}")
+        counts = self.by_rule()
+        if counts:
+            lines.append("violations by rule: " + ", ".join(
+                f"{rule}={n}" for rule, n in sorted(counts.items())))
+        lines.append(f"{len(self.active)} violations, "
+                     f"{len(self.suppressed)} suppressed")
+        return lines
+
+
+def apply_suppressions(findings: list[Finding], source_by_path: dict) -> None:
+    """Mark findings whose location carries a matching allow comment."""
+    cache: dict[str, dict[int, set[str]]] = {}
+    for finding in findings:
+        source = source_by_path.get(finding.path)
+        if source is None:
+            continue
+        if finding.path not in cache:
+            cache[finding.path] = allowed_rules(source)
+        rules = cache[finding.path].get(finding.line, ())
+        if finding.rule in rules:
+            finding.suppressed = True

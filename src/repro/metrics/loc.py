@@ -6,9 +6,12 @@ spec state machines, the interpretation function, the lemma and VC modules,
 the verification framework, and the test suite — while "code" is the
 executable implementation those proofs are about.
 
-Classification is by module path, declared in :data:`CLASSIFICATION`; the
-benchmark prints the measured ratio next to the ratios the paper reports
-for seL4, CertiKOS, SeKVM, and Verve.
+Classification is by module path, declared once in the layer map
+(:data:`repro.analysis.layers.LAYER_MAP`) that also drives the
+layering/erasure checker — :data:`CLASSIFICATION` is derived from it, so
+the measured ratio and the machine-checked spec/proof/exec boundary
+cannot drift apart.  The benchmark prints the measured ratio next to the
+ratios the paper reports for seL4, CertiKOS, SeKVM, and Verve.
 """
 
 from __future__ import annotations
@@ -16,34 +19,13 @@ from __future__ import annotations
 import pathlib
 from dataclasses import dataclass, field
 
+from repro.analysis.layers import loc_classification
+
 # (kind, path prefix relative to the repository root); first match wins.
-CLASSIFICATION = [
-    # the page-table artifact's proof side
-    ("proof", "src/repro/core/spec"),
-    ("proof", "src/repro/core/refine"),
-    ("proof", "src/repro/core/contract"),
-    ("proof", "src/repro/verif"),
-    ("proof", "src/repro/smt"),
-    ("proof", "src/repro/nr/linearizability.py"),
-    ("proof", "src/repro/nr/proof.py"),
-    ("proof", "src/repro/nr/interleave.py"),
-    ("proof", "tests"),
-    # the executable implementation side
-    ("code", "src/repro/core/pt"),
-    ("code", "src/repro/hw"),
-    ("code", "src/repro/nr"),
-    ("code", "src/repro/nros"),
-    ("code", "src/repro/ulib"),
-    ("code", "src/repro/apps"),
-    ("code", "src/repro/sim"),
-    ("code", "src/repro/wordlib.py"),
-    ("code", "src/repro/immutable.py"),
-    # neither side of the theorem
-    ("other", "src/repro/related"),
-    ("other", "src/repro/metrics"),
-    ("other", "benchmarks"),
-    ("other", "examples"),
-]
+# Derived from the shared layer map: spec/proof layers count as proof
+# lines, exec as code, tooling as other (with per-entry overrides for
+# e.g. the prover tooling and the runtime ownership checker).
+CLASSIFICATION = loc_classification()
 
 
 @dataclass

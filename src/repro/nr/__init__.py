@@ -18,12 +18,22 @@ interleaved executions.
 
 from repro.nr.core import NodeReplicated
 from repro.nr.log import Log
-from repro.nr.linearizability import History, Invocation, check_linearizable
+
+#: Proof-layer names re-exported lazily: importing the NR runtime must
+#: not load the linearizability checker (ghost-code erasure — the exec
+#: path stays importable with the proof layer absent).
+_PROOF_EXPORTS = ("History", "Invocation", "check_linearizable")
 
 __all__ = [
     "NodeReplicated",
     "Log",
-    "History",
-    "Invocation",
-    "check_linearizable",
+    *_PROOF_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _PROOF_EXPORTS:
+        from repro.nr import linearizability  # repro: allow(ghost-import)
+
+        return getattr(linearizability, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,10 @@
+"""Universal helper — itself clean, but it leaks the proof layer into
+any exec module that imports it (the erasure loophole the transitive
+check closes)."""
+
+import proof_lemmas
+
+
+def certified_identity(state):
+    assert proof_lemmas.lemma_step_preserves_invariant(state, None)
+    return state

@@ -1,0 +1,21 @@
+"""Exec layer of the fixture tree — deliberately broken.
+
+Violations the analyzer must report:
+
+* ``layering.exec-imports-proof`` — the runtime imports the proof layer
+  at module level, so it cannot load with the proofs erased;
+* ``ghost-import`` — a deferred proof import without the explicit
+  ``# repro: allow(ghost-import)`` marker.
+"""
+
+import proof_lemmas
+
+
+def step(state, op):
+    return (state or 0) + 1
+
+
+def check(state, op):
+    import proof_lemmas as lemmas
+
+    return lemmas.lemma_step_preserves_invariant(state, op)

@@ -1,0 +1,5 @@
+"""Proof layer of the fixture tree: lemmas about the engine."""
+
+
+def lemma_step_preserves_invariant(state, op):
+    return True

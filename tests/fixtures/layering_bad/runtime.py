@@ -1,0 +1,8 @@
+"""Exec layer of the fixture tree.  No direct proof import, but it
+reaches proof_lemmas through helper — ``erasure.exec-reaches-proof``."""
+
+import helper
+
+
+def run(state):
+    return helper.certified_identity(state)

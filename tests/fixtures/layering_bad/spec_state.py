@@ -1,0 +1,24 @@
+"""Spec layer of the fixture tree — deliberately broken.
+
+Violations the analyzer must report:
+
+* ``layering.spec-imports-exec`` — the spec imports the implementation
+  it specifies;
+* ``purity.mutation`` — a spec function mutates observable state;
+* ``purity.nondeterminism`` — a spec function reads the wall clock.
+"""
+
+import time
+
+import impl_engine
+
+AUDIT_LOG = []
+
+
+def enabled(state, op):
+    AUDIT_LOG.append(op)
+    return impl_engine.step(state, op) is not None
+
+
+def apply(state, op):
+    return (state or 0) + time.time()

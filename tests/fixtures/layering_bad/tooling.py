@@ -1,0 +1,11 @@
+"""Tooling module of the fixture tree: carries a bare print()
+(``console.bare-print``) plus one suppressed finding so suppression
+accounting is exercised."""
+
+
+def report(value):
+    print("value:", value)
+
+
+def report_allowed(value):
+    print("value:", value)  # repro: allow(console.bare-print)

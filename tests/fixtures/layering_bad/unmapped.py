@@ -1,0 +1,3 @@
+"""Not listed in layer_map.json — must trigger ``layers.unmapped``."""
+
+ORPHAN = True
