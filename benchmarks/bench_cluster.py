@@ -1,0 +1,67 @@
+"""Cluster service: open-loop Zipfian load at 1 vs 3 nodes.
+
+The workload harness offers the same seeded arrival process (Poisson
+arrivals at a rate above a single node's service capacity, Zipfian key
+popularity, a million-client virtual population) to a 1-node rf=1 and a
+3-node rf=2 deployment, and reports per-op-class latency percentiles and
+throughput.  One node must queue — its p50 sits far above service time —
+while three nodes absorb the same offered load near service latency,
+which is the node-scaling story ``BENCH_cluster.json`` carries.
+
+Everything is simulated time under a seed, so the emitted numbers are
+deterministic and CI compares them against the committed
+``benchmarks/baseline_cluster.json``.
+"""
+
+import pytest
+
+from benchmarks._common import report_lines, write_bench_json
+from repro.cluster import scaling_bench
+from repro.cluster.harness import SCALE_NODE_COUNTS
+
+
+def _format_series(payload):
+    lines = [
+        f"  open-loop rate {payload['profile']['rate_ops_per_s']:,.0f} "
+        f"ops/s, {payload['profile']['ops']} ops, zipf "
+        f"theta={payload['profile']['zipf_theta']}, "
+        f"{payload['profile']['num_clients']:,} clients",
+        "",
+        "  nodes  rf    acked   tput [ops/s]   put p50/p99 [ns]   "
+        "get p50/p99 [ns]",
+    ]
+    for count in SCALE_NODE_COUNTS:
+        entry = payload["series"][str(count)]
+        lines.append(
+            f"  {entry['nodes']:5d}  {entry['rf']:2d}  {entry['acked']:7d}"
+            f"   {entry['throughput_ops_per_s']:12,.0f}"
+            f"   {entry['put']['p50_ns']:7.0f}/{entry['put']['p99_ns']:<8.0f}"
+            f"  {entry['get']['p50_ns']:7.0f}/{entry['get']['p99_ns']:<8.0f}")
+    return lines
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cluster_node_scaling(benchmark, capsys):
+    payload = benchmark.pedantic(scaling_bench, rounds=1, iterations=1)
+
+    for count in SCALE_NODE_COUNTS:
+        entry = payload["series"][str(count)]
+        # the service contract holds at every scale
+        assert entry["lost_acked_writes"] == 0
+        assert entry["ryw_violations"] == 0
+        assert entry["undrained"] == 0
+        assert entry["acked"] == entry["issued"]
+        benchmark.extra_info[f"acked_{count}"] = entry["acked"]
+        benchmark.extra_info[f"put_p99_ns_{count}"] = entry["put"]["p99_ns"]
+        benchmark.extra_info[f"tput_{count}"] = round(
+            entry["throughput_ops_per_s"])
+
+    # the scaling story itself: one node queues under the offered load,
+    # three nodes serve the same arrivals at far lower median latency
+    one = payload["series"][str(SCALE_NODE_COUNTS[0])]
+    three = payload["series"][str(SCALE_NODE_COUNTS[-1])]
+    assert one["get"]["p50_ns"] > 3 * three["get"]["p50_ns"]
+
+    path = write_bench_json("cluster", payload)
+    report_lines(capsys, "Cluster: open-loop Zipfian load, 1 vs 3 nodes",
+                 _format_series(payload) + ["", f"  wrote {path}"])

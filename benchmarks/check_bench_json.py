@@ -45,7 +45,14 @@ SCHEMAS: dict[str, dict[str, type | tuple]] = {
     },
     "fig1b": {"impl_cost_ratio": (int, float), "series": dict},
     "fig1c": {"impl_cost_ratio": (int, float), "series": dict},
+    "cluster": {"quick": bool, "seed": int, "profile": dict,
+                "series": dict},
 }
+
+#: Required keys of every per-node-count entry of the cluster series.
+_CLUSTER_ENTRY_KEYS = ("nodes", "rf", "issued", "acked", "failed",
+                       "undrained", "lost_acked_writes", "ryw_violations",
+                       "sim_ns", "throughput_ops_per_s")
 
 
 def _fail(message: str) -> None:
@@ -74,10 +81,70 @@ def validate_schema(document: dict) -> None:
                 if not isinstance(value, (int, float)):
                     _fail(f"fig1a: {block}.{key} missing or non-numeric "
                           f"({value!r})")
+    if bench == "cluster":
+        if not document["series"]:
+            _fail("cluster: empty series")
+        for count, entry in sorted(document["series"].items()):
+            for key in _CLUSTER_ENTRY_KEYS:
+                if not isinstance(entry.get(key), (int, float)):
+                    _fail(f"cluster: series[{count}].{key} missing or "
+                          f"non-numeric ({entry.get(key)!r})")
+            for op in ("put", "get"):
+                for field in ("count", "p50_ns", "p99_ns"):
+                    if not isinstance(entry.get(op, {}).get(field),
+                                      (int, float)):
+                        _fail(f"cluster: series[{count}].{op}.{field} "
+                              f"missing or non-numeric")
+            # the contract gates are exact: an acknowledged write may
+            # never be lost, sessions keep read-your-writes, every
+            # request completes
+            for invariant in ("lost_acked_writes", "ryw_violations",
+                              "undrained"):
+                if entry[invariant] != 0:
+                    _fail(f"cluster: series[{count}].{invariant} = "
+                          f"{entry[invariant]} (must be 0)")
+
+
+def compare_cluster_to_baseline(document: dict,
+                                baseline: dict) -> list[str]:
+    """Cluster regression gates: the contract invariants are exact (and
+    already schema-checked); acked counts and latency percentiles get
+    loose factor gates so protocol tuning doesn't churn the baseline,
+    while a collapse (mass request failure, an order-of-magnitude
+    latency regression) still fails CI.  Counts are only compared when
+    the run and the baseline used the same population (``quick``)."""
+    lines = []
+    if document.get("quick") != baseline.get("quick"):
+        lines.append("quick flag differs from baseline; "
+                     "skipping count/latency gates")
+        return lines
+    for count in sorted(baseline.get("series", {})):
+        base = baseline["series"][count]
+        entry = document.get("series", {}).get(count)
+        if entry is None:
+            _fail(f"cluster: baseline node count {count} missing from run")
+        lines.append(
+            f"{count} nodes: acked {entry['acked']} "
+            f"(baseline {base['acked']}), get p99 "
+            f"{entry['get']['p99_ns']:.0f}ns "
+            f"(baseline {base['get']['p99_ns']:.0f}ns)")
+        if entry["acked"] * 2 < base["acked"]:
+            _fail(f"cluster: acked ops at {count} nodes collapsed: "
+                  f"{entry['acked']} vs baseline {base['acked']}")
+        for op in ("put", "get"):
+            now = entry[op]["p99_ns"]
+            then = base[op]["p99_ns"]
+            if now > 4 * max(then, 1):
+                _fail(f"cluster: {op} p99 at {count} nodes regressed "
+                      f"more than 4x: {now:.0f}ns vs baseline "
+                      f"{then:.0f}ns")
+    return lines
 
 
 def compare_to_baseline(document: dict, baseline: dict) -> list[str]:
     """Deterministic-counter regression gates; returns report lines."""
+    if document.get("bench") == "cluster":
+        return compare_cluster_to_baseline(document, baseline)
     current = document.get("solver_counters", {})
     expected = baseline.get("solver_counters", {})
     lines = []

@@ -219,6 +219,37 @@ def faults(args) -> int:
     return 0
 
 
+def cluster(args) -> int:
+    """Run the sharded/replicated KV service end to end."""
+    from repro.cluster import harness
+
+    writer = _start_trace(args.trace) if args.trace else None
+    try:
+        if args.bench:
+            payload = harness.scaling_bench(seed=args.seed)
+            out(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        profile = harness.default_profile(ops=args.ops, seed=args.seed)
+        kill_at = args.kill_at
+        if args.kill is not None and kill_at is None:
+            kill_at = profile.ops // 3
+        out(f"cluster: {args.nodes} nodes rf={args.replicas} "
+            f"seed={args.seed} ops={profile.ops}"
+            + (f" kill={args.kill}@op{kill_at}" if args.kill else ""))
+        _, report = harness.run_cluster(
+            num_nodes=args.nodes, rf=args.replicas, seed=args.seed,
+            profile=profile, kill_at_op=kill_at, kill_node=args.kill)
+        for line in report.summary_lines():
+            out(line)
+        if not report.ok:
+            err("cluster: service contract violated")
+            return 1
+        return 0
+    finally:
+        if writer is not None:
+            _stop_trace(writer)
+
+
 def analyze(args) -> int:
     from repro.analysis import cli as analysis_cli
 
@@ -337,7 +368,7 @@ def main(argv=None) -> int:
                                help="fault-plan seed (default 1)")
     faults_parser.add_argument("--campaign", default="all",
                                choices=["disk", "net", "mem", "prover",
-                                        "all"],
+                                        "cluster", "all"],
                                help="which layer to attack (default all)")
     faults_parser.add_argument("--check-determinism", action="store_true",
                                help="run twice and require byte-identical "
@@ -372,6 +403,33 @@ def main(argv=None) -> int:
                                 help="stream every obs event of the run "
                                      "into FILE (JSONL)")
 
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="run the sharded, replicated KV service over the verified OS")
+    cluster_parser.add_argument("--nodes", type=int, default=3,
+                                help="storage nodes (default 3)")
+    cluster_parser.add_argument("--replicas", type=int, default=2,
+                                help="replication factor (default 2)")
+    cluster_parser.add_argument("--ops", type=int, default=None,
+                                help="workload operations "
+                                     "(default 2000, 600 under "
+                                     "REPRO_BENCH_QUICK)")
+    cluster_parser.add_argument("--seed", type=int, default=1,
+                                help="workload/placement seed (default 1)")
+    cluster_parser.add_argument("--kill", default=None, metavar="NODE",
+                                help="fail-stop NODE mid-workload "
+                                     "(e.g. node1)")
+    cluster_parser.add_argument("--kill-at", type=int, default=None,
+                                metavar="OP",
+                                help="operation index for --kill "
+                                     "(default: a third into the run)")
+    cluster_parser.add_argument("--bench", action="store_true",
+                                help="run the 1-vs-3-node scaling "
+                                     "benchmark and print its JSON")
+    cluster_parser.add_argument("--trace", default=None, metavar="FILE",
+                                help="stream every obs event of the run "
+                                     "into FILE (JSONL)")
+
     trace_parser = sub.add_parser(
         "trace", help="inspect/validate JSONL trace files")
     trace_sub = trace_parser.add_subparsers(dest="trace_command",
@@ -385,6 +443,8 @@ def main(argv=None) -> int:
     summary_parser.add_argument("file")
 
     args = parser.parse_args(argv)
+    if args.command == "cluster":
+        return cluster(args)
     if args.command == "faults":
         return faults(args)
     if args.command == "trace":

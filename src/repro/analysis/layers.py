@@ -89,6 +89,7 @@ LAYER_MAP = [
     ("src/repro/nros", "exec", None),
     ("src/repro/ulib", "exec", None),
     ("src/repro/apps", "exec", None),
+    ("src/repro/cluster", "exec", None),
     ("src/repro/sim", "exec", None),
     # -- universal definitions --------------------------------------------------
     ("src/repro/wordlib.py", "other", "code"),

@@ -1,0 +1,225 @@
+"""The client gateway: millions of simulated clients over one stack.
+
+An open-loop workload with a million distinct clients cannot afford a
+kernel per client; instead one gateway machine multiplexes the whole
+client population over a single UDP socket, the way a load-balancer
+tier fronts a storage service.  Each request carries its simulated
+``client`` id; the gateway keeps the per-client session bookkeeping
+needed to *check* the service's guarantees:
+
+* **read-your-writes** — for every acknowledged write it records
+  ``(client, key) -> version``; a later read by the same client must
+  return at least that version;
+* **acknowledged-write durability** — for every acknowledged write it
+  records ``key -> (version, value)``; the post-workload audit re-reads
+  every such key and any version regression is an acknowledged-write
+  loss (the invariant the fault campaign kills nodes to attack).
+
+Routing uses the gateway's own :class:`~repro.cluster.ring.HashRing`
+view, updated from ``not-primary`` redirects and explicit membership
+queries after timeouts — the gateway is *not* on the failure-detection
+path, it discovers failovers the way real clients do.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.cluster import messages as msg
+from repro.cluster.node import SERVICE_PORT, TICK_NS
+from repro.cluster.ring import HashRing
+
+#: UDP port the gateway issues from.
+GATEWAY_PORT = 7001
+#: Ticks before an outstanding request is retried.
+CLIENT_TIMEOUT = 1_200
+#: Attempts (first send + retries/redirects) before a request fails.
+MAX_ATTEMPTS = 12
+#: The reserved client id of the post-workload durability audit.
+AUDIT_CLIENT = -1
+
+
+class ClientGateway:
+    """Issues client ops, tracks completions, checks session guarantees."""
+
+    def __init__(self, kernel, members: dict[str, int], vnodes: int = 64,
+                 registry=None) -> None:
+        if kernel.net is None:
+            raise ValueError("gateway kernel has no network")
+        self.kernel = kernel
+        self.stack = kernel.net
+        self.sock = self.stack.udp_bind(GATEWAY_PORT)
+        self.member_ips = dict(members)
+        self.ring = HashRing(sorted(members), vnodes=vnodes)
+        self.registry = registry if registry is not None else obs.registry()
+
+        self._next_req = 1
+        self._refresh_rotor = 0
+        self._ring_reqs: set[int] = set()
+        self.outstanding: dict[int, dict] = {}
+
+        self.latency = {op: self.registry.histogram("cluster.latency_ns",
+                                                    op=op)
+                        for op in ("put", "get", "del")}
+        self.acked = self.registry.counter("cluster.acked")
+        self.failed = self.registry.counter("cluster.failed")
+        self.redirects = self.registry.counter("cluster.client_redirects")
+        self.retries = self.registry.counter("cluster.client_retries")
+
+        #: (client, key) -> highest acknowledged version (read-your-writes).
+        self.sessions: dict[tuple[int, str], int] = {}
+        #: key -> (version, value) of the newest acknowledged write.
+        self.acked_writes: dict[str, tuple[int, object]] = {}
+        #: audit read results: key -> (value, version).
+        self.audit_results: dict[str, tuple[object, int]] = {}
+        self.ryw_violations: list[str] = []
+
+    # -- issuing ------------------------------------------------------------
+
+    def issue(self, op: str, key: str, value, client_id: int,
+              now: int) -> int:
+        """Send one op toward the believed primary; returns the req id."""
+        req = self._next_req
+        self._next_req += 1
+        target = self.ring.primary_for(key)
+        self.outstanding[req] = {
+            "op": op, "key": key, "value": value, "client": client_id,
+            "issued": now, "last_send": now, "attempts": 1,
+        }
+        self._send_op(req, self.member_ips[target])
+        return req
+
+    def _send_op(self, req: int, target_ip: int) -> None:
+        entry = self.outstanding[req]
+        message = {"kind": entry["op"], "req": req, "key": entry["key"],
+                   "client": entry["client"]}
+        if entry["op"] == "put":
+            message["value"] = entry["value"]
+        self.stack.udp_send(GATEWAY_PORT, target_ip, SERVICE_PORT,
+                            msg.encode(message))
+
+    # -- the per-tick loop --------------------------------------------------
+
+    def on_tick(self, now: int) -> None:
+        queue = self.sock.recv_queue
+        while queue:
+            _, _, payload = queue.popleft()
+            try:
+                message = msg.decode(payload)
+            except msg.ClusterMsgError:
+                continue
+            if message["kind"] == "resp":
+                self._on_resp(message, now)
+            elif message["kind"] == "ring-resp":
+                self._on_ring_resp(message)
+        self._retry_timeouts(now)
+
+    def _on_resp(self, message: dict, now: int) -> None:
+        entry = self.outstanding.get(message.get("req"))
+        if entry is None:
+            return  # duplicate / late response for a settled request
+        req = message["req"]
+        if message.get("ok"):
+            del self.outstanding[req]
+            self.acked.inc()
+            self.latency[entry["op"]].record(
+                (now - entry["issued"]) * TICK_NS)
+            self._settle(entry, message)
+            return
+        if message.get("err") == msg.ERR_NOT_PRIMARY:
+            self.redirects.inc()
+            entry["attempts"] += 1
+            if entry["attempts"] > MAX_ATTEMPTS:
+                del self.outstanding[req]
+                self.failed.inc()
+                return
+            entry["last_send"] = now
+            leader_ip = message.get("leader")
+            if leader_ip is None:
+                leader_ip = self.member_ips[
+                    self.ring.primary_for(entry["key"])]
+            self._send_op(req, leader_ip)
+            return
+        del self.outstanding[req]
+        self.failed.inc()
+
+    def _settle(self, entry: dict, message: dict) -> None:
+        """Session bookkeeping for one acknowledged op."""
+        client, key, op = entry["client"], entry["key"], entry["op"]
+        version = message.get("version", 0)
+        if op in ("put", "del"):
+            value = entry["value"] if op == "put" else None
+            session = (client, key)
+            if version > self.sessions.get(session, 0):
+                self.sessions[session] = version
+            if version > self.acked_writes.get(key, (0, None))[0]:
+                self.acked_writes[key] = (version, value)
+            return
+        # reads: the audit records, real clients check read-your-writes
+        if client == AUDIT_CLIENT:
+            self.audit_results[key] = (message.get("value"), version)
+            return
+        floor = self.sessions.get((client, key))
+        if floor is not None and version < floor:
+            self.ryw_violations.append(
+                f"client {client} read {key} at version {version} after "
+                f"its own acknowledged write {floor}")
+
+    def _on_ring_resp(self, message: dict) -> None:
+        self._ring_reqs.discard(message.get("req"))
+        members = {peer: ip for peer, ip in message.get("members", [])}
+        if not members or members == self.member_ips:
+            return
+        self.member_ips = members
+        self.ring = HashRing(sorted(members), vnodes=self.ring.vnodes)
+
+    def _retry_timeouts(self, now: int) -> None:
+        for req in sorted(self.outstanding):
+            entry = self.outstanding[req]
+            if now - entry["last_send"] < CLIENT_TIMEOUT:
+                continue
+            entry["attempts"] += 1
+            if entry["attempts"] > MAX_ATTEMPTS:
+                del self.outstanding[req]
+                self.failed.inc()
+                continue
+            self.retries.inc()
+            entry["last_send"] = now
+            # a timeout means our routing may be stale: refresh the view
+            # from a rotating member and retry at the believed primary
+            self._request_ring(now)
+            self._send_op(req, self.member_ips[
+                self.ring.primary_for(entry["key"])])
+
+    def _request_ring(self, now: int) -> None:
+        members = sorted(self.member_ips)
+        if not members:
+            return
+        target = members[self._refresh_rotor % len(members)]
+        self._refresh_rotor += 1
+        req = self._next_req
+        self._next_req += 1
+        self._ring_reqs.add(req)
+        self.stack.udp_send(GATEWAY_PORT, self.member_ips[target],
+                            SERVICE_PORT,
+                            msg.encode({"kind": "ring", "req": req}))
+
+    # -- the durability audit ----------------------------------------------
+
+    def audit_keys(self) -> list[str]:
+        return sorted(self.acked_writes)
+
+    def audit_losses(self) -> list[str]:
+        """Acknowledged writes the post-workload audit could not read
+        back at (or beyond) their acknowledged version."""
+        losses = []
+        for key in self.audit_keys():
+            version, value = self.acked_writes[key]
+            got = self.audit_results.get(key)
+            if got is None:
+                losses.append(f"{key}: audit read never completed")
+            elif got[1] < version:
+                losses.append(f"{key}: acked version {version} but audit "
+                              f"read version {got[1]}")
+            elif got[1] == version and got[0] != value:
+                losses.append(f"{key}: version {version} value mismatch")
+        return losses

@@ -1,0 +1,159 @@
+"""Deployment: N storage kernels + a gateway on one simulated fabric.
+
+Builds the real thing end to end: one :class:`~repro.nros.kernel.Kernel`
+per storage node (each with its NIC and verified net stack), a gateway
+kernel for the client population, a full mesh of
+:class:`~repro.nros.net.link.Link` cables through
+:class:`~repro.nros.cluster.Cluster` (whose ``partition``/``heal``
+helpers the fault campaign drives), and a deterministic tick loop that
+pumps links, polls stacks, and services nodes in a fixed order — so a
+seeded run is replayable byte for byte.
+
+Fault hooks (all driven by a seeded
+:class:`~repro.faults.plan.FaultPlan`):
+
+* ``cluster.node.<id>`` — fail-stop crash at a message boundary
+  (drawn inside the node's inbox loop);
+* ``cluster.link`` — partition a cable for a bounded number of ticks,
+  then heal it (drawn here, once per link per tick);
+* ``cluster.repl`` — delay a replica forward (drawn at the primary's
+  send site).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.cluster.client import ClientGateway
+from repro.cluster.node import ClusterNode, TICK_NS
+from repro.nros.cluster import Cluster
+from repro.nros.kernel import Kernel
+from repro.nros.net.ip import ip_addr
+
+#: Upper bound (ticks) on an injected partition's duration.
+PARTITION_MAX_TICKS = 160
+
+MB = 1024 * 1024
+
+
+class Deployment:
+    """A running cluster: kernels, links, nodes, gateway, virtual time."""
+
+    def __init__(self, num_nodes: int, rf: int = 2, vnodes: int = 64,
+                 capacity: int = 4, nr_nodes: int = 1,
+                 ring_size: int = 4096, fault_plan=None,
+                 registry=None) -> None:
+        if num_nodes <= 0:
+            raise ValueError("need at least one node")
+        if not 1 <= rf <= num_nodes:
+            raise ValueError(f"replication factor {rf} needs "
+                             f"1..{num_nodes} nodes")
+        self.rf = rf
+        self.fault_plan = fault_plan
+        self.registry = registry if registry is not None else obs.registry()
+        self.now = 0
+
+        self.cluster = Cluster()
+        self.kernels: dict[str, Kernel] = {}
+        members: dict[str, int] = {}
+        for i in range(num_nodes):
+            node_id = f"node{i}"
+            ip = ip_addr(f"10.0.0.{i + 1}")
+            kernel = Kernel(num_cores=1, memory_bytes=4 * MB,
+                            disk_sectors=256, ip=ip, hostname=node_id)
+            self.cluster.add(kernel)
+            self.kernels[node_id] = kernel
+            members[node_id] = ip
+        gateway_kernel = Kernel(num_cores=1, memory_bytes=4 * MB,
+                                disk_sectors=256,
+                                ip=ip_addr("10.0.0.254"),
+                                hostname="gateway")
+        self.cluster.add(gateway_kernel)
+
+        ids = sorted(self.kernels)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                self.cluster.connect(self.kernels[a], self.kernels[b])
+            self.cluster.connect(self.kernels[a], gateway_kernel)
+        # a service fabric needs deeper rings than the 64-frame default:
+        # an open-loop burst must queue at the node, not vanish at the NIC
+        for kernel in list(self.kernels.values()) + [gateway_kernel]:
+            kernel.nic.ring_size = ring_size
+
+        self.nodes = {
+            node_id: ClusterNode(node_id, self.kernels[node_id], members,
+                                 rf=rf, vnodes=vnodes, capacity=capacity,
+                                 nr_nodes=nr_nodes, fault_plan=fault_plan,
+                                 registry=self.registry)
+            for node_id in ids
+        }
+        self.gateway = ClientGateway(gateway_kernel, members,
+                                     vnodes=vnodes, registry=self.registry)
+        self.kills = self.registry.counter("cluster.kills")
+        self.partitions = self.registry.counter("cluster.partitions")
+        self._heals: list[tuple[int, object]] = []  # (due tick, link)
+
+    # -- orchestration ------------------------------------------------------
+
+    @property
+    def alive_nodes(self) -> list[str]:
+        return [n for n in sorted(self.nodes) if self.nodes[n].alive]
+
+    def kill(self, node_id: str) -> None:
+        """Fail-stop one node mid-run (the acceptance scenario)."""
+        node = self.nodes[node_id]
+        if node.alive:
+            node.crash(self.now, reason="killed")
+            self.kills.inc()
+
+    def partition(self, a: str, b: str) -> None:
+        self.cluster.partition(self.kernels[a], self.kernels[b])
+        self._emit("cluster.partition", a=a, b=b)
+        self.partitions.inc()
+
+    def heal(self, a: str, b: str) -> None:
+        self.cluster.heal(self.kernels[a], self.kernels[b])
+        self._emit("cluster.heal", a=a, b=b)
+
+    def _emit(self, name: str, **fields) -> None:
+        bus = obs.bus()
+        if bus.active:
+            bus.emit(name, t=self.now * TICK_NS, clock="sim", **fields)
+
+    # -- the tick loop ------------------------------------------------------
+
+    def step(self) -> None:
+        """One deterministic round of simulated time (TICK_NS)."""
+        self.now += 1
+        self._inject_link_faults()
+        for link in self.cluster.links:
+            link.pump()
+        for kernel in self.cluster.kernels:
+            kernel.net.poll()
+        for node_id in sorted(self.nodes):
+            self.nodes[node_id].on_tick(self.now)
+        self.gateway.on_tick(self.now)
+
+    def run_ticks(self, ticks: int) -> None:
+        for _ in range(ticks):
+            self.step()
+
+    def _inject_link_faults(self) -> None:
+        if self._heals:
+            due = [(t, link) for t, link in self._heals if t <= self.now]
+            if due:
+                self._heals = [(t, link) for t, link in self._heals
+                               if t > self.now]
+                for _, link in due:
+                    link.heal()
+                    self._emit("cluster.heal", links=1)
+        if self.fault_plan is None:
+            return
+        for link in self.cluster.links:
+            decision = self.fault_plan.draw("cluster.link")
+            if (decision is not None and decision.kind == "partition"
+                    and not link.partitioned):
+                link.partition()
+                duration = 1 + decision.rand_below(PARTITION_MAX_TICKS)
+                self._heals.append((self.now + duration, link))
+                self.partitions.inc()
+                self._emit("cluster.partition", ticks=duration)

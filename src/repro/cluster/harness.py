@@ -1,0 +1,108 @@
+"""Entry points the CLI, benchmark, and fault campaign share.
+
+``run_cluster`` is one seeded deployment + workload (+ optional
+mid-workload node kill); ``scaling_bench`` runs the same profile at
+several node counts and shapes the result into the
+``BENCH_cluster.json`` payload that ``benchmarks/check_bench_json.py``
+validates against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cluster.deploy import Deployment
+from repro.cluster.workload import WorkloadProfile, WorkloadReport, run_workload
+from repro.obs.registry import Registry
+
+#: Node counts the scaling benchmark reports (1 node runs rf=1 — a
+#: single copy is the only option — so the contrast with 3-node rf=2
+#: includes the replication forward on every write).
+SCALE_NODE_COUNTS = (1, 3)
+
+
+def quick_mode() -> bool:
+    """Honour the repo-wide reduced-population knob."""
+    return bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
+def default_profile(ops: int | None = None, seed: int = 1,
+                    rate: float | None = None) -> WorkloadProfile:
+    quick = quick_mode()
+    return WorkloadProfile(
+        ops=ops if ops is not None else (600 if quick else 2_000),
+        rate=rate if rate is not None else 2_000_000.0,
+        seed=seed,
+    )
+
+
+def run_cluster(num_nodes: int = 3, rf: int = 2, vnodes: int = 64,
+                capacity: int = 4, seed: int = 1,
+                profile: WorkloadProfile | None = None,
+                kill_at_op: int | None = None,
+                kill_node: str | None = None,
+                fault_plan=None,
+                registry: Registry | None = None,
+                ) -> tuple[Deployment, WorkloadReport]:
+    """One deployment, one workload; returns both for inspection."""
+    registry = registry if registry is not None else Registry()
+    profile = profile if profile is not None else default_profile(seed=seed)
+    deployment = Deployment(num_nodes, rf=rf, vnodes=vnodes,
+                            capacity=capacity, fault_plan=fault_plan,
+                            registry=registry)
+    report = run_workload(deployment, profile, kill_at_op=kill_at_op,
+                          kill_node=kill_node)
+    return deployment, report
+
+
+def _series_entry(report: WorkloadReport) -> dict:
+    entry = {
+        "nodes": report.num_nodes,
+        "rf": report.rf,
+        "issued": report.issued,
+        "acked": report.acked,
+        "failed": report.failed,
+        "undrained": report.undrained,
+        "retries": report.retries,
+        "redirects": report.redirects,
+        "lost_acked_writes": len(report.lost_acked_writes),
+        "ryw_violations": len(report.ryw_violations),
+        "sim_ns": report.sim_ns,
+        "throughput_ops_per_s": report.throughput_ops_per_s,
+    }
+    for op in sorted(report.latency):
+        snap = report.latency[op]
+        entry[op] = {"count": snap["count"], "p50_ns": snap["p50"],
+                     "p99_ns": snap["p99"], "max_ns": snap["max"]}
+    return entry
+
+
+def scaling_bench(node_counts=SCALE_NODE_COUNTS, seed: int = 1,
+                  ops: int | None = None,
+                  rate: float | None = None) -> dict:
+    """The BENCH_cluster.json payload: one series entry per node count,
+    same seeded open-loop profile, rate chosen above a single node's
+    service capacity so the 1-node p99 shows the queueing the extra
+    nodes exist to absorb."""
+    quick = quick_mode()
+    if ops is None:
+        ops = 900 if quick else 3_000
+    if rate is None:
+        rate = 5_000_000.0
+    series = {}
+    for count in node_counts:
+        profile = WorkloadProfile(ops=ops, rate=rate, seed=seed)
+        _, report = run_cluster(
+            num_nodes=count, rf=min(2, count), seed=seed, profile=profile)
+        series[str(count)] = _series_entry(report)
+    return {
+        "quick": quick,
+        "seed": seed,
+        "profile": {
+            "ops": ops, "rate_ops_per_s": rate,
+            "zipf_theta": WorkloadProfile().zipf_theta,
+            "num_clients": WorkloadProfile().num_clients,
+            "num_keys": WorkloadProfile().num_keys,
+        },
+        "series": series,
+    }

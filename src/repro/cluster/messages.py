@@ -1,0 +1,65 @@
+"""The cluster wire protocol: canonical JSON over UDP datagrams.
+
+One message is one datagram.  Encoding is canonical (sorted keys, no
+whitespace) so identical messages are identical bytes and a traced run
+is byte-reproducible.  The protocol is deliberately small:
+
+client → node
+    ``put`` / ``get`` / ``del`` — one KV operation, tagged with the
+    issuing (simulated) client id and a gateway-unique request id;
+    ``ring`` — ask for the responder's current membership view.
+
+node → client
+    ``resp`` — the outcome: ``ok`` with value/version, or an error with
+    an optional ``leader`` redirect hint; ``ring-resp`` — alive members
+    plus the responder's membership epoch.
+
+node → node
+    ``hb`` — failure-detector heartbeat; ``repl`` / ``repl-ack`` — the
+    primary forwarding one write to a replica and the replica's
+    acknowledgement; ``sync`` / ``sync-ack`` — version-guarded bulk
+    catch-up after a membership change (re-replication).
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Message kinds a node accepts from clients.
+CLIENT_KINDS = ("put", "get", "del", "ring")
+#: Message kinds exchanged between nodes.
+PEER_KINDS = ("hb", "repl", "repl-ack", "sync", "sync-ack")
+#: Message kinds a client accepts from nodes.
+REPLY_KINDS = ("resp", "ring-resp")
+
+ALL_KINDS = CLIENT_KINDS + PEER_KINDS + REPLY_KINDS
+
+#: Errors a ``resp`` may carry.
+ERR_NOT_PRIMARY = "not-primary"
+ERR_NO_KEY = "no-key"
+
+
+class ClusterMsgError(Exception):
+    """A datagram that is not a well-formed cluster message."""
+
+
+def encode(msg: dict) -> bytes:
+    """Canonical bytes of one message (must carry a known ``kind``)."""
+    kind = msg.get("kind")
+    if kind not in ALL_KINDS:
+        raise ClusterMsgError(f"unknown message kind {kind!r}")
+    return json.dumps(msg, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def decode(data: bytes) -> dict:
+    """Parse one datagram; raises :class:`ClusterMsgError` on garbage."""
+    try:
+        msg = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ClusterMsgError(f"not a cluster message: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise ClusterMsgError(f"message is {type(msg).__name__}, not object")
+    if msg.get("kind") not in ALL_KINDS:
+        raise ClusterMsgError(f"unknown message kind {msg.get('kind')!r}")
+    return msg

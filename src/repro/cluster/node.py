@@ -1,0 +1,406 @@
+"""One storage node of the sharded, replicated KV service.
+
+A node is a *user-space service the verified OS carries*: it talks UDP
+through its kernel's :class:`~repro.nros.net.stack.NetStack`, and its
+local state is a :class:`~repro.nr.core.NodeReplicated` ``KvStore`` —
+the NR structure whose linearizability the proof layer checks — so the
+paper's claim ("the application is correct because the OS's verified
+services carry it") is literal: every byte this service stores moves
+through the verified net stack and the verified replication protocol.
+
+Cluster-level replication lives *above* that boundary (see DESIGN.md):
+
+* **placement** — a :class:`~repro.cluster.ring.HashRing` maps each key
+  to `rf` distinct nodes, primary first;
+* **writes** — the primary applies locally, forwards to every live
+  replica, and acknowledges the client only once all of them confirmed;
+  so an acknowledged write exists on every live group member and one
+  node death cannot lose it;
+* **reads** — served by the primary only, which (with primary-forwarded
+  writes) gives read-your-writes per client session;
+* **membership** — all-to-all heartbeats with a fixed-timeout failure
+  detector; a death bumps the local epoch, rebuilds the ring (survivor
+  order is preserved, so the old first replica becomes the new primary)
+  and schedules version-guarded re-replication of every key the node
+  still owns;
+* **versions** — the primary stamps each write with a per-key
+  monotonically increasing version; replicas and re-replication apply
+  last-writer-wins on the version, making every transfer idempotent.
+
+Timing is in integer scheduler ticks (:data:`~repro.cluster.messages`
+constants); everything is deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro import obs
+from repro.cluster import messages as msg
+from repro.cluster.ring import HashRing
+from repro.nr.core import NodeReplicated
+from repro.nr.datastructures import KvStore
+
+#: UDP port every node serves on.
+SERVICE_PORT = 7000
+#: Simulated nanoseconds per deployment tick.
+TICK_NS = 1_000
+#: Heartbeat period and failure-detector timeout, in ticks.
+HB_EVERY = 20
+HB_TIMEOUT = 80
+#: Primary retransmits unacknowledged replica forwards this often.
+REPL_RETRY = 40
+#: Re-replication entries pushed per tick after a membership change.
+SYNC_BATCH = 16
+#: Upper bound (ticks) on an injected replica-lag delay.
+LAG_MAX_TICKS = 60
+
+#: Message kinds that consume service capacity (the data plane); the
+#: control plane (heartbeats, acks, membership queries) is served free.
+_DATA_KINDS = ("put", "get", "del", "repl", "sync")
+
+
+class ClusterNode:
+    """One node: KV shard server, replica peer, failure detector."""
+
+    def __init__(self, node_id: str, kernel, members: dict[str, int],
+                 rf: int = 2, vnodes: int = 64, capacity: int = 4,
+                 nr_nodes: int = 1, fault_plan=None, registry=None) -> None:
+        if kernel.net is None:
+            raise ValueError(f"kernel {kernel.hostname!r} has no network")
+        if rf <= 0 or rf > len(members):
+            raise ValueError(f"replication factor {rf} needs "
+                             f"1..{len(members)} nodes")
+        self.node_id = node_id
+        self.kernel = kernel
+        self.stack = kernel.net
+        self.sock = self.stack.udp_bind(SERVICE_PORT)
+        self.members = dict(members)          # id -> ip, bootstrap set
+        self.rf = rf
+        self.capacity = capacity
+        self.ring = HashRing(sorted(members), vnodes=vnodes)
+        self.store = NodeReplicated(KvStore, num_nodes=nr_nodes)
+        self.fault_plan = fault_plan
+        self.registry = registry if registry is not None else obs.registry()
+
+        self.alive = True
+        self.epoch = 0
+        self.peer_alive = {peer: True for peer in sorted(members)}
+        self.last_seen = {peer: 0 for peer in sorted(members)}
+        self._last_hb = -HB_EVERY
+        self._next_version: dict[str, int] = {}
+        #: req id -> in-flight primary write awaiting replica acks.
+        self.pending: dict[int, dict] = {}
+        self._sync_queue: deque = deque()     # (target id, key, val, ver)
+        self._lagged: list[tuple[int, int, dict]] = []  # (due, ip, msg)
+
+        self._served = {kind: self.registry.counter(
+            "cluster.served", node=node_id, op=kind)
+            for kind in _DATA_KINDS}
+        self._redirects = self.registry.counter("cluster.redirects",
+                                                node=node_id)
+        self._failovers = self.registry.counter("cluster.failovers",
+                                                node=node_id)
+        self._synced = self.registry.counter("cluster.sync_entries",
+                                             node=node_id)
+        self._backlog = self.registry.gauge("cluster.backlog", node=node_id)
+
+    # -- storage (the NR-carried KV shard) ----------------------------------
+
+    def _lookup(self, key: str):
+        """The stored ``(value, version)`` pair, or None."""
+        return self.store.execute_ro(("get", key))
+
+    def _apply(self, key: str, value, version: int) -> bool:
+        """Version-guarded last-writer-wins apply; True if it landed."""
+        current = self._lookup(key)
+        if current is not None and current[1] >= version:
+            return False
+        self.store.execute(("put", key, (value, version)))
+        if version > self._next_version.get(key, 0):
+            self._next_version[key] = version
+        return True
+
+    def local_data(self) -> dict:
+        """A quiesced snapshot of this node's shard (key -> (val, ver))."""
+        self.store.sync_all()
+        return dict(self.store.replicas[0].ds.data)
+
+    # -- wire helpers -------------------------------------------------------
+
+    def _send(self, dst_ip: int, dst_port: int, message: dict) -> None:
+        self.stack.udp_send(SERVICE_PORT, dst_ip, dst_port,
+                            msg.encode(message))
+
+    def _send_peer(self, peer: str, message: dict) -> None:
+        self._send(self.members[peer], SERVICE_PORT, message)
+
+    def _respond(self, client, message: dict) -> None:
+        src_ip, src_port = client
+        self._send(src_ip, src_port, message)
+
+    def _emit(self, name: str, now: int, **fields) -> None:
+        bus = obs.bus()
+        if bus.active:
+            bus.emit(name, t=now * TICK_NS, clock="sim",
+                     node=self.node_id, **fields)
+
+    # -- the per-tick service loop ------------------------------------------
+
+    def on_tick(self, now: int) -> None:
+        if not self.alive:
+            return
+        self._heartbeat(now)
+        self._detect_failures(now)
+        self._release_lagged(now)
+        if not self._process_inbox(now):
+            return  # crashed mid-inbox
+        self._retry_pending(now)
+        self._drain_sync_queue(now)
+        self._backlog.set(len(self.sock.recv_queue))
+
+    def _heartbeat(self, now: int) -> None:
+        if now - self._last_hb < HB_EVERY:
+            return
+        self._last_hb = now
+        for peer in sorted(self.members):
+            if peer != self.node_id:
+                self._send_peer(peer, {"kind": "hb", "from": self.node_id,
+                                       "epoch": self.epoch})
+
+    def _detect_failures(self, now: int) -> None:
+        for peer in sorted(self.members):
+            if peer == self.node_id or not self.peer_alive[peer]:
+                continue
+            if now - self.last_seen[peer] > HB_TIMEOUT:
+                self._membership_change(peer, alive=False, now=now)
+
+    def _release_lagged(self, now: int) -> None:
+        due = [entry for entry in self._lagged if entry[0] <= now]
+        if due:
+            self._lagged = [e for e in self._lagged if e[0] > now]
+            for _, dst_ip, message in due:
+                self._send(dst_ip, SERVICE_PORT, message)
+
+    def _process_inbox(self, now: int) -> bool:
+        """Serve queued datagrams; data-plane messages consume capacity
+        (the queueing model behind the latency distributions).  Returns
+        False if an injected crash killed the node at a message
+        boundary."""
+        budget = self.capacity
+        queue = self.sock.recv_queue
+        while queue:
+            src_ip, src_port, payload = queue.popleft()
+            try:
+                message = msg.decode(payload)
+            except msg.ClusterMsgError:
+                continue
+            kind = message.get("kind")
+            if kind in _DATA_KINDS:
+                if budget == 0:
+                    queue.appendleft((src_ip, src_port, payload))
+                    break
+                budget -= 1
+                if self.fault_plan is not None:
+                    decision = self.fault_plan.draw(
+                        f"cluster.node.{self.node_id}")
+                    if decision is not None and decision.kind == "crash":
+                        self.crash(now, reason="injected")
+                        return False
+                self._served[kind].inc()
+            self._handle(message, (src_ip, src_port), now)
+        return True
+
+    def crash(self, now: int, reason: str = "killed") -> None:
+        """Fail-stop: the node goes silent (the failure mode the
+        heartbeat detector and replication are built for)."""
+        self.alive = False
+        self._emit("cluster.kill", now, reason=reason, epoch=self.epoch)
+
+    # -- message handling ---------------------------------------------------
+
+    def _handle(self, message: dict, client, now: int) -> None:
+        kind = message["kind"]
+        if kind == "hb":
+            self._on_heartbeat(message, now)
+        elif kind in ("put", "del"):
+            self._on_write(message, client, now)
+        elif kind == "get":
+            self._on_read(message, client)
+        elif kind == "ring":
+            self._on_ring(message, client)
+        elif kind == "repl":
+            self._on_repl(message, client)
+        elif kind == "repl-ack":
+            self._on_repl_ack(message, now)
+        elif kind == "sync":
+            self._on_sync(message, client)
+        # sync-ack needs no action: sync is version-guarded + idempotent
+
+    def _on_heartbeat(self, message: dict, now: int) -> None:
+        peer = message.get("from")
+        if peer not in self.last_seen or peer == self.node_id:
+            return
+        self.last_seen[peer] = now
+        if not self.peer_alive[peer]:
+            self._membership_change(peer, alive=True, now=now)
+
+    def _on_write(self, message: dict, client, now: int) -> None:
+        key = message["key"]
+        value = message.get("value") if message["kind"] == "put" else None
+        owners = self.ring.owners(key, self.rf)
+        if owners[0] != self.node_id:
+            self._redirect(message, client, owners[0])
+            return
+        stored = self._lookup(key)
+        floor = max(self._next_version.get(key, 0),
+                    stored[1] if stored is not None else 0)
+        version = floor + 1
+        self._next_version[key] = version
+        self._apply(key, value, version)
+        waiting = {peer for peer in owners[1:] if self.peer_alive[peer]}
+        if not waiting:
+            self._respond(client, {"kind": "resp", "req": message["req"],
+                                   "ok": True, "version": version})
+            return
+        self.pending[message["req"]] = {
+            "client": client, "key": key, "value": value,
+            "version": version, "waiting": waiting, "last_send": now,
+        }
+        for peer in sorted(waiting):
+            self._send_repl(peer, message["req"], key, value, version, now)
+
+    def _send_repl(self, peer: str, req: int, key: str, value,
+                   version: int, now: int) -> None:
+        forward = {"kind": "repl", "req": req, "from": self.node_id,
+                   "key": key, "value": value, "version": version}
+        if self.fault_plan is not None:
+            decision = self.fault_plan.draw("cluster.repl")
+            if decision is not None and decision.kind == "lag":
+                due = now + 1 + decision.rand_below(LAG_MAX_TICKS)
+                self._lagged.append((due, self.members[peer], forward))
+                return
+        self._send_peer(peer, forward)
+
+    def _on_repl(self, message: dict, client) -> None:
+        self._apply(message["key"], message.get("value"),
+                    message["version"])
+        self._respond(client, {"kind": "repl-ack", "req": message["req"],
+                               "from": self.node_id})
+
+    def _on_repl_ack(self, message: dict, now: int) -> None:
+        entry = self.pending.get(message["req"])
+        if entry is None:
+            return
+        entry["waiting"].discard(message.get("from"))
+        self._complete_ready_writes(now)
+
+    def _complete_ready_writes(self, now: int) -> None:
+        for req in sorted(self.pending):
+            entry = self.pending[req]
+            if entry["waiting"]:
+                continue
+            del self.pending[req]
+            self._respond(entry["client"],
+                          {"kind": "resp", "req": req, "ok": True,
+                           "version": entry["version"]})
+
+    def _retry_pending(self, now: int) -> None:
+        for req in sorted(self.pending):
+            entry = self.pending[req]
+            if now - entry["last_send"] < REPL_RETRY:
+                continue
+            entry["last_send"] = now
+            for peer in sorted(entry["waiting"]):
+                self._send_repl(peer, req, entry["key"], entry["value"],
+                                entry["version"], now)
+
+    def _on_read(self, message: dict, client) -> None:
+        key = message["key"]
+        owners = self.ring.owners(key, self.rf)
+        if owners[0] != self.node_id:
+            self._redirect(message, client, owners[0])
+            return
+        stored = self._lookup(key)
+        value, version = (stored if stored is not None else (None, 0))
+        self._respond(client, {"kind": "resp", "req": message["req"],
+                               "ok": True, "value": value,
+                               "version": version})
+
+    def _redirect(self, message: dict, client, leader: str) -> None:
+        self._redirects.inc()
+        self._respond(client, {
+            "kind": "resp", "req": message["req"], "ok": False,
+            "err": msg.ERR_NOT_PRIMARY,
+            "leader": self.members.get(leader),
+        })
+
+    def _on_ring(self, message: dict, client) -> None:
+        alive = [[peer, self.members[peer]]
+                 for peer in sorted(self.members)
+                 if self.peer_alive[peer]]
+        self._respond(client, {"kind": "ring-resp", "req": message["req"],
+                               "members": alive, "epoch": self.epoch})
+
+    def _on_sync(self, message: dict, client) -> None:
+        applied = 0
+        for key, value, version in message.get("entries", []):
+            if self._apply(key, value, version):
+                applied += 1
+        self._synced.inc(applied)
+        self._respond(client, {"kind": "sync-ack", "req": message["req"],
+                               "from": self.node_id, "applied": applied})
+
+    # -- membership, failover, re-replication -------------------------------
+
+    def _membership_change(self, peer: str, alive: bool, now: int) -> None:
+        self.peer_alive[peer] = alive
+        self.epoch += 1
+        if alive:
+            self.last_seen[peer] = now
+            self.ring.add_node(peer)
+        else:
+            self.ring.remove_node(peer)
+        self._emit("cluster.member", now, peer=peer,
+                   state="alive" if alive else "dead", epoch=self.epoch)
+        if not alive:
+            self._failovers.inc()
+            self._emit("cluster.failover", now, dead=peer,
+                       epoch=self.epoch)
+            # a dead replica can never ack: release writes it was gating
+            for entry in self.pending.values():
+                entry["waiting"].discard(peer)
+            self._complete_ready_writes(now)
+        self._schedule_sync(now)
+
+    def _schedule_sync(self, now: int) -> None:
+        """Queue version-guarded pushes of every key this node is now
+        primary for, to the group members that may lack it."""
+        self._sync_queue.clear()
+        queued = 0
+        data = self.local_data()
+        for key in sorted(data):
+            owners = self.ring.owners(key, self.rf)
+            if owners[0] != self.node_id:
+                continue
+            value, version = data[key]
+            for peer in owners[1:]:
+                if self.peer_alive[peer]:
+                    self._sync_queue.append((peer, key, value, version))
+                    queued += 1
+        if queued:
+            self._emit("cluster.sync", now, entries=queued,
+                       epoch=self.epoch)
+
+    def _drain_sync_queue(self, now: int) -> None:
+        if not self._sync_queue:
+            return
+        batches: dict[str, list] = {}
+        for _ in range(min(SYNC_BATCH, len(self._sync_queue))):
+            peer, key, value, version = self._sync_queue.popleft()
+            batches.setdefault(peer, []).append([key, value, version])
+        for peer in sorted(batches):
+            if self.peer_alive[peer]:
+                self._send_peer(peer, {"kind": "sync", "req": 0,
+                                       "from": self.node_id,
+                                       "entries": batches[peer]})

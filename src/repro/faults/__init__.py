@@ -12,9 +12,13 @@ that claim into a gated test surface:
   scenario once to count its write boundaries, then re-run it crashing the
   disk at every boundary, remount, and audit the volume with ``fsck``.
 * :mod:`repro.faults.campaign` — the seeded campaigns behind
-  ``python -m repro faults``: disk, net, mem, and prover, each reporting
-  injected / survived / degraded / failed per site and collecting
-  invariant violations.
+  ``python -m repro faults``: disk, net, mem, prover, and cluster, each
+  reporting injected / survived / degraded / failed per site and
+  collecting invariant violations.
+* :mod:`repro.faults.cluster` — the cluster campaign's scenarios: node
+  crashes at message boundaries, link partitions with bounded heals, and
+  replica lag, all against the replicated KV service's durability and
+  session guarantees.
 
 The injection sites themselves live in the layers (``Disk``,
 ``BlockDriver``, ``Link``, ``BuddyAllocator``, ``Heap``,
@@ -26,6 +30,7 @@ from repro.faults.campaign import (
     CampaignReport,
     SiteSummary,
     run_campaign,
+    run_cluster_campaign,
     run_disk_campaign,
     run_mem_campaign,
     run_net_campaign,
@@ -42,6 +47,7 @@ __all__ = [
     "FaultRule",
     "SiteSummary",
     "run_campaign",
+    "run_cluster_campaign",
     "run_crash_matrix",
     "run_disk_campaign",
     "run_mem_campaign",

@@ -36,7 +36,7 @@ from repro.obs.registry import Registry
 from repro.faults.crash import CRASH_SCENARIOS, run_crash_matrix
 from repro.faults.plan import FaultPlan, FaultRule
 
-CAMPAIGNS = ("disk", "net", "mem", "prover")
+CAMPAIGNS = ("disk", "net", "mem", "prover", "cluster")
 
 #: The four outcome classes a fault-injection site tallies.
 OUTCOMES = ("injected", "survived", "degraded", "failed")
@@ -847,11 +847,18 @@ def run_prover_campaign(seed: int = 1) -> CampaignReport:
 # entry points
 # ---------------------------------------------------------------------------
 
+def run_cluster_campaign(seed: int = 1) -> CampaignReport:
+    from repro.faults.cluster import run_cluster_campaign as run
+
+    return run(seed)
+
+
 _RUNNERS = {
     "disk": run_disk_campaign,
     "net": run_net_campaign,
     "mem": run_mem_campaign,
     "prover": run_prover_campaign,
+    "cluster": run_cluster_campaign,
 }
 
 

@@ -1,0 +1,122 @@
+"""The ``cluster`` fault campaign: attacking the replicated KV service.
+
+Three scenarios, all through the real deployment (kernels, NICs, links,
+the verified UDP stack, NR-backed shards — no mocks):
+
+* **node crash at a message boundary** — a rule at site
+  ``cluster.node.*`` fires while some node is mid-inbox, fail-stopping
+  it between two datagrams.  The failure detector must promote the
+  surviving replica and the invariant under attack is the service's
+  contract: *no acknowledged write may be lost* and every client keeps
+  read-your-writes.
+* **link partition + heal** — rules at site ``cluster.link`` sever
+  cables for a bounded number of ticks.  Requests may degrade into
+  client-visible retries; the membership protocol must reconverge after
+  the heal and the durability audit must still find every acked write.
+* **replica lag** — rules at site ``cluster.repl`` delay the primary's
+  replica forwards.  Acks stall (the primary may not acknowledge until
+  the replica applied), so the only acceptable effect is latency; a
+  fast-acked-then-lost write would be a violation.
+
+Classification follows the campaign convention: injections that the
+service absorbed with the contract intact are *survived*; client-visible
+failures (typed, reported request failures) are *degraded*; a lost
+acknowledged write, a read-your-writes violation, or an undrained
+request is *failed* and lands in :attr:`CampaignReport.violations`.
+"""
+
+from __future__ import annotations
+
+from repro.faults.campaign import CampaignReport
+from repro.faults.plan import FaultPlan, FaultRule
+
+
+def _run_deployment(seed: int, plan: FaultPlan, ops: int,
+                    num_nodes: int = 3, rf: int = 2):
+    from repro.cluster.deploy import Deployment
+    from repro.cluster.workload import WorkloadProfile, run_workload
+    from repro.obs.registry import Registry
+
+    deployment = Deployment(num_nodes, rf=rf, fault_plan=plan,
+                            registry=Registry())
+    report = run_workload(deployment,
+                          WorkloadProfile(ops=ops, seed=seed))
+    return deployment, report
+
+
+def _classify(report, wl, site_name: str, plan: FaultPlan,
+              note: str) -> None:
+    """Shared outcome accounting for one cluster scenario."""
+    site = report.site(site_name)
+    site.injected += plan.injections
+    before = len(report.violations)
+    for problem in wl.lost_acked_writes:
+        report.violation(site_name, f"acked write lost: {problem}")
+    for problem in wl.ryw_violations:
+        report.violation(site_name, f"read-your-writes: {problem}")
+    if wl.undrained:
+        report.violation(site_name,
+                         f"{wl.undrained} requests never completed")
+    if len(report.violations) != before:
+        return
+    if wl.failed:
+        site.degraded += min(wl.failed, plan.injections)
+        site.survived += max(0, plan.injections - wl.failed)
+    else:
+        site.survived += plan.injections
+    report.notes.append(note)
+
+
+def _cluster_node_crash(seed: int, report: CampaignReport) -> None:
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="cluster.node.*", kind="crash", at=120),
+    ])
+    deployment, wl = _run_deployment(seed, plan, ops=500)
+    if plan.injections == 0:
+        report.violation("cluster.node",
+                         "crash rule never reached its trigger")
+        return
+    dead = sorted(set(deployment.nodes) - set(deployment.alive_nodes))
+    _classify(report, wl, "cluster.node", plan,
+              f"cluster.node: {','.join(dead) or 'nobody'} fail-stopped "
+              f"at a message boundary; {wl.acked}/{wl.issued} ops acked, "
+              f"{wl.audited_keys} acked keys audited intact after "
+              f"failover ({wl.retries} client retries)")
+
+
+def _cluster_partition(seed: int, report: CampaignReport) -> None:
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="cluster.link", kind="partition",
+                  probability=0.001, max_triggers=3),
+    ])
+    deployment, wl = _run_deployment(seed, plan, ops=500)
+    if plan.injections == 0:
+        report.violation("cluster.link", "no partition ever fired")
+        return
+    _classify(report, wl, "cluster.link", plan,
+              f"cluster.link: {deployment.partitions.value} link "
+              f"partitions injected and healed; {wl.acked}/{wl.issued} "
+              f"ops acked, durability audit clean "
+              f"({wl.retries} client retries)")
+
+
+def _cluster_replica_lag(seed: int, report: CampaignReport) -> None:
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="cluster.repl", kind="lag", probability=0.25),
+    ])
+    _, wl = _run_deployment(seed, plan, ops=500)
+    if plan.injections == 0:
+        report.violation("cluster.repl", "no replica forward ever lagged")
+        return
+    _classify(report, wl, "cluster.repl", plan,
+              f"cluster.repl: {plan.injections} replica forwards lagged; "
+              f"acks waited (no early acknowledgement), "
+              f"{wl.acked}/{wl.issued} ops acked, audit clean")
+
+
+def run_cluster_campaign(seed: int = 1) -> CampaignReport:
+    report = CampaignReport("cluster", seed)
+    _cluster_node_crash(seed, report)
+    _cluster_partition(seed, report)
+    _cluster_replica_lag(seed, report)
+    return report

@@ -18,6 +18,7 @@ class Cluster:
     def __init__(self) -> None:
         self.kernels: list[Kernel] = []
         self.links: list[Link] = []
+        self._links_by_pair: list[tuple[Kernel, Kernel, Link]] = []
 
     def add(self, kernel: Kernel) -> Kernel:
         if kernel.net is None:
@@ -26,15 +27,52 @@ class Cluster:
         return kernel
 
     def connect(self, a: Kernel, b: Kernel, drop_rate: float = 0.0,
-                seed: int = 0) -> Link:
-        """Cable two machines together and teach them each other's MAC."""
-        if a.net is None or b.net is None:
-            raise ValueError("both kernels need networking")
-        link = Link(a.nic, b.nic, drop_rate=drop_rate, seed=seed)
+                seed: int = 0, fault_plan=None) -> Link:
+        """Cable two machines together and teach them each other's MAC.
+
+        Both endpoints are validated before anything is mutated, so a
+        half-networked pair can never leave one kernel with a neighbour
+        entry (or the cluster with a dangling link) for a connection
+        that was refused."""
+        for kernel in (a, b):
+            if kernel.net is None or kernel.nic is None:
+                raise ValueError(
+                    f"kernel {kernel.hostname!r} has no network; both "
+                    f"ends of a link must be networked")
+        link = Link(a.nic, b.nic, drop_rate=drop_rate, seed=seed,
+                    fault_plan=fault_plan)
         a.net.add_neighbour(b.net.ip, b.nic.mac)
         b.net.add_neighbour(a.net.ip, a.nic.mac)
         self.links.append(link)
+        self._links_by_pair.append((a, b, link))
         return link
+
+    def links_between(self, a: Kernel, b: Kernel) -> list[Link]:
+        """Every cable joining this pair, in connect order."""
+        return [link for x, y, link in self._links_by_pair
+                if (x is a and y is b) or (x is b and y is a)]
+
+    def partition(self, a: Kernel, b: Kernel) -> int:
+        """Sever every link between `a` and `b` (frames silently drop
+        until :meth:`heal`); returns the number of links cut.  This is
+        the hook the fault campaign drives for network partitions."""
+        links = self.links_between(a, b)
+        if not links:
+            raise ValueError(
+                f"no link between {a.hostname!r} and {b.hostname!r}")
+        for link in links:
+            link.partition()
+        return len(links)
+
+    def heal(self, a: Kernel, b: Kernel) -> int:
+        """Undo :meth:`partition` for this pair; returns links healed."""
+        links = self.links_between(a, b)
+        if not links:
+            raise ValueError(
+                f"no link between {a.hostname!r} and {b.hostname!r}")
+        for link in links:
+            link.heal()
+        return len(links)
 
     def _pump(self) -> None:
         for link in self.links:

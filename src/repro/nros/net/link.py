@@ -20,11 +20,17 @@ from __future__ import annotations
 import random
 
 from repro.hw.devices.nic import Nic
-from repro.nros.net.eth import BROADCAST, EthFrame, FrameError
+from repro.nros.net.eth import BROADCAST, HEADER_LEN, EthFrame, FrameError
 
 
 class Link:
-    """A point-to-point cable."""
+    """A point-to-point cable.
+
+    Several links may share one NIC (a multi-node mesh cables each
+    machine to every other through its single interface), so a link only
+    takes the frames addressed to *its* peer — unicast to the peer's
+    MAC, broadcast, or runts the receiver will count as bad — and leaves
+    the rest queued for whichever cable leads to their destination."""
 
     def __init__(self, a: Nic, b: Nic, drop_rate: float = 0.0,
                  seed: int = 0, fault_plan=None) -> None:
@@ -35,18 +41,47 @@ class Link:
         self.drop_rate = drop_rate
         self._rng = random.Random(seed)
         self.fault_plan = fault_plan
+        self.partitioned = False
         self.delivered = 0
         self.dropped = 0
         self.duplicated = 0
         self.corrupted = 0
         self.reordered = 0
 
+    def partition(self) -> None:
+        """Cut the cable: every frame in either direction is dropped
+        until :meth:`heal` — total loss, what a severed path looks like
+        to RDP's retransmission and the cluster failure detector."""
+        self.partitioned = True
+
+    def heal(self) -> None:
+        self.partitioned = False
+
+    def _take_for(self, src: Nic, peer: Nic) -> list[bytes]:
+        """Pull the frames in `src`'s tx ring this cable should carry."""
+        taken: list[bytes] = []
+        kept: list[bytes] = []
+        for frame in src.tx_ring:
+            dst_mac = frame[0:6]
+            if (dst_mac == peer.mac or dst_mac == BROADCAST
+                    or len(frame) < HEADER_LEN):
+                taken.append(frame)
+            else:
+                kept.append(frame)
+        src.tx_ring.clear()
+        src.tx_ring.extend(kept)
+        return taken
+
     def pump(self) -> int:
         """Move pending frames in both directions; returns frames moved."""
+        if self.partitioned:
+            for src, peer in ((self.a, self.b), (self.b, self.a)):
+                self.dropped += len(self._take_for(src, peer))
+            return 0
         moved = 0
         for src, dst in ((self.a, self.b), (self.b, self.a)):
             held: list[bytes] = []   # reordered frames, delivered last
-            for frame in src.drain_tx():
+            for frame in self._take_for(src, dst):
                 if self.drop_rate and self._rng.random() < self.drop_rate:
                     self.dropped += 1
                     continue

@@ -1,0 +1,91 @@
+"""The open-loop workload harness: sampling, sessions, bench payload."""
+
+import random
+
+from repro.cluster.deploy import Deployment
+from repro.cluster.harness import SCALE_NODE_COUNTS, scaling_bench
+from repro.cluster.workload import (
+    WorkloadProfile,
+    ZipfSampler,
+    run_workload,
+)
+from repro.obs.registry import Registry
+
+
+def test_zipf_sampler_is_seeded_and_skewed():
+    draws_a = [ZipfSampler(100, 0.99, random.Random("s")).sample()
+               for _ in range(500)]
+    draws_b = [ZipfSampler(100, 0.99, random.Random("s")).sample()
+               for _ in range(500)]
+    assert draws_a == draws_b
+    # rank 0 must dominate rank 50 by roughly its weight ratio
+    sampler = ZipfSampler(100, 0.99, random.Random(1))
+    counts = [0] * 100
+    for _ in range(20_000):
+        counts[sampler.sample()] += 1
+    assert counts[0] > 10 * counts[50]
+    assert all(0 <= rank < 100 for rank in draws_a)
+
+
+def test_zipf_theta_zero_is_uniform():
+    sampler = ZipfSampler(4, 0.0, random.Random(2))
+    counts = [0] * 4
+    for _ in range(8_000):
+        counts[sampler.sample()] += 1
+    assert max(counts) < 1.2 * min(counts)
+
+
+def test_workload_report_is_deterministic():
+    def run():
+        deployment = Deployment(3, rf=2, registry=Registry())
+        report = run_workload(deployment,
+                              WorkloadProfile(ops=250, seed=9))
+        return report.summary_lines()
+
+    assert run() == run()
+
+
+def test_open_loop_overload_shows_queueing():
+    # one node, offered load far above its per-tick service capacity:
+    # the p99 must sit well above the p50 (requests queue), which is the
+    # effect the 1-vs-3-node benchmark reports
+    deployment = Deployment(1, rf=1, capacity=2, registry=Registry())
+    report = run_workload(
+        deployment,
+        WorkloadProfile(ops=400, rate=8_000_000.0, seed=4))
+    assert report.ok
+    snap = report.latency["get"]
+    assert snap["count"] > 0
+    # unloaded, a get completes in a handful of ticks (a few thousand
+    # ns); under overload the queue pushes even the median 10x above
+    # that and the tail further out
+    assert snap["p50"] > 20_000
+    assert snap["p99"] > 1.5 * snap["p50"]
+
+
+def test_million_client_population_and_sessions():
+    deployment = Deployment(3, rf=2, registry=Registry())
+    profile = WorkloadProfile(ops=300, seed=13)
+    assert profile.num_clients == 1_000_000
+    report = run_workload(deployment, profile)
+    assert report.ok
+    gateway = deployment.gateway
+    # sessions are tracked per (client, key); with a million clients the
+    # population of distinct writers is essentially the write count
+    writers = {client for client, _ in gateway.sessions}
+    assert len(writers) > 100
+    assert all(version >= 1 for version in gateway.sessions.values())
+
+
+def test_scaling_bench_payload_shape():
+    payload = scaling_bench(node_counts=(1, 3), seed=1, ops=200)
+    assert set(payload["series"]) == {"1", "3"}
+    for count in ("1", "3"):
+        entry = payload["series"][count]
+        assert entry["lost_acked_writes"] == 0
+        assert entry["ryw_violations"] == 0
+        assert entry["acked"] == entry["issued"] == 200
+        for op in ("put", "get", "del"):
+            assert {"count", "p50_ns", "p99_ns", "max_ns"} <= set(entry[op])
+    assert payload["profile"]["ops"] == 200
+    assert tuple(SCALE_NODE_COUNTS) == (1, 3)
