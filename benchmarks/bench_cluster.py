@@ -8,6 +8,12 @@ throughput.  One node must queue — its p50 sits far above service time —
 while three nodes absorb the same offered load near service latency,
 which is the node-scaling story ``BENCH_cluster.json`` carries.
 
+The payload also carries a ``recovery`` section: a 3-node run that
+kills node1 mid-workload, restarts it from its surviving disk image,
+and measures WAL replay, time-to-serving, and time-to-restore-RF (the
+first tick at which every acknowledged write is back on all ``rf`` of
+its owners) — with the same zero-loss invariants as every other run.
+
 Everything is simulated time under a seed, so the emitted numbers are
 deterministic and CI compares them against the committed
 ``benchmarks/baseline_cluster.json``.
@@ -37,6 +43,17 @@ def _format_series(payload):
             f"   {entry['throughput_ops_per_s']:12,.0f}"
             f"   {entry['put']['p50_ns']:7.0f}/{entry['put']['p99_ns']:<8.0f}"
             f"  {entry['get']['p50_ns']:7.0f}/{entry['get']['p99_ns']:<8.0f}")
+    rec = payload["recovery"]
+    lines += [
+        "",
+        f"  crash-restart: killed node1 at op {rec['kill_at_op']}, "
+        f"restarted at op {rec['restart_at_op']}",
+        f"    fsck issues={rec['fsck_issues']}, replayed "
+        f"{rec['replayed_records']} wal records "
+        f"({rec['recovered_keys']} keys)",
+        f"    serving after {rec['recovery_ticks']} ticks, full rf "
+        f"restored after {rec['rf_restore_ticks']} ticks",
+    ]
     return lines
 
 
@@ -61,6 +78,20 @@ def test_cluster_node_scaling(benchmark, capsys):
     one = payload["series"][str(SCALE_NODE_COUNTS[0])]
     three = payload["series"][str(SCALE_NODE_COUNTS[-1])]
     assert one["get"]["p50_ns"] > 3 * three["get"]["p50_ns"]
+
+    # the crash-restart story: the killed node came back from its WAL,
+    # fsck-clean, with the contract intact and full rf restored
+    rec = payload["recovery"]
+    assert rec["lost_acked_writes"] == 0
+    assert rec["ryw_violations"] == 0
+    assert rec["undrained"] == 0
+    assert rec["fsck_issues"] == 0
+    assert rec["serving"]
+    assert rec["replayed_records"] > 0
+    assert rec["recovery_ticks"] >= 0
+    assert rec["rf_restore_ticks"] >= 0
+    benchmark.extra_info["recovery_ticks"] = rec["recovery_ticks"]
+    benchmark.extra_info["rf_restore_ticks"] = rec["rf_restore_ticks"]
 
     path = write_bench_json("cluster", payload)
     report_lines(capsys, "Cluster: open-loop Zipfian load, 1 vs 3 nodes",

@@ -46,13 +46,21 @@ SCHEMAS: dict[str, dict[str, type | tuple]] = {
     "fig1b": {"impl_cost_ratio": (int, float), "series": dict},
     "fig1c": {"impl_cost_ratio": (int, float), "series": dict},
     "cluster": {"quick": bool, "seed": int, "profile": dict,
-                "series": dict},
+                "series": dict, "recovery": dict},
 }
 
 #: Required keys of every per-node-count entry of the cluster series.
 _CLUSTER_ENTRY_KEYS = ("nodes", "rf", "issued", "acked", "failed",
                        "undrained", "lost_acked_writes", "ryw_violations",
                        "sim_ns", "throughput_ops_per_s")
+
+#: Required numeric keys of the cluster recovery entry (the kill+restart
+#: measurement: WAL replay, time-to-serving, time-to-restore-RF).
+_CLUSTER_RECOVERY_KEYS = ("acked", "gaveup", "undrained",
+                          "lost_acked_writes", "ryw_violations",
+                          "fsck_issues", "replayed_records",
+                          "recovered_keys", "recovery_ticks",
+                          "rf_restore_ticks")
 
 
 def _fail(message: str) -> None:
@@ -103,6 +111,25 @@ def validate_schema(document: dict) -> None:
                 if entry[invariant] != 0:
                     _fail(f"cluster: series[{count}].{invariant} = "
                           f"{entry[invariant]} (must be 0)")
+        recovery = document["recovery"]
+        for key in _CLUSTER_RECOVERY_KEYS:
+            if not isinstance(recovery.get(key), (int, float)):
+                _fail(f"cluster: recovery.{key} missing or non-numeric "
+                      f"({recovery.get(key)!r})")
+        # kill+restart keeps the exact contract too, and the restarted
+        # node must actually have made it back
+        for invariant in ("lost_acked_writes", "ryw_violations",
+                          "undrained", "fsck_issues"):
+            if recovery[invariant] != 0:
+                _fail(f"cluster: recovery.{invariant} = "
+                      f"{recovery[invariant]} (must be 0)")
+        if not recovery.get("serving"):
+            _fail("cluster: recovery.serving is not true — the restarted "
+                  "node never returned to service")
+        for key in ("recovery_ticks", "rf_restore_ticks"):
+            if recovery[key] < 0:
+                _fail(f"cluster: recovery.{key} = {recovery[key]} "
+                      f"(recovery never completed)")
 
 
 def compare_cluster_to_baseline(document: dict,
@@ -138,6 +165,15 @@ def compare_cluster_to_baseline(document: dict,
                 _fail(f"cluster: {op} p99 at {count} nodes regressed "
                       f"more than 4x: {now:.0f}ns vs baseline "
                       f"{then:.0f}ns")
+    base_rec = baseline.get("recovery")
+    if base_rec is not None:
+        rec = document["recovery"]
+        for key in ("recovery_ticks", "rf_restore_ticks"):
+            now, then = rec[key], base_rec[key]
+            lines.append(f"recovery: {key} {now} (baseline {then})")
+            if now > 4 * max(then, 1):
+                _fail(f"cluster: recovery.{key} regressed more than 4x: "
+                      f"{now} vs baseline {then}")
     return lines
 
 

@@ -229,21 +229,46 @@ def cluster(args) -> int:
             payload = harness.scaling_bench(seed=args.seed)
             out(json.dumps(payload, indent=2, sort_keys=True))
             return 0
+        if args.wal_matrix:
+            from repro.faults.cluster import run_wal_crash_matrix
+            matrix = run_wal_crash_matrix(seed=args.seed)
+            out(matrix.summary())
+            for violation in matrix.violations:
+                err(f"cluster: {violation}")
+            return 0 if matrix.ok else 1
         profile = harness.default_profile(ops=args.ops, seed=args.seed)
         kill_at = args.kill_at
         if args.kill is not None and kill_at is None:
             kill_at = profile.ops // 3
+        restart_at = None
+        if args.restart_after is not None:
+            if args.kill is None:
+                err("cluster: --restart-after needs --kill")
+                return 2
+            restart_at = min(kill_at + args.restart_after,
+                             profile.ops - 1)
         out(f"cluster: {args.nodes} nodes rf={args.replicas} "
             f"seed={args.seed} ops={profile.ops}"
-            + (f" kill={args.kill}@op{kill_at}" if args.kill else ""))
+            + (f" kill={args.kill}@op{kill_at}" if args.kill else "")
+            + (f" restart@op{restart_at}" if restart_at is not None
+               else ""))
         _, report = harness.run_cluster(
             num_nodes=args.nodes, rf=args.replicas, seed=args.seed,
-            profile=profile, kill_at_op=kill_at, kill_node=args.kill)
+            profile=profile, kill_at_op=kill_at, kill_node=args.kill,
+            restart_at_op=restart_at)
         for line in report.summary_lines():
             out(line)
         if not report.ok:
             err("cluster: service contract violated")
             return 1
+        if restart_at is not None and not report.recovery:
+            err("cluster: restart requested but never happened")
+            return 1
+        for rec in report.recovery:
+            if not rec["serving"]:
+                err(f"cluster: {rec['node']} restarted but never "
+                    f"returned to serving")
+                return 1
         return 0
     finally:
         if writer is not None:
@@ -423,9 +448,17 @@ def main(argv=None) -> int:
                                 metavar="OP",
                                 help="operation index for --kill "
                                      "(default: a third into the run)")
+    cluster_parser.add_argument("--restart-after", type=int, default=None,
+                                metavar="OPS",
+                                help="with --kill: restart the killed "
+                                     "node from its disk image OPS "
+                                     "operations after the kill")
     cluster_parser.add_argument("--bench", action="store_true",
                                 help="run the 1-vs-3-node scaling "
                                      "benchmark and print its JSON")
+    cluster_parser.add_argument("--wal-matrix", action="store_true",
+                                help="run the full WAL write-boundary "
+                                     "crash-recovery matrix and exit")
     cluster_parser.add_argument("--trace", default=None, metavar="FILE",
                                 help="stream every obs event of the run "
                                      "into FILE (JSONL)")

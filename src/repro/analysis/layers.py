@@ -89,6 +89,9 @@ LAYER_MAP = [
     ("src/repro/nros", "exec", None),
     ("src/repro/ulib", "exec", None),
     ("src/repro/apps", "exec", None),
+    # the WAL rides the verified FS through the file API — exec layer,
+    # listed explicitly because the crash matrix audits it by name
+    ("src/repro/cluster/wal.py", "exec", None),
     ("src/repro/cluster", "exec", None),
     ("src/repro/sim", "exec", None),
     # -- universal definitions --------------------------------------------------

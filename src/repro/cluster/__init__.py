@@ -4,19 +4,27 @@ The paper's argument is that a verified kernel is a *foundation*, not a
 destination: applications above it still have to get distribution right.
 This package builds that application layer end to end — consistent-hash
 placement (:mod:`repro.cluster.ring`), primary-forwarded synchronous
-replication with failover (:mod:`repro.cluster.node`), a client gateway
-that checks session guarantees (:mod:`repro.cluster.client`), a
-deterministic multi-kernel deployment (:mod:`repro.cluster.deploy`), and
-an open-loop million-client workload harness
-(:mod:`repro.cluster.workload`) — entirely on the repo's verified
-kernel, NIC, and UDP stack.
+replication with failover (:mod:`repro.cluster.node`), a durable
+write-ahead log on each node's own verified filesystem
+(:mod:`repro.cluster.wal`), a client gateway that checks session
+guarantees and backs off with seeded jitter
+(:mod:`repro.cluster.client`), a deterministic multi-kernel deployment
+with crash-*restart* (:mod:`repro.cluster.deploy`), and an open-loop
+million-client workload harness (:mod:`repro.cluster.workload`) —
+entirely on the repo's verified kernel, disk, NIC, and UDP stack.
 """
 
 from repro.cluster.client import AUDIT_CLIENT, ClientGateway
 from repro.cluster.deploy import Deployment
-from repro.cluster.harness import default_profile, run_cluster, scaling_bench
+from repro.cluster.harness import (
+    default_profile,
+    recovery_bench,
+    run_cluster,
+    scaling_bench,
+)
 from repro.cluster.node import ClusterNode
 from repro.cluster.ring import HashRing, ring_hash
+from repro.cluster.wal import NodeWal, WalRecovery
 from repro.cluster.workload import (
     WorkloadProfile,
     WorkloadReport,
@@ -30,10 +38,13 @@ __all__ = [
     "ClusterNode",
     "Deployment",
     "HashRing",
+    "NodeWal",
+    "WalRecovery",
     "WorkloadProfile",
     "WorkloadReport",
     "ZipfSampler",
     "default_profile",
+    "recovery_bench",
     "ring_hash",
     "run_cluster",
     "run_workload",

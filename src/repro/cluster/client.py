@@ -19,9 +19,19 @@ Routing uses the gateway's own :class:`~repro.cluster.ring.HashRing`
 view, updated from ``not-primary`` redirects and explicit membership
 queries after timeouts — the gateway is *not* on the failure-detection
 path, it discovers failovers the way real clients do.
+
+Retries back off exponentially with seeded jitter (doubling from
+:data:`CLIENT_TIMEOUT` up to :data:`BACKOFF_CAP`), both for silent
+timeouts and for the typed *retryable* refusals a degraded or
+recovering node sends.  A request that exhausts :data:`MAX_ATTEMPTS`
+does not vanish: it is recorded as a typed give-up (op, key, client,
+last error) and counted, so the workload report can distinguish "the
+service refused and the client gave up" from "the service lied".
 """
 
 from __future__ import annotations
+
+import random
 
 from repro import obs
 from repro.cluster import messages as msg
@@ -30,9 +40,14 @@ from repro.cluster.ring import HashRing
 
 #: UDP port the gateway issues from.
 GATEWAY_PORT = 7001
-#: Ticks before an outstanding request is retried.
+#: Ticks before an outstanding request's first retry.
 CLIENT_TIMEOUT = 1_200
-#: Attempts (first send + retries/redirects) before a request fails.
+#: Ceiling of the exponential backoff (doubling starts at
+#: CLIENT_TIMEOUT, so retries space out 1x, 2x, 4x, then stay at 4x).
+BACKOFF_CAP = 4 * CLIENT_TIMEOUT
+#: Seeded jitter added to every backoff (desynchronizes retry storms).
+BACKOFF_JITTER = 97
+#: Attempts (first send + retries/redirects) before a request gives up.
 MAX_ATTEMPTS = 12
 #: The reserved client id of the post-workload durability audit.
 AUDIT_CLIENT = -1
@@ -42,7 +57,7 @@ class ClientGateway:
     """Issues client ops, tracks completions, checks session guarantees."""
 
     def __init__(self, kernel, members: dict[str, int], vnodes: int = 64,
-                 registry=None) -> None:
+                 registry=None, seed: int = 1) -> None:
         if kernel.net is None:
             raise ValueError("gateway kernel has no network")
         self.kernel = kernel
@@ -51,6 +66,7 @@ class ClientGateway:
         self.member_ips = dict(members)
         self.ring = HashRing(sorted(members), vnodes=vnodes)
         self.registry = registry if registry is not None else obs.registry()
+        self._rng = random.Random(f"cluster/{seed}/gateway")
 
         self._next_req = 1
         self._refresh_rotor = 0
@@ -64,6 +80,7 @@ class ClientGateway:
         self.failed = self.registry.counter("cluster.failed")
         self.redirects = self.registry.counter("cluster.client_redirects")
         self.retries = self.registry.counter("cluster.client_retries")
+        self.giveups = self.registry.counter("cluster.client_giveup")
 
         #: (client, key) -> highest acknowledged version (read-your-writes).
         self.sessions: dict[tuple[int, str], int] = {}
@@ -72,6 +89,8 @@ class ClientGateway:
         #: audit read results: key -> (value, version).
         self.audit_results: dict[str, tuple[object, int]] = {}
         self.ryw_violations: list[str] = []
+        #: typed records of requests that exhausted MAX_ATTEMPTS.
+        self.gaveup: list[dict] = []
 
     # -- issuing ------------------------------------------------------------
 
@@ -83,10 +102,16 @@ class ClientGateway:
         target = self.ring.primary_for(key)
         self.outstanding[req] = {
             "op": op, "key": key, "value": value, "client": client_id,
-            "issued": now, "last_send": now, "attempts": 1,
+            "issued": now, "attempts": 1,
+            "retry_at": now + self._backoff(1),
         }
         self._send_op(req, self.member_ips[target])
         return req
+
+    def _backoff(self, attempts: int) -> int:
+        """Exponential backoff with seeded jitter for the next retry."""
+        base = min(CLIENT_TIMEOUT * (2 ** (attempts - 1)), BACKOFF_CAP)
+        return base + self._rng.randrange(BACKOFF_JITTER)
 
     def _send_op(self, req: int, target_ip: int) -> None:
         entry = self.outstanding[req]
@@ -125,22 +150,42 @@ class ClientGateway:
                 (now - entry["issued"]) * TICK_NS)
             self._settle(entry, message)
             return
-        if message.get("err") == msg.ERR_NOT_PRIMARY:
+        err = message.get("err")
+        if err == msg.ERR_NOT_PRIMARY:
+            # a redirect is information, not congestion: follow it now
             self.redirects.inc()
             entry["attempts"] += 1
             if entry["attempts"] > MAX_ATTEMPTS:
-                del self.outstanding[req]
-                self.failed.inc()
+                self._give_up(req, err, now)
                 return
-            entry["last_send"] = now
+            entry["retry_at"] = now + self._backoff(entry["attempts"])
             leader_ip = message.get("leader")
             if leader_ip is None:
                 leader_ip = self.member_ips[
                     self.ring.primary_for(entry["key"])]
             self._send_op(req, leader_ip)
             return
-        del self.outstanding[req]
+        if err in msg.RETRYABLE_ERRS:
+            # a typed refusal (degraded / recovering): the service is
+            # telling us to come back later — back off, don't hammer
+            entry["attempts"] += 1
+            if entry["attempts"] > MAX_ATTEMPTS:
+                self._give_up(req, err, now)
+                return
+            entry["retry_at"] = now + self._backoff(entry["attempts"])
+            return
+        self._give_up(req, err if err is not None else "error", now)
+
+    def _give_up(self, req: int, reason: str, now: int) -> None:
+        """Surface an exhausted request as a typed failure record."""
+        entry = self.outstanding.pop(req)
         self.failed.inc()
+        self.giveups.inc()
+        self.gaveup.append({
+            "req": req, "op": entry["op"], "key": entry["key"],
+            "client": entry["client"], "attempts": entry["attempts"],
+            "reason": reason, "issued": entry["issued"], "gave_up": now,
+        })
 
     def _settle(self, entry: dict, message: dict) -> None:
         """Session bookkeeping for one acknowledged op."""
@@ -175,15 +220,14 @@ class ClientGateway:
     def _retry_timeouts(self, now: int) -> None:
         for req in sorted(self.outstanding):
             entry = self.outstanding[req]
-            if now - entry["last_send"] < CLIENT_TIMEOUT:
+            if now < entry["retry_at"]:
                 continue
             entry["attempts"] += 1
             if entry["attempts"] > MAX_ATTEMPTS:
-                del self.outstanding[req]
-                self.failed.inc()
+                self._give_up(req, "timeout", now)
                 continue
             self.retries.inc()
-            entry["last_send"] = now
+            entry["retry_at"] = now + self._backoff(entry["attempts"])
             # a timeout means our routing may be stale: refresh the view
             # from a rotating member and retry at the believed primary
             self._request_ring(now)

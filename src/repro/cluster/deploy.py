@@ -1,13 +1,24 @@
 """Deployment: N storage kernels + a gateway on one simulated fabric.
 
 Builds the real thing end to end: one :class:`~repro.nros.kernel.Kernel`
-per storage node (each with its NIC and verified net stack), a gateway
-kernel for the client population, a full mesh of
+per storage node (each with its NIC, verified net stack, and its own
+disk + verified filesystem carrying the node's WAL), a gateway kernel
+for the client population, a full mesh of
 :class:`~repro.nros.net.link.Link` cables through
 :class:`~repro.nros.cluster.Cluster` (whose ``partition``/``heal``
 helpers the fault campaign drives), and a deterministic tick loop that
 pumps links, polls stacks, and services nodes in a fixed order — so a
 seeded run is replayable byte for byte.
+
+Crash-*restart* is a first-class operation: :meth:`Deployment.restart`
+snapshots the dead node's platter, unplugs the kernel, boots a
+replacement from that image (remount, not mkfs), re-cables it, and
+hands it to a :class:`~repro.cluster.node.ClusterNode` constructed in
+``recover`` mode — fsck, WAL replay, and the join/pull rejoin protocol
+all run in simulated time inside the same tick loop.  With
+``auto_restart_delay`` set, any node that dies (killed or crashed by a
+fault injection) is restarted that many ticks later, which is how the
+crash-recovery campaign turns every kill into a kill+rejoin scenario.
 
 Fault hooks (all driven by a seeded
 :class:`~repro.faults.plan.FaultPlan`):
@@ -17,7 +28,9 @@ Fault hooks (all driven by a seeded
 * ``cluster.link`` — partition a cable for a bounded number of ticks,
   then heal it (drawn here, once per link per tick);
 * ``cluster.repl`` — delay a replica forward (drawn at the primary's
-  send site).
+  send site);
+* ``disk.write`` on one node's disk — kill the platter mid-WAL-append
+  (armed directly on the kernel's disk by the WAL crash matrix).
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ from __future__ import annotations
 from repro import obs
 from repro.cluster.client import ClientGateway
 from repro.cluster.node import ClusterNode, TICK_NS
+from repro.cluster.wal import COMPACT_EVERY
 from repro.nros.cluster import Cluster
 from repro.nros.kernel import Kernel
 from repro.nros.net.ip import ip_addr
@@ -41,7 +55,9 @@ class Deployment:
     def __init__(self, num_nodes: int, rf: int = 2, vnodes: int = 64,
                  capacity: int = 4, nr_nodes: int = 1,
                  ring_size: int = 4096, fault_plan=None,
-                 registry=None) -> None:
+                 registry=None, seed: int = 1,
+                 compact_every: int = COMPACT_EVERY,
+                 auto_restart_delay: int | None = None) -> None:
         if num_nodes <= 0:
             raise ValueError("need at least one node")
         if not 1 <= rf <= num_nodes:
@@ -50,7 +66,14 @@ class Deployment:
         self.rf = rf
         self.fault_plan = fault_plan
         self.registry = registry if registry is not None else obs.registry()
+        self.seed = seed
         self.now = 0
+        self._vnodes = vnodes
+        self._capacity = capacity
+        self._nr_nodes = nr_nodes
+        self._ring_size = ring_size
+        self._compact_every = compact_every
+        self.auto_restart_delay = auto_restart_delay
 
         self.cluster = Cluster()
         self.kernels: dict[str, Kernel] = {}
@@ -63,11 +86,13 @@ class Deployment:
             self.cluster.add(kernel)
             self.kernels[node_id] = kernel
             members[node_id] = ip
+        self._members = members
         gateway_kernel = Kernel(num_cores=1, memory_bytes=4 * MB,
                                 disk_sectors=256,
                                 ip=ip_addr("10.0.0.254"),
                                 hostname="gateway")
         self.cluster.add(gateway_kernel)
+        self._gateway_kernel = gateway_kernel
 
         ids = sorted(self.kernels)
         for i, a in enumerate(ids):
@@ -83,14 +108,22 @@ class Deployment:
             node_id: ClusterNode(node_id, self.kernels[node_id], members,
                                  rf=rf, vnodes=vnodes, capacity=capacity,
                                  nr_nodes=nr_nodes, fault_plan=fault_plan,
-                                 registry=self.registry)
+                                 registry=self.registry, seed=seed,
+                                 compact_every=compact_every)
             for node_id in ids
         }
         self.gateway = ClientGateway(gateway_kernel, members,
-                                     vnodes=vnodes, registry=self.registry)
+                                     vnodes=vnodes, registry=self.registry,
+                                     seed=seed)
         self.kills = self.registry.counter("cluster.kills")
         self.partitions = self.registry.counter("cluster.partitions")
+        self.restarts = self.registry.counter("cluster.restarts")
         self._heals: list[tuple[int, object]] = []  # (due tick, link)
+        self._restart_due: dict[str, int] = {}
+        self._restart_log: list[dict] = []
+        #: callables invoked as hook(deployment) after every step —
+        #: the recovery benchmark's RF-restore sampler plugs in here.
+        self.step_hooks: list = []
 
     # -- orchestration ------------------------------------------------------
 
@@ -98,12 +131,75 @@ class Deployment:
     def alive_nodes(self) -> list[str]:
         return [n for n in sorted(self.nodes) if self.nodes[n].alive]
 
+    @property
+    def serving_nodes(self) -> list[str]:
+        return [n for n in sorted(self.nodes)
+                if self.nodes[n].alive and self.nodes[n].state == "serving"]
+
     def kill(self, node_id: str) -> None:
         """Fail-stop one node mid-run (the acceptance scenario)."""
         node = self.nodes[node_id]
         if node.alive:
             node.crash(self.now, reason="killed")
             self.kills.inc()
+
+    def restart(self, node_id: str) -> ClusterNode:
+        """Boot a dead node's replacement from its surviving disk image.
+
+        The physical story: snapshot the platter, unplug the machine,
+        cable in a replacement that *mounts* the image (no mkfs), and
+        start the service in recovery mode — it will fsck, replay its
+        snapshot+WAL, and rejoin via the join/pull protocol before it
+        serves a single request."""
+        old = self.nodes[node_id]
+        if old.alive:
+            raise ValueError(f"{node_id} is alive; kill it first")
+        old_kernel = self.kernels[node_id]
+        image = old_kernel.disk.snapshot()
+        self.cluster.remove(old_kernel)
+
+        kernel = Kernel(num_cores=1, memory_bytes=4 * MB,
+                        disk_sectors=256, ip=self._members[node_id],
+                        hostname=node_id, disk_image=image)
+        self.cluster.add(kernel)
+        self.kernels[node_id] = kernel
+        for other_id in sorted(self.kernels):
+            if other_id != node_id:
+                self.cluster.connect(kernel, self.kernels[other_id])
+        self.cluster.connect(kernel, self._gateway_kernel)
+        kernel.nic.ring_size = self._ring_size
+
+        node = ClusterNode(node_id, kernel, self._members, rf=self.rf,
+                           vnodes=self._vnodes, capacity=self._capacity,
+                           nr_nodes=self._nr_nodes,
+                           fault_plan=self.fault_plan,
+                           registry=self.registry, seed=self.seed,
+                           recover=True, now=self.now,
+                           compact_every=self._compact_every)
+        self.nodes[node_id] = node
+        self.restarts.inc()
+        self._restart_log.append({"node": node_id, "at": self.now})
+        self._emit("cluster.restart", node=node_id,
+                   fsck_issues=len(node.fsck_issues),
+                   replayed=node.replayed_records,
+                   keys=node.recovered_keys)
+        return node
+
+    def recovery_info(self) -> list[dict]:
+        """Per-restart recovery facts (for reports and the benchmark)."""
+        info = []
+        for entry in self._restart_log:
+            node = self.nodes[entry["node"]]
+            rec = {"node": entry["node"], "restarted_at": entry["at"],
+                   "fsck_issues": len(node.fsck_issues),
+                   "replayed_records": node.replayed_records,
+                   "recovered_keys": node.recovered_keys,
+                   "serving": node.alive and node.state == "serving",
+                   "recovered_at": node.recovered_at}
+            if node.recovered_at is not None:
+                rec["recovery_ticks"] = node.recovered_at - entry["at"]
+            info.append(rec)
+        return info
 
     def partition(self, a: str, b: str) -> None:
         self.cluster.partition(self.kernels[a], self.kernels[b])
@@ -124,6 +220,7 @@ class Deployment:
     def step(self) -> None:
         """One deterministic round of simulated time (TICK_NS)."""
         self.now += 1
+        self._auto_restarts()
         self._inject_link_faults()
         for link in self.cluster.links:
             link.pump()
@@ -132,10 +229,25 @@ class Deployment:
         for node_id in sorted(self.nodes):
             self.nodes[node_id].on_tick(self.now)
         self.gateway.on_tick(self.now)
+        for hook in self.step_hooks:
+            hook(self)
 
     def run_ticks(self, ticks: int) -> None:
         for _ in range(ticks):
             self.step()
+
+    def _auto_restarts(self) -> None:
+        if self.auto_restart_delay is not None:
+            for node_id in sorted(self.nodes):
+                if (not self.nodes[node_id].alive
+                        and node_id not in self._restart_due):
+                    self._restart_due[node_id] = (self.now
+                                                  + self.auto_restart_delay)
+        due = sorted(n for n, t in self._restart_due.items()
+                     if t <= self.now)
+        for node_id in due:
+            del self._restart_due[node_id]
+            self.restart(node_id)
 
     def _inject_link_faults(self) -> None:
         if self._heals:

@@ -1,10 +1,13 @@
 """Entry points the CLI, benchmark, and fault campaign share.
 
 ``run_cluster`` is one seeded deployment + workload (+ optional
-mid-workload node kill); ``scaling_bench`` runs the same profile at
-several node counts and shapes the result into the
-``BENCH_cluster.json`` payload that ``benchmarks/check_bench_json.py``
-validates against the committed baseline.
+mid-workload node kill and restart); ``scaling_bench`` runs the same
+profile at several node counts, ``recovery_bench`` measures a
+kill+restart run (WAL replay, rejoin, and the time to restore every
+acknowledged write to full replication factor), and together they shape
+the ``BENCH_cluster.json`` payload that
+``benchmarks/check_bench_json.py`` validates against the committed
+baseline.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ def run_cluster(num_nodes: int = 3, rf: int = 2, vnodes: int = 64,
                 profile: WorkloadProfile | None = None,
                 kill_at_op: int | None = None,
                 kill_node: str | None = None,
+                restart_at_op: int | None = None,
                 fault_plan=None,
                 registry: Registry | None = None,
                 ) -> tuple[Deployment, WorkloadReport]:
@@ -49,9 +53,9 @@ def run_cluster(num_nodes: int = 3, rf: int = 2, vnodes: int = 64,
     profile = profile if profile is not None else default_profile(seed=seed)
     deployment = Deployment(num_nodes, rf=rf, vnodes=vnodes,
                             capacity=capacity, fault_plan=fault_plan,
-                            registry=registry)
+                            registry=registry, seed=seed)
     report = run_workload(deployment, profile, kill_at_op=kill_at_op,
-                          kill_node=kill_node)
+                          kill_node=kill_node, restart_at_op=restart_at_op)
     return deployment, report
 
 
@@ -75,6 +79,79 @@ def _series_entry(report: WorkloadReport) -> dict:
         entry[op] = {"count": snap["count"], "p50_ns": snap["p50"],
                      "p99_ns": snap["p99"], "max_ns": snap["max"]}
     return entry
+
+
+def _rf_restore_hook(state: dict):
+    """A deployment step hook that samples (every 20 ticks, after the
+    restart) whether every acknowledged write is held — at or beyond
+    its acknowledged version — by all `rf` of its owners in the ring of
+    currently *serving* nodes.  The first tick where that holds is the
+    moment the cluster is back at full replication factor."""
+    from repro.cluster.ring import HashRing
+
+    def hook(dep) -> None:
+        if dep.now % 20 or dep.restarts.value == 0:
+            return
+        if state.get("restored_at") is not None:
+            return
+        serving = dep.serving_nodes
+        if len(serving) < len(dep.nodes):
+            return
+        ring = HashRing(serving, vnodes=dep._vnodes)
+        for key, (version, _value) in dep.gateway.acked_writes.items():
+            for owner in ring.owners(key, dep.rf):
+                stored = dep.nodes[owner]._lookup(key)
+                if stored is None or stored[1] < version:
+                    return
+        state["restored_at"] = dep.now
+
+    return hook
+
+
+def recovery_bench(seed: int = 1, ops: int | None = None,
+                   rate: float | None = None) -> dict:
+    """The recovery entry of BENCH_cluster.json: a 3-node rf=2 run that
+    kills node1 a quarter of the way in, restarts it from its disk image
+    at the half-way mark, and measures WAL replay, time-to-serving, and
+    time-to-restore-RF — with the same zero-loss / zero-RYW invariants
+    as every other run."""
+    quick = quick_mode()
+    if ops is None:
+        ops = 600 if quick else 2_000
+    if rate is None:
+        rate = 2_000_000.0
+    kill_at = ops // 4
+    restart_at = ops // 2
+    registry = Registry()
+    profile = WorkloadProfile(ops=ops, rate=rate, seed=seed)
+    deployment = Deployment(3, rf=2, registry=registry, seed=seed)
+    state: dict = {"restored_at": None}
+    deployment.step_hooks.append(_rf_restore_hook(state))
+    report = run_workload(deployment, profile, kill_at_op=kill_at,
+                          kill_node="node1", restart_at_op=restart_at)
+    rec = report.recovery[0] if report.recovery else {}
+    restart_tick = rec.get("restarted_at")
+    restored_at = state["restored_at"]
+    return {
+        "nodes": 3,
+        "rf": 2,
+        "ops": ops,
+        "kill_at_op": kill_at,
+        "restart_at_op": restart_at,
+        "acked": report.acked,
+        "gaveup": report.gaveup,
+        "undrained": report.undrained,
+        "lost_acked_writes": len(report.lost_acked_writes),
+        "ryw_violations": len(report.ryw_violations),
+        "fsck_issues": rec.get("fsck_issues", -1),
+        "replayed_records": rec.get("replayed_records", -1),
+        "recovered_keys": rec.get("recovered_keys", -1),
+        "serving": bool(rec.get("serving")),
+        "recovery_ticks": rec.get("recovery_ticks", -1),
+        "rf_restore_ticks": (restored_at - restart_tick
+                             if restored_at is not None
+                             and restart_tick is not None else -1),
+    }
 
 
 def scaling_bench(node_counts=SCALE_NODE_COUNTS, seed: int = 1,
@@ -105,4 +182,5 @@ def scaling_bench(node_counts=SCALE_NODE_COUNTS, seed: int = 1,
             "num_keys": WorkloadProfile().num_keys,
         },
         "series": series,
+        "recovery": recovery_bench(seed=seed),
     }

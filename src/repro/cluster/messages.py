@@ -15,10 +15,14 @@ node → client
     plus the responder's membership epoch.
 
 node → node
-    ``hb`` — failure-detector heartbeat; ``repl`` / ``repl-ack`` — the
+    ``hb`` — failure-detector heartbeat (now carrying the sender's
+    ``state``: serving or recovering); ``repl`` / ``repl-ack`` — the
     primary forwarding one write to a replica and the replica's
     acknowledgement; ``sync`` / ``sync-ack`` — version-guarded bulk
-    catch-up after a membership change (re-replication).
+    catch-up after a membership change (re-replication); ``join`` /
+    ``join-ack`` — a restarted node's epoch-catch-up handshake;
+    ``pull`` / ``pull-done`` — the rejoiner asking each live peer for
+    the entries it will own, and the peer's end-of-transfer marker.
 """
 
 from __future__ import annotations
@@ -28,7 +32,8 @@ import json
 #: Message kinds a node accepts from clients.
 CLIENT_KINDS = ("put", "get", "del", "ring")
 #: Message kinds exchanged between nodes.
-PEER_KINDS = ("hb", "repl", "repl-ack", "sync", "sync-ack")
+PEER_KINDS = ("hb", "repl", "repl-ack", "sync", "sync-ack",
+              "join", "join-ack", "pull", "pull-done")
 #: Message kinds a client accepts from nodes.
 REPLY_KINDS = ("resp", "ring-resp")
 
@@ -37,6 +42,11 @@ ALL_KINDS = CLIENT_KINDS + PEER_KINDS + REPLY_KINDS
 #: Errors a ``resp`` may carry.
 ERR_NOT_PRIMARY = "not-primary"
 ERR_NO_KEY = "no-key"
+#: Typed *retryable* errors: the request was refused, not lost — the
+#: gateway backs off (exponentially, with seeded jitter) and retries.
+ERR_DEGRADED = "degraded"      # primary cannot reach its full group
+ERR_RECOVERING = "recovering"  # node is replaying/rejoining, not serving
+RETRYABLE_ERRS = (ERR_DEGRADED, ERR_RECOVERING)
 
 
 class ClusterMsgError(Exception):

@@ -83,10 +83,14 @@ class WorkloadReport:
     redirects: int = 0
     retries: int = 0
     kills: int = 0
+    restarts: int = 0
+    gaveup: int = 0
     sim_ns: int = 0
     latency: dict = field(default_factory=dict)  # op -> snapshot dict
     ryw_violations: list = field(default_factory=list)
     lost_acked_writes: list = field(default_factory=list)
+    gaveup_ops: list = field(default_factory=list)  # typed give-up records
+    recovery: list = field(default_factory=list)    # per-restart facts
     audited_keys: int = 0
 
     @property
@@ -104,8 +108,9 @@ class WorkloadReport:
         lines = [
             f"cluster workload: {self.num_nodes} nodes rf={self.rf} "
             f"seed={self.profile.seed}: {self.acked}/{self.issued} acked, "
-            f"{self.failed} failed, {self.undrained} undrained, "
-            f"{self.kills} kills",
+            f"{self.failed} failed ({self.gaveup} gave up), "
+            f"{self.undrained} undrained, "
+            f"{self.kills} kills, {self.restarts} restarts",
             f"  throughput {self.throughput_ops_per_s:,.0f} ops/s over "
             f"{self.sim_ns / 1e6:.3f} ms simulated "
             f"({self.retries} retries, {self.redirects} redirects)",
@@ -120,6 +125,20 @@ class WorkloadReport:
             f"  audit: {self.audited_keys} acked keys re-read, "
             f"{len(self.lost_acked_writes)} lost, "
             f"{len(self.ryw_violations)} read-your-writes violations")
+        for rec in self.recovery:
+            ticks = rec.get("recovery_ticks")
+            lines.append(
+                f"  recovery: {rec['node']} restarted at t={rec['restarted_at']}, "
+                f"fsck issues={rec['fsck_issues']}, "
+                f"replayed {rec['replayed_records']} wal records, "
+                f"{rec['recovered_keys']} keys, "
+                + (f"serving after {ticks} ticks"
+                   if ticks is not None else "NOT SERVING"))
+        for record in self.gaveup_ops[:5]:
+            lines.append(
+                f"  GAVEUP: {record['op']} {record['key']} "
+                f"(client {record['client']}, {record['attempts']} attempts, "
+                f"last error: {record['reason']})")
         for problem in self.lost_acked_writes[:5]:
             lines.append(f"  LOST: {problem}")
         for problem in self.ryw_violations[:5]:
@@ -129,8 +148,13 @@ class WorkloadReport:
 
 def run_workload(deployment: Deployment, profile: WorkloadProfile,
                  kill_at_op: int | None = None,
-                 kill_node: str | None = None) -> WorkloadReport:
-    """Drive one open-loop run (plus drain and audit) to completion."""
+                 kill_node: str | None = None,
+                 restart_at_op: int | None = None) -> WorkloadReport:
+    """Drive one open-loop run (plus drain and audit) to completion.
+
+    `kill_at_op` fail-stops `kill_node` at that arrival index;
+    `restart_at_op` (a later index) boots its replacement from the dead
+    disk's image mid-workload, so recovery contends with live traffic."""
     rng = random.Random(f"{profile.seed}/arrivals")
     zipf = ZipfSampler(profile.num_keys, profile.zipf_theta,
                        random.Random(f"{profile.seed}/zipf"))
@@ -146,6 +170,10 @@ def run_workload(deployment: Deployment, profile: WorkloadProfile,
             if kill_at_op is not None and issued == kill_at_op \
                     and kill_node is not None:
                 deployment.kill(kill_node)
+            if restart_at_op is not None and issued == restart_at_op \
+                    and kill_node is not None \
+                    and not deployment.nodes[kill_node].alive:
+                deployment.restart(kill_node)
             key = f"k{zipf.sample()}"
             client = rng.randrange(profile.num_clients)
             which = rng.random()
@@ -182,8 +210,11 @@ def run_workload(deployment: Deployment, profile: WorkloadProfile,
         redirects=gateway.redirects.value,
         retries=gateway.retries.value,
         kills=deployment.kills.value,
+        restarts=deployment.restarts.value,
+        gaveup=gateway.giveups.value,
         sim_ns=arrivals_ns,
         ryw_violations=list(gateway.ryw_violations),
+        gaveup_ops=list(gateway.gaveup),
     )
     for op, hist in gateway.latency.items():
         report.latency[op] = hist.snapshot() if hist.count else {
@@ -201,4 +232,5 @@ def run_workload(deployment: Deployment, profile: WorkloadProfile,
     gateway.outstanding.clear()
     report.lost_acked_writes = gateway.audit_losses()
     report.audited_keys = len(audit_keys)
+    report.recovery = deployment.recovery_info()
     return report

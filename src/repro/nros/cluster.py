@@ -26,6 +26,23 @@ class Cluster:
         self.kernels.append(kernel)
         return kernel
 
+    def remove(self, kernel: Kernel) -> None:
+        """Unplug one machine: drop it and every cable touching it.
+
+        This is the physical half of a node restart — the deployment
+        layer removes the dead kernel, boots a replacement from the dead
+        disk's image, and re-cables it with :meth:`connect`."""
+        if kernel not in self.kernels:
+            raise ValueError(f"kernel {kernel.hostname!r} is not in "
+                             f"this cluster")
+        self.kernels.remove(kernel)
+        dead = [link for a, b, link in self._links_by_pair
+                if a is kernel or b is kernel]
+        self._links_by_pair = [(a, b, link) for a, b, link
+                               in self._links_by_pair
+                               if a is not kernel and b is not kernel]
+        self.links = [link for link in self.links if link not in dead]
+
     def connect(self, a: Kernel, b: Kernel, drop_rate: float = 0.0,
                 seed: int = 0, fault_plan=None) -> Link:
         """Cable two machines together and teach them each other's MAC.

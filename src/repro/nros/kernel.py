@@ -91,6 +91,7 @@ class Kernel:
         ip: int | None = None,
         mac: bytes | None = None,
         hostname: str = "nros",
+        disk_image: bytes | None = None,
     ) -> None:
         self.hostname = hostname
         self.num_cores = num_cores
@@ -104,7 +105,13 @@ class Kernel:
         self.irq = InterruptController()
         self.timer.irq_line = self.irq.line(0)
         self.block_driver = BlockDriver(self.disk, irq_line=self.irq.line(2))
-        self.fs = fsmod.FileSystem.mkfs(self.block_driver)
+        if disk_image is not None:
+            # a machine restarting after power loss: restore the platter
+            # image and *mount* the surviving filesystem instead of mkfs
+            self.disk.restore(disk_image)
+            self.fs = fsmod.FileSystem(self.block_driver)
+        else:
+            self.fs = fsmod.FileSystem.mkfs(self.block_driver)
         self.console = Console(self.serial)
         self.nic: Nic | None = None
         self.net: NetStack | None = None

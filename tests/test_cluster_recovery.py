@@ -1,0 +1,148 @@
+"""Crash-restart: a killed node rejoins from its WAL without breaking
+the service contract — plus the degraded/recovering refusal paths and
+the seeded jitter that keeps all of it deterministic."""
+
+import pytest
+
+from repro.cluster import messages as msg
+from repro.cluster.deploy import Deployment
+from repro.cluster.harness import recovery_bench, run_cluster
+from repro.cluster.node import HB_EVERY, HB_TIMEOUT
+from repro.cluster.workload import WorkloadProfile
+from repro.faults.cluster import run_wal_crash_matrix
+from repro.obs.registry import Registry
+
+
+def _profile(ops=400, seed=1):
+    return WorkloadProfile(ops=ops, seed=seed)
+
+
+def _capture_responses(node):
+    captured = []
+    node._respond = lambda client, message: captured.append(message)
+    return captured
+
+
+# -- kill + restart end to end ---------------------------------------------
+
+
+def test_kill_and_restart_preserves_every_acked_write():
+    deployment, report = run_cluster(
+        num_nodes=3, rf=2, profile=_profile(),
+        kill_at_op=100, kill_node="node1", restart_at_op=200)
+    assert report.ok, report.summary_lines()
+    assert report.kills == 1 and report.restarts == 1
+    assert report.lost_acked_writes == []
+    assert report.ryw_violations == []
+    # the restarted node came back through fsck + WAL replay and serves
+    [rec] = report.recovery
+    assert rec["node"] == "node1"
+    assert rec["fsck_issues"] == 0
+    assert rec["replayed_records"] > 0
+    assert rec["serving"] and rec["recovery_ticks"] is not None
+    assert deployment.nodes["node1"].state == "serving"
+    assert sorted(deployment.serving_nodes) == ["node0", "node1", "node2"]
+
+
+def test_crash_restart_is_deterministic_under_its_seed():
+    def one_run():
+        _, report = run_cluster(
+            num_nodes=3, rf=2, profile=_profile(),
+            kill_at_op=100, kill_node="node1", restart_at_op=200)
+        return report
+
+    first, second = one_run(), one_run()
+    assert first.summary_lines() == second.summary_lines()
+    assert first.recovery == second.recovery
+    assert first.latency == second.latency
+
+
+def test_recovery_bench_measures_replay_and_rf_restore():
+    payload = recovery_bench(seed=1, ops=400)
+    assert payload["lost_acked_writes"] == 0
+    assert payload["ryw_violations"] == 0
+    assert payload["undrained"] == 0
+    assert payload["fsck_issues"] == 0
+    assert payload["serving"]
+    assert payload["replayed_records"] > 0
+    assert payload["recovery_ticks"] >= 0
+    # every acked write is back on all rf owners at some finite tick
+    assert payload["rf_restore_ticks"] >= payload["recovery_ticks"] >= 0
+
+
+# -- seeded jitter ----------------------------------------------------------
+
+
+def test_heartbeat_jitter_is_seeded_not_wallclock():
+    def schedules(seed):
+        deployment = Deployment(3, rf=2, registry=Registry(), seed=seed)
+        deployment.run_ticks(150)
+        return [deployment.nodes[n]._hb_due for n in sorted(deployment.nodes)]
+
+    assert schedules(1) == schedules(1)          # same seed: same timers
+    assert schedules(1) != schedules(2)          # seed moves the jitter
+
+
+# -- recovering / degraded refusal paths -----------------------------------
+
+
+def test_recovering_node_refuses_reads_and_writes_mid_sync():
+    deployment = Deployment(3, rf=2, registry=Registry(), seed=1)
+    deployment.run_ticks(100)
+    deployment.kill("node1")
+    node = deployment.restart("node1")
+    assert node.state == "recovering"
+    captured = _capture_responses(node)
+    node._handle({"kind": "get", "req": 1, "key": "k", "client": 7},
+                 ("client", 1), deployment.now)
+    node._handle({"kind": "put", "req": 2, "key": "k", "value": "v",
+                  "client": 7}, ("client", 1), deployment.now)
+    assert [r["err"] for r in captured] == [msg.ERR_RECOVERING] * 2
+    assert all(r["ok"] is False for r in captured)
+    # ring queries are dropped outright: a recovering node must not
+    # hand the gateway its stale (single-member) view
+    node._handle({"kind": "ring", "req": 3}, ("gateway", 0), deployment.now)
+    assert len(captured) == 2
+
+
+def test_write_to_underreplicated_group_is_typed_degraded():
+    deployment = Deployment(3, rf=3, registry=Registry(), seed=1)
+    deployment.run_ticks(100)
+    deployment.kill("node1")
+    deployment.kill("node2")
+    deployment.run_ticks(HB_TIMEOUT + 2 * HB_EVERY)   # node0 notices
+    node = deployment.nodes["node0"]
+    assert node.ring.nodes == ["node0"]
+    captured = _capture_responses(node)
+    node._handle({"kind": "put", "req": 1, "key": "k", "value": "v",
+                  "client": 7}, ("client", 1), deployment.now)
+    [resp] = captured
+    assert resp["ok"] is False and resp["err"] == msg.ERR_DEGRADED
+    assert msg.ERR_DEGRADED in msg.RETRYABLE_ERRS
+
+
+def test_exhausted_retries_surface_as_typed_giveups(monkeypatch):
+    # 2 nodes at rf=2: killing one leaves every write under-replicated,
+    # so retries burn through the (shrunken) attempt budget
+    monkeypatch.setattr("repro.cluster.client.MAX_ATTEMPTS", 3)
+    _, report = run_cluster(num_nodes=2, rf=2, profile=_profile(ops=200),
+                            kill_at_op=50, kill_node="node1")
+    assert report.gaveup > 0
+    assert report.failed >= report.gaveup
+    for record in report.gaveup_ops:
+        assert record["attempts"] > 3
+        assert record["reason"] in (msg.ERR_DEGRADED, msg.ERR_RECOVERING,
+                                    "timeout")
+        assert record["op"] in ("put", "get", "del")
+    # but nothing acked was lost: give-up is a client-visible typed
+    # failure, never a silent drop of an acknowledged write
+    assert report.lost_acked_writes == []
+
+
+# -- the WAL-boundary crash matrix (cluster level) -------------------------
+
+
+def test_wal_crash_matrix_smoke_every_boundary_recovers():
+    matrix = run_wal_crash_matrix(seed=1, ops=16, compact_every=4)
+    assert matrix.crash_points > 0
+    assert matrix.ok, matrix.violations
