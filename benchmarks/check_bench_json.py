@@ -47,6 +47,8 @@ SCHEMAS: dict[str, dict[str, type | tuple]] = {
     "fig1c": {"impl_cost_ratio": (int, float), "series": dict},
     "cluster": {"quick": bool, "seed": int, "profile": dict,
                 "series": dict, "recovery": dict},
+    "sched": {"quick": bool, "seed": int, "profile": dict,
+              "series": dict, "fairness": dict},
 }
 
 #: Required keys of every per-node-count entry of the cluster series.
@@ -61,6 +63,16 @@ _CLUSTER_RECOVERY_KEYS = ("acked", "gaveup", "undrained",
                           "fsck_issues", "replayed_records",
                           "recovered_keys", "recovery_ticks",
                           "rf_restore_ticks")
+
+#: Required numeric keys of every per-core-count entry of the sched
+#: series (workload metrics + the scheduler's own counters).
+_SCHED_ENTRY_KEYS = ("cores", "ticks", "quanta", "sim_ns",
+                     "throughput_qps", "context_switches", "migrations",
+                     "steals", "preemptions", "rt_throttles")
+
+#: The fairness gate: achieved CPU shares must track the nice-weight
+#: ideal within this relative error on every run.
+_SCHED_FAIRNESS_LIMIT = 0.05
 
 
 def _fail(message: str) -> None:
@@ -130,6 +142,39 @@ def validate_schema(document: dict) -> None:
             if recovery[key] < 0:
                 _fail(f"cluster: recovery.{key} = {recovery[key]} "
                       f"(recovery never completed)")
+    if bench == "sched":
+        if not document["series"]:
+            _fail("sched: empty series")
+        for count, entry in sorted(document["series"].items(),
+                                   key=lambda kv: int(kv[0])):
+            for key in _SCHED_ENTRY_KEYS:
+                if not isinstance(entry.get(key), (int, float)):
+                    _fail(f"sched: series[{count}].{key} missing or "
+                          f"non-numeric ({entry.get(key)!r})")
+            for kind in ("interactive", "rt"):
+                for field in ("count", "p50_ns", "p99_ns"):
+                    if not isinstance(entry.get(kind, {}).get(field),
+                                      (int, float)):
+                        _fail(f"sched: series[{count}].{kind}.{field} "
+                              f"missing or non-numeric")
+        # the core-scaling contract: throughput must be monotone from
+        # 1 to 4 cores (8 may flatten once the workload is saturated)
+        series = document["series"]
+        for lower, upper in (("1", "2"), ("2", "4")):
+            if lower in series and upper in series:
+                low = series[lower]["throughput_qps"]
+                high = series[upper]["throughput_qps"]
+                if high < low:
+                    _fail(f"sched: throughput not monotone: {upper} "
+                          f"cores {high:.0f} qps < {lower} cores "
+                          f"{low:.0f} qps")
+        fairness = document["fairness"]
+        error = fairness.get("max_rel_error")
+        if not isinstance(error, (int, float)):
+            _fail("sched: fairness.max_rel_error missing or non-numeric")
+        if error > _SCHED_FAIRNESS_LIMIT:
+            _fail(f"sched: fairness error {error:.4f} exceeds "
+                  f"{_SCHED_FAIRNESS_LIMIT}")
 
 
 def compare_cluster_to_baseline(document: dict,
@@ -177,10 +222,48 @@ def compare_cluster_to_baseline(document: dict,
     return lines
 
 
+def compare_sched_to_baseline(document: dict,
+                              baseline: dict) -> list[str]:
+    """Sched regression gates: monotone scaling and fairness are exact
+    (schema-checked); per-core throughput and interactive p99 get loose
+    factor gates, comparable only when ``quick`` matches."""
+    lines = []
+    if document.get("quick") != baseline.get("quick"):
+        lines.append("quick flag differs from baseline; "
+                     "skipping throughput/latency gates")
+        return lines
+    for count in sorted(baseline.get("series", {}), key=int):
+        base = baseline["series"][count]
+        entry = document.get("series", {}).get(count)
+        if entry is None:
+            _fail(f"sched: baseline core count {count} missing from run")
+        lines.append(
+            f"{count} cores: {entry['throughput_qps']:.0f} qps "
+            f"(baseline {base['throughput_qps']:.0f}), interactive p99 "
+            f"{entry['interactive']['p99_ns']:.0f}ns "
+            f"(baseline {base['interactive']['p99_ns']:.0f}ns)")
+        if entry["throughput_qps"] * 2 < base["throughput_qps"]:
+            _fail(f"sched: throughput at {count} cores collapsed: "
+                  f"{entry['throughput_qps']:.0f} qps vs baseline "
+                  f"{base['throughput_qps']:.0f} qps")
+        now = entry["interactive"]["p99_ns"]
+        then = base["interactive"]["p99_ns"]
+        if now > 4 * max(then, 1):
+            _fail(f"sched: interactive p99 at {count} cores regressed "
+                  f"more than 4x: {now:.0f}ns vs baseline {then:.0f}ns")
+    base_err = baseline.get("fairness", {}).get("max_rel_error")
+    if base_err is not None:
+        err = document["fairness"]["max_rel_error"]
+        lines.append(f"fairness error: {err:.4f} (baseline {base_err:.4f})")
+    return lines
+
+
 def compare_to_baseline(document: dict, baseline: dict) -> list[str]:
     """Deterministic-counter regression gates; returns report lines."""
     if document.get("bench") == "cluster":
         return compare_cluster_to_baseline(document, baseline)
+    if document.get("bench") == "sched":
+        return compare_sched_to_baseline(document, baseline)
     current = document.get("solver_counters", {})
     expected = baseline.get("solver_counters", {})
     lines = []

@@ -88,7 +88,7 @@ def _build_engine(layers: str, quick: bool):
     from repro.core.refine.proof import build_proof
 
     selected = {name for name in layers.split(",") if name}
-    known = {"all", "lemmas", "structural", "nr", "contract"}
+    known = {"all", "lemmas", "structural", "nr", "contract", "sched"}
     unknown = selected - known
     if unknown:
         raise SystemExit(f"unknown --layers {sorted(unknown)}; "
@@ -99,6 +99,7 @@ def _build_engine(layers: str, quick: bool):
         include_structural=everything or "structural" in selected,
         include_nr=everything or "nr" in selected,
         include_contract=everything or "contract" in selected,
+        include_sched=everything or "sched" in selected,
         scenario_depth=2 if quick else 3,
         scenario_cap=12 if quick else 60,
     )
@@ -269,6 +270,34 @@ def cluster(args) -> int:
                 err(f"cluster: {rec['node']} restarted but never "
                     f"returned to serving")
                 return 1
+        return 0
+    finally:
+        if writer is not None:
+            _stop_trace(writer)
+
+
+def sched(args) -> int:
+    """Run the multi-class scheduler workload / scaling benchmark."""
+    from repro.nros.sched import workload
+
+    writer = _start_trace(args.trace) if args.trace else None
+    try:
+        if args.bench:
+            payload = workload.scaling_bench(seed=args.seed)
+            out(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        profile = workload.default_profile(ticks=args.ticks)
+        metrics = workload.run_workload(args.cores, profile,
+                                        seed=args.seed,
+                                        record_trace=args.switch_trace)
+        trace_lines = metrics.pop("switch_trace", None)
+        out(f"sched: {args.cores} cores seed={args.seed} "
+            f"ticks={profile.ticks} ({profile.batch} batch + "
+            f"{profile.interactive} interactive + {profile.rt} rt)")
+        out(json.dumps(metrics, indent=2, sort_keys=True))
+        if trace_lines is not None:
+            for core, label in trace_lines:
+                out(f"  core{core} -> {label}")
         return 0
     finally:
         if writer is not None:
@@ -463,6 +492,26 @@ def main(argv=None) -> int:
                                 help="stream every obs event of the run "
                                      "into FILE (JSONL)")
 
+    sched_parser = sub.add_parser(
+        "sched",
+        help="run the multi-class scheduler under the mixed workload")
+    sched_parser.add_argument("--cores", type=int, default=4,
+                              help="runqueue count (default 4)")
+    sched_parser.add_argument("--seed", type=int, default=1,
+                              help="workload seed (default 1)")
+    sched_parser.add_argument("--ticks", type=int, default=None,
+                              help="workload ticks (default 6000, 1500 "
+                                   "under REPRO_BENCH_QUICK)")
+    sched_parser.add_argument("--bench", action="store_true",
+                              help="run the 1/2/4/8-core scaling "
+                                   "benchmark and print its JSON")
+    sched_parser.add_argument("--switch-trace", action="store_true",
+                              help="print the per-core context-switch "
+                                   "trace after the metrics")
+    sched_parser.add_argument("--trace", default=None, metavar="FILE",
+                              help="stream every obs event of the run "
+                                   "into FILE (JSONL)")
+
     trace_parser = sub.add_parser(
         "trace", help="inspect/validate JSONL trace files")
     trace_sub = trace_parser.add_subparsers(dest="trace_command",
@@ -478,6 +527,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "cluster":
         return cluster(args)
+    if args.command == "sched":
+        return sched(args)
     if args.command == "faults":
         return faults(args)
     if args.command == "trace":

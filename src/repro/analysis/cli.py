@@ -67,30 +67,55 @@ def run_analysis(root=None, skip=(), seeds=None, max_steps: int = 200_000,
     apply_suppressions(report.findings, sources)
 
     if "race" not in skip:
+        from repro.analysis.sched_race import (SCHED_MUTANTS,
+                                               detect_sched_races)
+
         if seeds is None:
             seeds = RACE_SEEDS_QUICK if quick else RACE_SEEDS
         nr_factory = None
+        sched_protocol = None
+        run_nr = run_sched = mutant is None
         if mutant is not None:
             from repro.analysis.mutants import MUTANTS
             from repro.nr.datastructures import KvStore
 
-            if mutant not in MUTANTS:
-                raise SystemExit(f"unknown --mutant {mutant!r}; choose from "
-                                 f"{sorted(MUTANTS)}")
-            cls = MUTANTS[mutant]
-            nr_factory = lambda: cls(KvStore, num_nodes=2)  # noqa: E731
-        race_report = detect_races(seeds, nr_factory=nr_factory,
-                                   scripts=default_scripts(),
-                                   max_steps=max_steps)
-        for race in race_report.races:
-            report.findings.append(_race_finding(race, mutant))
-        report.stats["race"] = {
-            "schedules": race_report.schedules,
-            "steps": race_report.steps,
-            "accesses": race_report.accesses,
-            "races": len(race_report.races),
-            "target": mutant or "nr-protocol",
-        }
+            if mutant in MUTANTS:
+                cls = MUTANTS[mutant]
+                nr_factory = lambda: cls(KvStore, num_nodes=2)  # noqa: E731
+                run_nr = True
+            elif mutant in SCHED_MUTANTS:
+                sched_protocol = SCHED_MUTANTS[mutant]
+                run_sched = True
+            else:
+                raise SystemExit(
+                    f"unknown --mutant {mutant!r}; choose from "
+                    f"{sorted(MUTANTS) + sorted(SCHED_MUTANTS)}")
+        if run_nr:
+            race_report = detect_races(seeds, nr_factory=nr_factory,
+                                       scripts=default_scripts(),
+                                       max_steps=max_steps)
+            for race in race_report.races:
+                report.findings.append(_race_finding(race, mutant))
+            report.stats["race"] = {
+                "schedules": race_report.schedules,
+                "steps": race_report.steps,
+                "accesses": race_report.accesses,
+                "races": len(race_report.races),
+                "target": mutant or "nr-protocol",
+            }
+        if run_sched:
+            kwargs = ({"protocol_cls": sched_protocol}
+                      if sched_protocol is not None else {})
+            sched_report = detect_sched_races(seeds, **kwargs)
+            for race in sched_report.races:
+                report.findings.append(_sched_race_finding(race, mutant))
+            report.stats["race_sched"] = {
+                "schedules": sched_report.schedules,
+                "steps": sched_report.steps,
+                "accesses": sched_report.accesses,
+                "races": len(sched_report.races),
+                "target": mutant or "sched-protocol",
+            }
     return report
 
 
@@ -101,6 +126,17 @@ def _race_finding(race, mutant):
     return Finding(rule="race.unordered-access",
                    path="src/repro/nr/core.py" if not mutant
                         else "src/repro/analysis/mutants.py",
+                   line=1,
+                   message=f"[{source}] {race.render()}")
+
+
+def _sched_race_finding(race, mutant):
+    from repro.analysis.findings import Finding
+
+    source = f"mutant:{mutant}" if mutant else "repro.nros.sched protocol"
+    return Finding(rule="race.unordered-access",
+                   path="src/repro/nros/sched/smp.py" if not mutant
+                        else "src/repro/analysis/sched_race.py",
                    line=1,
                    message=f"[{source}] {race.render()}")
 
@@ -178,8 +214,8 @@ RULES = {
     "console.bare-print":
         "bare print() outside repro.obs.console",
     "race.unordered-access":
-        "two conflicting NR step accesses with no happens-before edge "
-        "and no common lock",
+        "two conflicting protocol step accesses (NR or SMP runqueue) "
+        "with no happens-before edge and no common lock",
     "parse-error":
         "a source file failed to parse",
 }

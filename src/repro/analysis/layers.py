@@ -74,6 +74,10 @@ LAYER_MAP = [
     # linear.py is the *dynamic* ownership checker the kernel runs in
     # debug builds: exec-support at runtime, proof lines for the ratio.
     ("src/repro/verif/linear.py", "exec", "proof"),
+    # the scheduler spec is a first-class spec module (pure state
+    # machine + invariants); its proof module stays in the proof layer
+    ("src/repro/verif/schedspec.py", "spec", None),
+    ("src/repro/verif/schedproof.py", "proof", None),
     ("src/repro/verif", "proof", None),
     ("src/repro/smt", "proof", None),
     # prover is tooling around the proof (scheduler, cache): its lines
@@ -86,6 +90,9 @@ LAYER_MAP = [
     ("src/repro/nr", "exec", None),
     # -- the executable system --------------------------------------------------
     ("src/repro/hw", "exec", None),
+    # the multi-class scheduler (runqueues, SMP protocol) is kernel
+    # code; listed explicitly because the sched CI job audits it by name
+    ("src/repro/nros/sched", "exec", None),
     ("src/repro/nros", "exec", None),
     ("src/repro/ulib", "exec", None),
     ("src/repro/apps", "exec", None),

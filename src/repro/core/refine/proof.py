@@ -860,6 +860,7 @@ def build_proof(
     include_structural: bool = True,
     include_nr: bool = True,
     include_contract: bool = True,
+    include_sched: bool = False,
     scenario_depth: int = 3,
     scenario_cap: int = 60,
 ) -> ProofEngine:
@@ -879,6 +880,7 @@ def build_proof(
         "include_structural": include_structural,
         "include_nr": include_nr,
         "include_contract": include_contract,
+        "include_sched": include_sched,
         "scenario_depth": scenario_depth,
         "scenario_cap": scenario_cap,
     })
@@ -943,5 +945,11 @@ def build_proof(
 
         for vc in contract_vcs():
             engine.add(vc, group="contract")
+
+    if include_sched:
+        from repro.verif.schedproof import scheduler_vcs
+
+        for vc in scheduler_vcs():
+            engine.add(vc, group="scheduler")
 
     return engine

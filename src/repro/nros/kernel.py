@@ -400,6 +400,8 @@ class Kernel:
             "sigwait": self._sys_sigwait,
             "sigpending": self._sys_sigpending,
             "setpriority": self._sys_setpriority,
+            "sched_setscheduler": self._sys_sched_setscheduler,
+            "sched_getscheduler": self._sys_sched_getscheduler,
             "spawn": self._sys_spawn,
             "wait": self._sys_wait,
             "exit": self._sys_exit,
@@ -787,6 +789,22 @@ class Kernel:
             self.scheduler.set_priority(thread, priority)
         except ValueError as exc:
             raise _SyscallFailure(abi.EINVAL, str(exc)) from exc
+
+    def _sys_sched_setscheduler(self, thread: Thread, policy: str,
+                                param: int = 0) -> None:
+        """Switch the calling thread's scheduling class.  ``param`` is
+        the nice level for ``"fair"``, the RT priority for ``"fifo"``
+        and ``"rr"``."""
+        try:
+            if policy == "fair":
+                self.scheduler.set_policy(thread, policy, nice=param)
+            else:
+                self.scheduler.set_policy(thread, policy, rt_prio=param)
+        except ValueError as exc:
+            raise _SyscallFailure(abi.EINVAL, str(exc)) from exc
+
+    def _sys_sched_getscheduler(self, thread: Thread) -> tuple:
+        return self.scheduler.policy_of(thread)
 
     def _sys_yield(self, thread: Thread) -> None:
         return None

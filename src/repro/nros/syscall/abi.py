@@ -50,6 +50,8 @@ SYSCALLS = {
     "sigwait": 42,
     "sigpending": 43,
     "setpriority": 44,
+    "sched_setscheduler": 45,
+    "sched_getscheduler": 46,
     # synchronization
     "futex_wait": 40,
     "futex_wake": 41,

@@ -46,7 +46,11 @@ def test_layer_map_pins_the_interesting_boundaries():
     assert classify_layer("src/repro/nr/core.py") == "exec"
     assert classify_layer("src/repro/nr/linearizability.py") == "proof"
     assert classify_layer("src/repro/nros/kernel.py") == "exec"
+    assert classify_layer("src/repro/nros/sched/smp.py") == "exec"
     assert classify_layer("src/repro/verif/contracts.py") == "proof"
+    assert classify_layer("src/repro/verif/schedspec.py") == "spec"
+    assert classify_layer("src/repro/verif/schedproof.py") == "proof"
+    assert classify_layer("src/repro/analysis/sched_race.py") == "other"
     assert classify_layer("src/repro/immutable.py") == "other"
 
 
