@@ -79,6 +79,65 @@ def calibrate_impl_cost(ops: int = 400, trials: int = 5) -> dict:
     }
 
 
+def vspace_obs_probe(pages: int = 64, batch: int = 16) -> dict:
+    """Drive a short batched map/unmap workload on the *real* VSpace and
+    return the deltas the process-wide ``repro.obs`` instruments record.
+
+    Figures 1b/1c price map/unmap on the timed NR model; this probe runs
+    the same operation shapes through ``repro.nros.vspace`` so each
+    figure's JSON also carries the observable side the model abstracts:
+    shootdown rounds and pages, the mapped-page gauge, and the batch-size
+    histogram.  The deltas double as a consistency check — one shootdown
+    round per unmap batch, shot pages equal to pages unmapped, and the
+    gauge back at its starting level once everything is unmapped.
+    """
+    from repro import obs
+    from repro.core.pt.defs import Flags, PageSize
+    from repro.hw.mem import PhysicalMemory
+    from repro.nros.pmem import BuddyAllocator
+    from repro.nros.vspace import VSpace
+
+    if pages % batch:
+        raise ValueError("pages must be a multiple of batch")
+    MB = 1024 * 1024
+    rounds = obs.counter("vspace.shootdown_rounds")
+    shot = obs.counter("vspace.shootdown_pages")
+    mapped = obs.gauge("vspace.mapped_pages")
+    batch_hist = obs.histogram("vspace.batch_pages")
+    before = (rounds.value, shot.value, mapped.value, batch_hist.count)
+
+    memory = PhysicalMemory(16 * MB)
+    allocator = BuddyAllocator(memory, start=8 * MB)
+    vspace = VSpace(memory, allocator, num_nodes=2)
+    for core in range(4):
+        vspace.attach_core(core, core % 2)
+    flags = Flags.user_rw()
+    for index in range(pages // batch):
+        base = 0x40_0000 + index * batch * 0x1000
+        entries = [(base + i * 0x1000, 0x10_0000 + i * 0x1000,
+                    PageSize.SIZE_4K, flags) for i in range(batch)]
+        vspace.map_batch(entries, core=index % 4)
+        vspace.unmap_batch([vaddr for vaddr, _, _, _ in entries],
+                           core=index % 4)
+
+    probe = {
+        "pages": pages,
+        "batch": batch,
+        "shootdown_rounds": rounds.value - before[0],
+        "shootdown_pages": shot.value - before[1],
+        "mapped_pages_gauge_delta": mapped.value - before[2],
+        "batch_pages_recorded": batch_hist.count - before[3],
+        "batch_pages_p50": batch_hist.percentile(50),
+    }
+    assert probe["shootdown_rounds"] == pages // batch
+    assert probe["shootdown_pages"] == pages
+    assert probe["mapped_pages_gauge_delta"] == 0
+    # one batch_pages sample per map_batch plus one per unmap_batch
+    assert probe["batch_pages_recorded"] == 2 * (pages // batch)
+    assert vspace.shootdowns == probe["shootdown_rounds"]
+    return probe
+
+
 CORE_COUNTS = (1, 8, 16, 24, 28)
 
 # Base simulated cost (ns) of applying one page-table operation on a

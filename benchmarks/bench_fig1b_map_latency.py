@@ -17,6 +17,7 @@ from benchmarks._common import (
     OPS_PER_CORE,
     calibrate_impl_cost,
     report_lines,
+    vspace_obs_probe,
     write_bench_json,
 )
 from repro.nr.datastructures import VSpaceModel
@@ -79,7 +80,16 @@ def test_fig1b_map_latency(benchmark, calibration, capsys):
             u.latency.mean_us, 2)
         benchmark.extra_info[f"verified_us_{cores}"] = round(
             v.latency.mean_us, 2)
+    # cross-check against the real VSpace: the obs registry must account
+    # for every batched map the model prices (gauge returns to baseline,
+    # one batch_pages sample per batch)
+    probe = vspace_obs_probe(pages=64, batch=16)
     lines += [
+        "",
+        f"  real-VSpace obs probe: mapped {probe['pages']} pages in "
+        f"batches of {probe['batch']}; batch_pages samples "
+        f"{probe['batch_pages_recorded']}, gauge delta "
+        f"{probe['mapped_pages_gauge_delta']}",
         "",
         "  paper shape: latency grows with contending cores "
         "(~5 us -> ~60 us at 28); verified closely matches unverified",
@@ -97,6 +107,7 @@ def test_fig1b_map_latency(benchmark, calibration, capsys):
             }
             for cores in CORE_COUNTS
         },
+        "vspace_obs": probe,
     })
 
     # shape assertions: monotone growth, and verified within 60% of

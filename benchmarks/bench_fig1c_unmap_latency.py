@@ -15,6 +15,7 @@ from benchmarks._common import (
     OPS_PER_CORE,
     calibrate_impl_cost,
     report_lines,
+    vspace_obs_probe,
     write_bench_json,
 )
 from repro.nr.datastructures import VSpaceModel
@@ -78,7 +79,15 @@ def test_fig1c_unmap_latency(benchmark, calibration, capsys):
         )
         benchmark.extra_info[f"unverified_us_{cores}"] = round(u.mean_us, 2)
         benchmark.extra_info[f"verified_us_{cores}"] = round(v.mean_us, 2)
+    # cross-check against the real VSpace: the shootdown cost this figure
+    # prices is observable in the obs registry — exactly one round per
+    # unmap batch, and every unmapped page appears in shootdown_pages
+    probe = vspace_obs_probe(pages=64, batch=16)
     lines += [
+        "",
+        f"  real-VSpace obs probe: {probe['shootdown_rounds']} shootdown "
+        f"rounds for {probe['shootdown_pages']} pages unmapped in "
+        f"batches of {probe['batch']} (one round per batch)",
         "",
         "  paper shape: same growth as map plus shootdown overhead; "
         "verified closely matches unverified",
@@ -98,6 +107,7 @@ def test_fig1c_unmap_latency(benchmark, calibration, capsys):
             }
             for cores in CORE_COUNTS
         },
+        "vspace_obs": probe,
     })
 
     u_means = [unverified[c].kind("unmap").mean_us for c in CORE_COUNTS]

@@ -43,12 +43,17 @@ SCHEMAS: dict[str, dict[str, type | tuple]] = {
         "cache_hit_rate": (int, float),
         "solver_counters": dict,
     },
-    "fig1b": {"impl_cost_ratio": (int, float), "series": dict},
-    "fig1c": {"impl_cost_ratio": (int, float), "series": dict},
+    "fig1b": {"impl_cost_ratio": (int, float), "series": dict,
+              "vspace_obs": dict},
+    "fig1c": {"impl_cost_ratio": (int, float), "series": dict,
+              "vspace_obs": dict},
     "cluster": {"quick": bool, "seed": int, "profile": dict,
                 "series": dict, "recovery": dict},
     "sched": {"quick": bool, "seed": int, "profile": dict,
               "series": dict, "fairness": dict},
+    "ring": {"quick": bool, "iters": int, "batch": int, "pt_batch": int,
+             "proc_counts": list, "series": dict, "speedup": dict,
+             "ring_obs": dict},
 }
 
 #: Required keys of every per-node-count entry of the cluster series.
@@ -73,6 +78,18 @@ _SCHED_ENTRY_KEYS = ("cores", "ticks", "quanta", "sim_ns",
 #: The fairness gate: achieved CPU shares must track the nice-weight
 #: ideal within this relative error on every run.
 _SCHED_FAIRNESS_LIMIT = 0.05
+
+#: Required numeric keys of every (workload, procs, mode) ring cell.
+_RING_CELL_KEYS = ("procs", "ops", "wall_seconds", "ops_per_s", "p50_s",
+                   "p99_s", "ring_batches", "ring_sqes",
+                   "shootdown_rounds", "shootdown_rounds_obs")
+
+#: Ring deterministic counters compared exactly against the baseline.
+_RING_COUNT_KEYS = ("ops", "ring_batches", "ring_sqes", "shootdown_rounds")
+
+#: The headline ring gate: batched pt dispatch must beat trap-per-call
+#: by this factor at the highest process count.
+_RING_SPEEDUP_FLOOR = 3.0
 
 
 def _fail(message: str) -> None:
@@ -101,6 +118,26 @@ def validate_schema(document: dict) -> None:
                 if not isinstance(value, (int, float)):
                     _fail(f"fig1a: {block}.{key} missing or non-numeric "
                           f"({value!r})")
+    if bench in ("fig1b", "fig1c"):
+        # the real-VSpace probe riding along with the timed-model series:
+        # its obs deltas must tell the amortized-shootdown story exactly
+        probe = document["vspace_obs"]
+        for key in ("pages", "batch", "shootdown_rounds",
+                    "shootdown_pages", "mapped_pages_gauge_delta",
+                    "batch_pages_recorded"):
+            if not isinstance(probe.get(key), (int, float)):
+                _fail(f"{bench}: vspace_obs.{key} missing or non-numeric "
+                      f"({probe.get(key)!r})")
+        if probe["shootdown_rounds"] * probe["batch"] != probe["pages"]:
+            _fail(f"{bench}: vspace_obs paid {probe['shootdown_rounds']} "
+                  f"shootdown rounds for {probe['pages']} pages in "
+                  f"batches of {probe['batch']} (want one per batch)")
+        if probe["shootdown_pages"] != probe["pages"]:
+            _fail(f"{bench}: vspace_obs shot {probe['shootdown_pages']} "
+                  f"pages but unmapped {probe['pages']}")
+        if probe["mapped_pages_gauge_delta"] != 0:
+            _fail(f"{bench}: vspace_obs mapped_pages gauge drifted by "
+                  f"{probe['mapped_pages_gauge_delta']} (leaked mappings)")
     if bench == "cluster":
         if not document["series"]:
             _fail("cluster: empty series")
@@ -175,6 +212,66 @@ def validate_schema(document: dict) -> None:
         if error > _SCHED_FAIRNESS_LIMIT:
             _fail(f"sched: fairness error {error:.4f} exceeds "
                   f"{_SCHED_FAIRNESS_LIMIT}")
+    if bench == "ring":
+        series = document["series"]
+        if not series:
+            _fail("ring: empty series")
+        pt_batch = document["pt_batch"]
+        for kind, by_procs in sorted(series.items()):
+            for procs, cell in sorted(by_procs.items(), key=lambda kv:
+                                      int(kv[0])):
+                for mode in ("single", "batched"):
+                    entry = cell.get(mode)
+                    if entry is None:
+                        _fail(f"ring: series[{kind}][{procs}] missing "
+                              f"mode {mode!r}")
+                    for key in _RING_CELL_KEYS:
+                        if not isinstance(entry.get(key), (int, float)):
+                            _fail(f"ring: series[{kind}][{procs}]"
+                                  f".{mode}.{key} missing or non-numeric "
+                                  f"({entry.get(key)!r})")
+                    # the vspace attributes and the obs registry must
+                    # report the same shootdown story
+                    if entry["shootdown_rounds"] != \
+                            entry["shootdown_rounds_obs"]:
+                        _fail(f"ring: series[{kind}][{procs}].{mode} "
+                              f"shootdown accounting split: "
+                              f"{entry['shootdown_rounds']} vs obs "
+                              f"{entry['shootdown_rounds_obs']}")
+                # the single path never touches a ring; every batched op
+                # rode an SQE (pt: one map + one unmap SQE per pt_batch
+                # pages)
+                if cell["single"]["ring_sqes"] != 0:
+                    _fail(f"ring: series[{kind}][{procs}].single "
+                          f"dispatched {cell['single']['ring_sqes']} SQEs")
+                expected = (2 * cell["batched"]["ops"] // pt_batch
+                            if kind == "pt" else cell["batched"]["ops"])
+                if cell["batched"]["ring_sqes"] != expected:
+                    _fail(f"ring: series[{kind}][{procs}].batched "
+                          f"ring_sqes {cell['batched']['ring_sqes']} != "
+                          f"expected {expected}")
+        # the amortization contract: one shootdown round per page on the
+        # single path, one per pt_batch pages on the batched path
+        for procs, cell in series.get("pt", {}).items():
+            if cell["single"]["shootdown_rounds"] != cell["single"]["ops"]:
+                _fail(f"ring: pt single at {procs}p paid "
+                      f"{cell['single']['shootdown_rounds']} shootdown "
+                      f"rounds for {cell['single']['ops']} unmaps")
+            if cell["batched"]["shootdown_rounds"] != (
+                    cell["batched"]["ops"] // pt_batch):
+                _fail(f"ring: pt batched at {procs}p paid "
+                      f"{cell['batched']['shootdown_rounds']} shootdown "
+                      f"rounds, expected "
+                      f"{cell['batched']['ops'] // pt_batch}")
+        # the headline gate, re-checked on the artifact CI archives
+        max_procs = str(document["proc_counts"][-1])
+        speedup = document["speedup"].get("pt", {}).get(max_procs)
+        if not isinstance(speedup, (int, float)):
+            _fail(f"ring: speedup.pt[{max_procs}] missing")
+        if speedup < _RING_SPEEDUP_FLOOR:
+            _fail(f"ring: pt batched speedup {speedup:.2f} at "
+                  f"{max_procs} processes is below "
+                  f"{_RING_SPEEDUP_FLOOR}")
 
 
 def compare_cluster_to_baseline(document: dict,
@@ -258,12 +355,54 @@ def compare_sched_to_baseline(document: dict,
     return lines
 
 
+def compare_ring_to_baseline(document: dict, baseline: dict) -> list[str]:
+    """Ring regression gates: operation counts (ops, batches, SQEs,
+    shootdown rounds) are deterministic and must match the baseline
+    exactly; throughput gets a collapse gate only (factor 2), since
+    wall-clock varies across CI machines.  Comparable only when
+    ``quick`` matches."""
+    lines = []
+    if document.get("quick") != baseline.get("quick"):
+        lines.append("quick flag differs from baseline; "
+                     "skipping count/throughput gates")
+        return lines
+    for kind in sorted(baseline.get("series", {})):
+        for procs in sorted(baseline["series"][kind], key=int):
+            base = baseline["series"][kind][procs]
+            cell = document.get("series", {}).get(kind, {}).get(procs)
+            if cell is None:
+                _fail(f"ring: baseline cell {kind}/{procs}p missing "
+                      f"from run")
+            for mode in ("single", "batched"):
+                for key in _RING_COUNT_KEYS:
+                    now = cell[mode][key]
+                    then = base[mode][key]
+                    if now != then:
+                        _fail(f"ring: {kind}/{procs}p/{mode}.{key} = "
+                              f"{now}, baseline {then} (deterministic "
+                              f"count drifted)")
+                if cell[mode]["ops_per_s"] * 2 < base[mode]["ops_per_s"]:
+                    _fail(f"ring: {kind}/{procs}p/{mode} throughput "
+                          f"collapsed: {cell[mode]['ops_per_s']:.0f} "
+                          f"op/s vs baseline "
+                          f"{base[mode]['ops_per_s']:.0f}")
+        max_procs = sorted(baseline["series"][kind], key=int)[-1]
+        lines.append(
+            f"{kind} at {max_procs}p: batched "
+            f"{document['series'][kind][max_procs]['batched']['ops_per_s']:.0f} op/s "
+            f"(baseline "
+            f"{baseline['series'][kind][max_procs]['batched']['ops_per_s']:.0f})")
+    return lines
+
+
 def compare_to_baseline(document: dict, baseline: dict) -> list[str]:
     """Deterministic-counter regression gates; returns report lines."""
     if document.get("bench") == "cluster":
         return compare_cluster_to_baseline(document, baseline)
     if document.get("bench") == "sched":
         return compare_sched_to_baseline(document, baseline)
+    if document.get("bench") == "ring":
+        return compare_ring_to_baseline(document, baseline)
     current = document.get("solver_counters", {})
     expected = baseline.get("solver_counters", {})
     lines = []

@@ -422,7 +422,7 @@ def main(argv=None) -> int:
                                help="fault-plan seed (default 1)")
     faults_parser.add_argument("--campaign", default="all",
                                choices=["disk", "net", "mem", "prover",
-                                        "cluster", "all"],
+                                        "cluster", "ring", "all"],
                                help="which layer to attack (default all)")
     faults_parser.add_argument("--check-determinism", action="store_true",
                                help="run twice and require byte-identical "

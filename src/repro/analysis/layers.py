@@ -93,6 +93,9 @@ LAYER_MAP = [
     # the multi-class scheduler (runqueues, SMP protocol) is kernel
     # code; listed explicitly because the sched CI job audits it by name
     ("src/repro/nros/sched", "exec", None),
+    # the submission/completion ring (batched syscall dispatch) is
+    # kernel code; listed explicitly because the ring CI job audits it
+    ("src/repro/nros/syscall/ring.py", "exec", None),
     ("src/repro/nros", "exec", None),
     ("src/repro/ulib", "exec", None),
     ("src/repro/apps", "exec", None),

@@ -59,10 +59,10 @@ class PageSize(enum.IntEnum):
 
     @classmethod
     def for_level(cls, level: int) -> "PageSize":
-        for size in cls:
-            if size.level == level:
-                return size
-        raise ValueError(f"level {level} cannot map a page")
+        size = _SIZE_FOR_LEVEL.get(level)
+        if size is None:
+            raise ValueError(f"level {level} cannot map a page")
+        return size
 
 
 # Entry flag bits ------------------------------------------------------------
@@ -101,6 +101,15 @@ class Flags:
     @staticmethod
     def user_rx() -> "Flags":
         return Flags(writable=False, user=True, executable=True)
+
+
+# The walker visits a page-mapping entry at levels 1 (1 GiB), 2 (2 MiB),
+# and 3 (4 KiB); level 0 (PML4) never maps a page.
+_SIZE_FOR_LEVEL = {
+    1: PageSize.SIZE_1G,
+    2: PageSize.SIZE_2M,
+    3: PageSize.SIZE_4K,
+}
 
 
 def is_canonical(vaddr: int) -> bool:

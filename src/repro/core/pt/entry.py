@@ -83,6 +83,36 @@ def encode_page(frame_paddr: int, flags: Flags, level: int) -> int:
     return raw
 
 
+# Flags is frozen, so one instance per distinct flag-bit combination can
+# be shared by every entry that carries it — a mapping-heavy workload
+# uses a handful of combinations across millions of decodes.
+_FLAG_BITS_MASK = (
+    (1 << defs.BIT_WRITABLE)
+    | (1 << defs.BIT_USER)
+    | (1 << defs.BIT_WRITE_THROUGH)
+    | (1 << defs.BIT_CACHE_DISABLE)
+    | (1 << defs.BIT_GLOBAL)
+    | (1 << defs.BIT_NX)
+)
+_FLAG_CACHE: dict[int, Flags] = {}
+
+
+def _decode_flags(raw: int) -> Flags:
+    key = raw & _FLAG_BITS_MASK
+    flags = _FLAG_CACHE.get(key)
+    if flags is None:
+        flags = Flags(
+            writable=bool(wordlib.bit(raw, defs.BIT_WRITABLE)),
+            user=bool(wordlib.bit(raw, defs.BIT_USER)),
+            executable=not wordlib.bit(raw, defs.BIT_NX),
+            write_through=bool(wordlib.bit(raw, defs.BIT_WRITE_THROUGH)),
+            cache_disable=bool(wordlib.bit(raw, defs.BIT_CACHE_DISABLE)),
+            global_=bool(wordlib.bit(raw, defs.BIT_GLOBAL)),
+        )
+        _FLAG_CACHE[key] = flags
+    return flags
+
+
 def decode(raw: int, level: int) -> EntryView:
     """Interpret a raw u64 entry the way the hardware walker does at
     `level`."""
@@ -97,15 +127,7 @@ def decode(raw: int, level: int) -> EntryView:
     if maps_page:
         size = PageSize.for_level(level)
         paddr = wordlib.align_down(paddr, int(size))
-        flags = Flags(
-            writable=bool(wordlib.bit(raw, defs.BIT_WRITABLE)),
-            user=bool(wordlib.bit(raw, defs.BIT_USER)),
-            executable=not wordlib.bit(raw, defs.BIT_NX),
-            write_through=bool(wordlib.bit(raw, defs.BIT_WRITE_THROUGH)),
-            cache_disable=bool(wordlib.bit(raw, defs.BIT_CACHE_DISABLE)),
-            global_=bool(wordlib.bit(raw, defs.BIT_GLOBAL)),
-        )
-        return EntryView(EntryKind.PAGE, paddr, flags)
+        return EntryView(EntryKind.PAGE, paddr, _decode_flags(raw))
     return EntryView(EntryKind.TABLE, paddr)
 
 

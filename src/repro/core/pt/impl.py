@@ -125,9 +125,10 @@ class PageTable:
 
     def map_frame(
         self, vaddr: int, frame_paddr: int, size: PageSize, flags: Flags
-    ) -> None:
+    ) -> int:
         """Map the page of `size` at `vaddr` to the physical frame at
-        `frame_paddr`.
+        `frame_paddr`.  Returns the paddr of the table holding the new
+        leaf entry (:meth:`map_batch` caches it to skip repeat walks).
 
         Raises :class:`BadRequest` on misalignment, :class:`AlreadyMapped`
         when any existing mapping overlaps the range, and
@@ -170,6 +171,7 @@ class PageTable:
             self.memory.store_u64(
                 leaf, entry.encode_page(frame_paddr, flags, target_level)
             )
+            return table
         except (AlreadyMapped, OutOfFrames):
             # Roll back any tables created on this walk so a failed map
             # leaves the tree exactly as it was.
@@ -177,6 +179,51 @@ class PageTable:
                 self.memory.store_u64(entry_paddr, 0)
                 self.allocator.free_frame(table_frame)
             raise
+
+    def map_batch(self, entries) -> int:
+        """Map N ``(vaddr, frame, size, flags)`` entries; returns the count.
+
+        All-or-nothing: a failing entry unwinds the ones already applied
+        before the error propagates.  The amortization: 4K pages landing
+        in a leaf table the batch has already walked to skip the three
+        interior levels — one load + one store instead of a full
+        four-level descent, which is where a software walk spends most
+        of its per-page time."""
+        last = defs.NUM_LEVELS - 1
+        shift = defs.LEVEL_SHIFTS[last - 1]
+        leaf_tables: dict[int, int] = {}  # vaddr >> 21 -> leaf table paddr
+        done: list[int] = []
+        try:
+            for vaddr, frame_paddr, size, flags in entries:
+                table = (leaf_tables.get(vaddr >> shift)
+                         if size is PageSize.SIZE_4K else None)
+                if table is None:
+                    table = self.map_frame(vaddr, frame_paddr, size, flags)
+                    if size is PageSize.SIZE_4K:
+                        leaf_tables[vaddr >> shift] = table
+                else:
+                    # same checks map_frame's leaf step performs; the
+                    # interior descent is skipped, not the obligations
+                    if vaddr & 0xFFF:
+                        raise BadRequest(
+                            f"vaddr {vaddr:#x} not aligned to SIZE_4K")
+                    if frame_paddr & 0xFFF:
+                        raise BadRequest(
+                            f"frame {frame_paddr:#x} not aligned to SIZE_4K")
+                    if frame_paddr & ~defs.ADDR_MASK:
+                        raise BadRequest(
+                            f"frame {frame_paddr:#x} beyond physical range")
+                    leaf = self._entry_paddr(table, vaddr, last)
+                    if self.memory.load_u64(leaf) & _PRESENT:
+                        raise AlreadyMapped(f"{vaddr:#x} already mapped")
+                    self.memory.store_u64(
+                        leaf, entry.encode_page(frame_paddr, flags, last))
+                done.append(vaddr)
+        except PtError:
+            for vaddr in reversed(done):
+                self.unmap(vaddr)
+            raise
+        return len(done)
 
     def unmap(self, vaddr: int) -> Mapping:
         """Remove the mapping covering `vaddr` and return it.
@@ -218,6 +265,111 @@ class PageTable:
             self.memory.store_u64(entry_paddr, 0)
             self.allocator.free_frame(child)
             del parent_table
+
+    def unmap_batch(self, vaddrs) -> list[Mapping]:
+        """Remove the mappings covering `vaddrs`, all-or-nothing.
+
+        One validating walk records every leaf entry before anything is
+        modified, so a missing page (or two addresses covered by the
+        same mapping) raises :class:`NotMapped` with the tree untouched
+        — sequential unmaps would fail *mid-batch* there.  The walk,
+        the entry clears, and the empty-table collection are each one
+        pass over the whole batch, which is what makes an N-page unmap
+        cheaper than N unmaps: a leaf table shared by the batch is
+        scanned for emptiness once, not once per page.
+        """
+        last = defs.NUM_LEVELS - 1
+        shift = defs.LEVEL_SHIFTS[last - 1]
+        size_4k = PageSize.for_level(last)
+        recorded: list[tuple[int, Mapping, list[tuple[int, int]]]] = []
+        seen_leaves: set[int] = set()
+        # vaddr >> 21 -> (leaf table paddr, interior path).  The walk is
+        # read-only until the point of no return, so a leaf table found
+        # once serves every other 4K page of its 2MB region: one load +
+        # present check per page instead of a four-level descent.
+        leaf_tables: dict[int, tuple[int, list[tuple[int, int]]]] = {}
+        for vaddr in vaddrs:
+            cached = leaf_tables.get(vaddr >> shift)
+            if cached is not None:
+                table, path = cached
+                entry_paddr = self._entry_paddr(table, vaddr, last)
+                raw = self.memory.load_u64(entry_paddr)
+                if not raw & _PRESENT:
+                    raise NotMapped(f"{vaddr:#x} not mapped")
+                if entry_paddr in seen_leaves:
+                    raise NotMapped(
+                        f"{vaddr:#x} covered by a mapping already "
+                        f"unmapped in this batch")
+                seen_leaves.add(entry_paddr)
+                view = entry.decode(raw, last)
+                recorded.append((
+                    entry_paddr,
+                    Mapping(
+                        vaddr=defs.vaddr_base(vaddr, size_4k),
+                        paddr=view.paddr,
+                        size=size_4k,
+                        flags=view.flags,
+                    ),
+                    path,
+                ))
+                continue
+            if not defs.is_canonical(vaddr):
+                raise BadRequest(f"non-canonical vaddr {vaddr:#x}")
+            table = self.root_paddr
+            path = []
+            for level in range(defs.NUM_LEVELS):
+                entry_paddr = self._entry_paddr(table, vaddr, level)
+                raw = self.memory.load_u64(entry_paddr)
+                if not raw & _PRESENT:
+                    raise NotMapped(f"{vaddr:#x} not mapped")
+                if _maps_page(raw, level):
+                    if entry_paddr in seen_leaves:
+                        raise NotMapped(
+                            f"{vaddr:#x} covered by a mapping already "
+                            f"unmapped in this batch")
+                    seen_leaves.add(entry_paddr)
+                    if level == last:
+                        leaf_tables[vaddr >> shift] = (table, path)
+                    view = entry.decode(raw, level)
+                    size = PageSize.for_level(level)
+                    recorded.append((
+                        entry_paddr,
+                        Mapping(
+                            vaddr=defs.vaddr_base(vaddr, size),
+                            paddr=view.paddr,
+                            size=size,
+                            flags=view.flags,
+                        ),
+                        path,
+                    ))
+                    break
+                path.append((table, entry_paddr))
+                table = raw & defs.ADDR_MASK
+        # point of no return: clear every leaf entry, then free tables
+        # the batch emptied (once per distinct path, bottom-up)
+        for entry_paddr, _mapping, _path in recorded:
+            self.memory.store_u64(entry_paddr, 0)
+        collected: set[tuple] = set()
+        for _entry_paddr, _mapping, path in recorded:
+            key = tuple(entry_paddr for _table, entry_paddr in path)
+            if key in collected:
+                continue
+            collected.add(key)
+            self._collect_empty_tables_batch(path)
+        return [mapping for _entry_paddr, mapping, _path in recorded]
+
+    def _collect_empty_tables_batch(self, path: list[tuple[int, int]]) -> None:
+        """Bottom-up empty collection tolerant of entries a sibling
+        path's collection already cleared (shared ancestors in a batch)."""
+        for _parent_table, entry_paddr in reversed(path):
+            raw = self.memory.load_u64(entry_paddr)
+            if not raw & _PRESENT:
+                continue  # an earlier path in the batch freed this child
+            child = raw & defs.ADDR_MASK
+            if not self._table_is_empty(child):
+                return
+            self.memory.store_u64(entry_paddr, 0)
+            self.allocator.free_frame(child)
 
     def resolve(self, vaddr: int) -> Mapping | None:
         """Return the mapping covering `vaddr`, or None."""

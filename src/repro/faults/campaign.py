@@ -1,4 +1,4 @@
-"""Seeded fault-injection campaigns: disk, net, mem, prover.
+"""Seeded fault-injection campaigns: disk, net, mem, prover, cluster, ring.
 
 Each campaign wires a :class:`~repro.faults.plan.FaultPlan` into the real
 layers (no mocks), drives a deterministic workload through them, and
@@ -36,7 +36,7 @@ from repro.obs.registry import Registry
 from repro.faults.crash import CRASH_SCENARIOS, run_crash_matrix
 from repro.faults.plan import FaultPlan, FaultRule
 
-CAMPAIGNS = ("disk", "net", "mem", "prover", "cluster")
+CAMPAIGNS = ("disk", "net", "mem", "prover", "cluster", "ring")
 
 #: The four outcome classes a fault-injection site tallies.
 OUTCOMES = ("injected", "survived", "degraded", "failed")
@@ -844,6 +844,182 @@ def run_prover_campaign(seed: int = 1) -> CampaignReport:
 
 
 # ---------------------------------------------------------------------------
+# ring
+# ---------------------------------------------------------------------------
+
+
+def _ring_workload(plan, payloads, sq_depth: int = 16):
+    """Drive a real kernel whose user program appends `payloads` to one
+    file through a syscall ring, re-entering until every submitted entry
+    has completed.  Returns (kernel, completions, pid)."""
+    from repro.nros.fs.fd import O_CREAT, O_RDWR
+    from repro.nros.kernel import Kernel
+    from repro.nros.syscall import ring as ringmod
+    from repro.nros.syscall.abi import SYSCALLS, sys
+
+    results: list[tuple] = []
+
+    def prog():
+        rid, _sq, _cq, _sqd, _cqd = yield sys("ring_setup",
+                                              sq_depth, sq_depth)
+        fd = yield sys("open", "/ring.dat", O_CREAT | O_RDWR)
+        for start in range(0, len(payloads), sq_depth):
+            chunk = payloads[start:start + sq_depth]
+            blob = b"".join(
+                ringmod.encode_sqe(start + i + 1, SYSCALLS["write"],
+                                   (fd, chunk[i]))
+                for i in range(len(chunk)))
+            cqes = list((yield sys("ring_enter", rid, blob, True)))
+            # backpressure / crash-mid-batch leaves SQEs pending; an
+            # empty enter re-drives the dispatch pass
+            stalls = 0
+            while len(cqes) < len(chunk) and stalls < 64:
+                more = yield sys("ring_enter", rid, b"", True)
+                cqes.extend(more)
+                stalls += 1
+            results.extend(cqes)
+
+    kernel = Kernel(num_cores=2)
+    kernel.fault_plan = plan
+    kernel.register_program("ring-workload", prog)
+    pid = kernel.spawn("ring-workload")
+    kernel.run()
+    return kernel, results, pid
+
+
+def _ring_verify(report: CampaignReport, site: str, kernel, pid: int,
+                 payloads, results) -> int:
+    """The invariants every ring scenario must uphold: the process
+    finished, every entry completed exactly once in submission order,
+    the file holds exactly the successful writes, the ring indices
+    audit clean, and the volume fscks clean.  Returns the number of
+    EBADMSG (torn-entry) completions."""
+    from repro.faults.crash import is_recoverable
+    from repro.nros.fs.fsck import fsck
+    from repro.nros.syscall import abi
+
+    process = kernel.processes[pid]
+    if process.exit_code != 0:
+        report.violation(site, f"workload exited {process.exit_code}")
+        return 0
+    if len(results) != len(payloads):
+        report.violation(
+            site, f"{len(results)} completions for {len(payloads)} "
+                  f"submissions (lost or duplicated entries)")
+        return 0
+    # Completion order is submission order, so position identifies the
+    # entry — which matters for torn slots, whose user_data field is
+    # itself part of the corrupted bytes and cannot be trusted.
+    torn = 0
+    expected = bytearray()
+    for index, (ud, status, _value) in enumerate(results):
+        if status == 0:
+            if ud != index + 1:
+                report.violation(
+                    site, f"completion {index} carries user_data {ud}, "
+                          f"expected {index + 1} (out of order)")
+                return torn
+            expected.extend(payloads[index])
+        elif status == abi.EBADMSG:
+            torn += 1
+        else:
+            report.violation(
+                site, f"entry {index + 1} completed with unexpected errno "
+                      f"{abi.ERRNO_NAMES.get(status, status)}")
+            return torn
+    inum = kernel.fs.lookup("/ring.dat")
+    size = kernel.fs.stat_inum(inum).size
+    content = kernel.fs.read_at(inum, 0, size)
+    if content != bytes(expected):
+        report.violation(
+            site, f"file holds {len(content)} bytes, expected "
+                  f"{len(expected)} (writes lost, duplicated, or "
+                  f"misordered)")
+    for ring in process.rings.values():
+        for problem in ring.audit():
+            report.violation(site, f"ring audit: {problem}")
+    for issue in fsck(kernel.fs):
+        if not is_recoverable(issue):
+            report.violation(site, f"fsck: {issue}")
+    return torn
+
+
+def _ring_torn_sqes(seed: int, report: CampaignReport) -> None:
+    """Torn SQEs in user memory: every corrupted slot must surface as a
+    typed EBADMSG completion for that entry alone — never a silently
+    different syscall, never a kernel crash."""
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="ring.sqe", kind="torn", every=5, max_triggers=9),
+    ])
+    payloads = [f"torn-{i:03d};".encode() for i in range(60)]
+    kernel, results, pid = _ring_workload(plan, payloads)
+    site = report.site("ring.sqe")
+    site.injected += plan.injections
+    torn = _ring_verify(report, "ring.sqe", kernel, pid, payloads, results)
+    if torn != plan.injections:
+        report.violation(
+            "ring.sqe", f"{plan.injections} slots torn but {torn} EBADMSG "
+                        f"completions")
+    else:
+        site.degraded += torn
+    report.notes.append(
+        f"ring.sqe: {plan.injections} torn slots all caught by the SQE "
+        f"checksum as EBADMSG; the other {len(payloads) - torn} entries "
+        f"executed exactly once")
+
+
+def _ring_cq_backpressure(seed: int, report: CampaignReport) -> None:
+    """Forced completion-queue-full: the dispatch pass stops early, the
+    undrained SQEs stay pending, and re-entering completes them with no
+    entry lost or duplicated."""
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="ring.cq", kind="full", every=11, max_triggers=6),
+    ])
+    payloads = [f"bp-{i:03d};".encode() for i in range(48)]
+    kernel, results, pid = _ring_workload(plan, payloads)
+    site = report.site("ring.cq")
+    site.injected += plan.injections
+    _ring_verify(report, "ring.cq", kernel, pid, payloads, results)
+    if plan.injections == 0:
+        report.violation("ring.cq", "backpressure rule never fired")
+    if not report.violations:
+        site.survived += plan.injections
+    report.notes.append(
+        f"ring.cq: {plan.injections} forced CQ-full stalls ridden out; "
+        f"every entry completed exactly once after re-entry")
+
+
+def _ring_crash_mid_batch(seed: int, report: CampaignReport) -> None:
+    """The dispatch pass dies partway through a batch: completed entries
+    keep their CQEs, the rest stay submitted, and the next enter resumes
+    where the pass stopped — exactly-once dispatch across the crash."""
+    plan = FaultPlan(seed, rules=[
+        FaultRule(site="ring.dispatch", kind="crash", every=13,
+                  max_triggers=5),
+    ])
+    payloads = [f"crash-{i:03d};".encode() for i in range(52)]
+    kernel, results, pid = _ring_workload(plan, payloads)
+    site = report.site("ring.dispatch")
+    site.injected += plan.injections
+    _ring_verify(report, "ring.dispatch", kernel, pid, payloads, results)
+    if plan.injections == 0:
+        report.violation("ring.dispatch", "crash rule never fired")
+    if not report.violations:
+        site.survived += plan.injections
+    report.notes.append(
+        f"ring.dispatch: {plan.injections} mid-batch crashes; dispatch "
+        f"resumed with exactly-once completion and intact file contents")
+
+
+def run_ring_campaign(seed: int = 1) -> CampaignReport:
+    report = CampaignReport("ring", seed)
+    _ring_torn_sqes(seed, report)
+    _ring_cq_backpressure(seed, report)
+    _ring_crash_mid_batch(seed, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------------
 
@@ -859,6 +1035,7 @@ _RUNNERS = {
     "mem": run_mem_campaign,
     "prover": run_prover_campaign,
     "cluster": run_cluster_campaign,
+    "ring": run_ring_campaign,
 }
 
 

@@ -15,6 +15,15 @@ from collections import OrderedDict
 from repro.core.pt import defs
 from repro.hw.mmu import Translation
 
+# (page-base mask, size) per mappable size, checked smallest-first like
+# the lookup the hardware performs.  Hoisted: these run on every lookup
+# and every shootdown invalidation.
+_BASE_MASKS = tuple(
+    (~(int(size) - 1), size)
+    for size in (defs.PageSize.SIZE_4K, defs.PageSize.SIZE_2M,
+                 defs.PageSize.SIZE_1G)
+)
+
 
 class Tlb:
     """A per-core TLB with LRU replacement.
@@ -33,12 +42,12 @@ class Tlb:
 
     def lookup(self, vaddr: int) -> Translation | None:
         """Return the cached translation covering `vaddr`, if any."""
-        for size in (defs.PageSize.SIZE_4K, defs.PageSize.SIZE_2M,
-                     defs.PageSize.SIZE_1G):
-            base = defs.vaddr_base(vaddr, size)
-            entry = self._entries.get(base)
+        entries = self._entries
+        for mask, size in _BASE_MASKS:
+            base = vaddr & mask
+            entry = entries.get(base)
             if entry is not None and entry.page_size == size:
-                self._entries.move_to_end(base)
+                entries.move_to_end(base)
                 self.hits += 1
                 return entry
         self.misses += 1
@@ -53,12 +62,22 @@ class Tlb:
 
     def invalidate_page(self, vaddr: int) -> None:
         """`invlpg`: drop any cached translation covering `vaddr`."""
-        for size in (defs.PageSize.SIZE_4K, defs.PageSize.SIZE_2M,
-                     defs.PageSize.SIZE_1G):
-            base = defs.vaddr_base(vaddr, size)
-            entry = self._entries.get(base)
+        entries = self._entries
+        for mask, size in _BASE_MASKS:
+            base = vaddr & mask
+            entry = entries.get(base)
             if entry is not None and entry.page_size == size:
-                del self._entries[base]
+                del entries[base]
+
+    def invalidate_pages(self, vaddrs) -> None:
+        """One shootdown *round*: drop every listed page in a single
+        IPI-acknowledge cycle.  The batched unmap path sends each core
+        its invalidation set once per batch instead of once per page —
+        the cost amortization behind ``unmap_batch``."""
+        if not self._entries:
+            return  # nothing cached: the round is an empty ack
+        for vaddr in vaddrs:
+            self.invalidate_page(vaddr)
 
     def flush(self) -> None:
         """Full flush (CR3 reload)."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.pt.defs import Flags, PageSize, PAGE_SIZE
 from repro.hw.devices.disk import Disk
 from repro.hw.devices.interrupts import InterruptController
@@ -42,6 +43,7 @@ from repro.nros.proc.process import (
 )
 from repro.nros.sched.scheduler import Scheduler
 from repro.nros.syscall import abi
+from repro.nros.syscall import ring as ringmod
 from repro.nros.syscall.abi import Syscall, SyscallError
 from repro.nros.syscall.marshal import marshal, marshal_call, unmarshal, unmarshal_call
 from repro.nros.syscall.usercopy import UserCopyFault, copy_from_user, copy_to_user
@@ -78,6 +80,8 @@ class KernelStats:
     marshalled_bytes: int = 0
     thread_switches: int = 0
     page_faults: int = 0
+    ring_batches: int = 0   # ring_enter dispatch passes
+    ring_sqes: int = 0      # SQEs completed through rings
 
 
 class Kernel:
@@ -132,6 +136,12 @@ class Kernel:
         self._num_nodes = max(1, (num_cores + 13) // 14)
         self._ownership: dict[int, OwnershipTable] = {}  # pid -> table
         self._handlers = self._build_handlers()
+        #: Fault-injection plan for ring sites (torn SQE, full CQ,
+        #: crash mid-batch); campaigns assign one, normal runs leave None.
+        self.fault_plan = None
+        self._obs_sq_pending = obs.gauge("ring.sq_pending")
+        self._obs_cq_ready = obs.gauge("ring.cq_ready")
+        self._obs_batch_size = obs.histogram("ring.batch_sqes")
 
     @staticmethod
     def _default_mac(ip: int) -> bytes:
@@ -376,6 +386,11 @@ class Kernel:
         return {
             "vm_map": self._sys_vm_map,
             "vm_unmap": self._sys_vm_unmap,
+            "vm_map_batch": self._sys_vm_map_batch,
+            "vm_unmap_batch": self._sys_vm_unmap_batch,
+            "ring_setup": self._sys_ring_setup,
+            "ring_enter": self._sys_ring_enter,
+            "ring_reap": self._sys_ring_reap,
             "vm_resolve": self._sys_vm_resolve,
             "mmap_file": self._sys_mmap_file,
             "msync": self._sys_msync,
@@ -600,6 +615,332 @@ class Kernel:
             self.memory.store_u64(paddr, new)
             return (True, old)
         return (False, old)
+
+    # batched memory ops ------------------------------------------------------------
+
+    def _sys_vm_map_batch(self, thread: Thread, npages: int) -> int:
+        """Map N fresh pages through the NR replica in one batch pass."""
+        if npages <= 0:
+            raise _SyscallFailure(abi.EINVAL, "npages must be positive")
+        process = thread.process
+        base = process.heap_next
+        core = self._core_of(thread)
+        frames: list[int] = []
+        entries = []
+        try:
+            for i in range(npages):
+                frame = self.frames.alloc_frame()
+                self.memory.zero_frame(frame)
+                frames.append(frame)
+                entries.append((base + i * PAGE_SIZE, frame,
+                                PageSize.SIZE_4K, Flags.user_rw()))
+            process.vspace.map_batch(entries, core=core)
+        except (OutOfMemory, VSpaceError) as exc:
+            # map_batch already rolled back any pages it mapped
+            for frame in frames:
+                self.frames.free_frame(frame)
+            raise _SyscallFailure(abi.ENOMEM, str(exc)) from exc
+        process.heap_next = base + npages * PAGE_SIZE
+        return base
+
+    def _sys_vm_unmap_batch(self, thread: Thread, vaddrs,
+                            count: int | None = None) -> int:
+        """Unmap N pages with one TLB shootdown round for the whole batch.
+
+        Two argument shapes: an explicit tuple of page addresses, or the
+        munmap-style ``(base, count)`` range form — ``count`` consecutive
+        4K pages starting at ``base``.  The range form is what a ring
+        SQE uses: it stays a few bytes no matter how many pages it
+        names, where a marshalled address tuple would outgrow the
+        fixed-size slot.
+
+        The batch is all-or-nothing: the replica validates every address
+        before any mapping changes (one NR log operation for the whole
+        batch), so a missing page fails with ENOENT and leaves every
+        mapping intact."""
+        if count is not None:
+            if not isinstance(vaddrs, int) or not isinstance(count, int) \
+                    or count <= 0:
+                raise _SyscallFailure(
+                    abi.EINVAL, "range form needs an int base and a "
+                    "positive page count")
+            vaddrs = tuple(vaddrs + i * PAGE_SIZE for i in range(count))
+        if not isinstance(vaddrs, tuple) or not vaddrs:
+            raise _SyscallFailure(abi.EINVAL,
+                                  "vaddrs must be a non-empty tuple")
+        if not all(isinstance(v, int) for v in vaddrs):
+            raise _SyscallFailure(abi.EINVAL, "vaddrs must be integers")
+        if len(set(vaddrs)) != len(vaddrs):
+            raise _SyscallFailure(abi.EINVAL, "duplicate vaddr in batch")
+        try:
+            removed = thread.process.vspace.unmap_batch(
+                vaddrs, core=self._core_of(thread))
+        except VSpaceError as exc:
+            errno = abi.ENOENT if exc.kind == "not_mapped" else abi.EINVAL
+            raise _SyscallFailure(errno, str(exc)) from exc
+        for mapping in removed:
+            self.frames.free_frame(mapping.paddr)
+        return len(removed)
+
+    # syscall rings -----------------------------------------------------------------
+
+    def _ring_of(self, thread: Thread, ring_id: int) -> ringmod.SyscallRing:
+        ring = thread.process.rings.get(ring_id)
+        if ring is None:
+            raise _SyscallFailure(abi.EBADF, f"no ring {ring_id}")
+        return ring
+
+    def _sys_ring_setup(self, thread: Thread, sq_depth: int = 64,
+                        cq_depth: int = 0) -> tuple:
+        """Create a submission/completion ring pair in mapped user pages.
+
+        Returns (ring_id, sq_base, cq_base, sq_depth, cq_depth).  A zero
+        ``cq_depth`` means "same as the submission queue"."""
+        cq_depth = cq_depth or sq_depth
+        for depth in (sq_depth, cq_depth):
+            if not (isinstance(depth, int)
+                    and ringmod.MIN_DEPTH <= depth <= ringmod.MAX_DEPTH):
+                raise _SyscallFailure(
+                    abi.EINVAL,
+                    f"ring depth {depth} outside "
+                    f"[{ringmod.MIN_DEPTH}, {ringmod.MAX_DEPTH}]")
+        process = thread.process
+        core = self._core_of(thread)
+        sq_pages = ringmod.ring_pages(sq_depth, ringmod.SQE_SIZE, PAGE_SIZE)
+        cq_pages = ringmod.ring_pages(cq_depth, ringmod.CQE_SIZE, PAGE_SIZE)
+        total = sq_pages + cq_pages
+        base = process.heap_next
+        frames: list[int] = []
+        entries = []
+        try:
+            for i in range(total):
+                frame = self.frames.alloc_frame()
+                self.memory.zero_frame(frame)
+                frames.append(frame)
+                entries.append((base + i * PAGE_SIZE, frame,
+                                PageSize.SIZE_4K, Flags.user_rw()))
+            process.vspace.map_batch(entries, core=core)
+        except (OutOfMemory, VSpaceError) as exc:
+            for frame in frames:
+                self.frames.free_frame(frame)
+            raise _SyscallFailure(abi.ENOMEM, str(exc)) from exc
+        process.heap_next = base + total * PAGE_SIZE
+        ring = ringmod.SyscallRing(
+            ring_id=process.new_ring_id(),
+            sq_base=base,
+            cq_base=base + sq_pages * PAGE_SIZE,
+            sq_depth=sq_depth,
+            cq_depth=cq_depth,
+            frames=frames,
+            pages=[base + i * PAGE_SIZE for i in range(total)],
+        )
+        process.rings[ring.ring_id] = ring
+        return (ring.ring_id, ring.sq_base, ring.cq_base, sq_depth, cq_depth)
+
+    def _sys_ring_enter(self, thread: Thread, ring_id: int, blob: bytes,
+                        reap: bool = True) -> tuple:
+        """Submit a batch of SQEs and drain them in one dispatch pass.
+
+        ``blob`` is N concatenated 128-byte SQEs; they are written into
+        the ring's mapped submission pages (through ``usercopy``, so the
+        mapping obligation is checked for the whole batch at once), then
+        drained.  With ``reap`` the posted CQEs are decoded and returned
+        directly — one syscall for the entire batch; otherwise returns
+        (submitted, completed) and the CQEs wait for ``ring_reap``.  An
+        empty blob submits nothing but still runs a dispatch pass, which
+        re-drives SQEs left pending by completion-queue backpressure."""
+        ring = self._ring_of(thread, ring_id)
+        if not isinstance(blob, bytes) or len(blob) % ringmod.SQE_SIZE:
+            raise _SyscallFailure(
+                abi.EINVAL,
+                f"submission blob must be a multiple of "
+                f"{ringmod.SQE_SIZE} bytes")
+        n = len(blob) // ringmod.SQE_SIZE
+        if n > ring.sq_depth - ring.sq_pending:
+            raise _SyscallFailure(
+                abi.EAGAIN,
+                f"submission queue full ({ring.sq_pending}/{ring.sq_depth} "
+                f"pending, {n} submitted)")
+        root = thread.process.vspace.root_for(self._core_of(thread))
+        offset = 0
+        try:
+            # At most two contiguous runs (the window wraps at most once),
+            # so the mapping check for the whole batch costs two usercopy
+            # calls, not one per slot.
+            for vaddr, slots in ring.sq_segments(ring.sq_tail, n):
+                nbytes = slots * ringmod.SQE_SIZE
+                copy_to_user(self.memory, self.mmu, root, vaddr,
+                             blob[offset:offset + nbytes])
+                offset += nbytes
+        except UserCopyFault as exc:
+            raise _SyscallFailure(abi.EFAULT, str(exc)) from exc
+        ring.sq_tail += n
+        completed = self._ring_drain(thread, ring)
+        if reap:
+            return self._reap_cqes(thread, ring, 0)
+        return (n, completed)
+
+    def _sys_ring_reap(self, thread: Thread, ring_id: int,
+                       max_entries: int = 0) -> tuple:
+        """Harvest up to ``max_entries`` CQEs (0 = all ready)."""
+        ring = self._ring_of(thread, ring_id)
+        return self._reap_cqes(thread, ring, max_entries)
+
+    def _ring_drain(self, thread: Thread, ring: ringmod.SyscallRing) -> int:
+        """One dispatch pass over the pending SQEs, in submission order.
+
+        This is where the batching pays: the scheduler ran once to get
+        here, and one obs span covers the whole pass — but the per-entry
+        obligations still hold.  Each slot is read back through
+        ``usercopy`` and must survive its own decode (magic, length,
+        checksum, unmarshal) before dispatch; a torn slot becomes an
+        ``EBADMSG`` CQE for that entry alone.  Entries complete in
+        submission order; the pass stops early only when the completion
+        queue has no room (backpressure — the SQEs stay pending)."""
+        process = thread.process
+        root = process.vspace.root_for(self._core_of(thread))
+        plan = self.fault_plan
+        with obs.span("ring.drain", histogram="ring.drain_seconds",
+                      pending=ring.sq_pending):
+            # Tear injections land in user memory *before* the kernel
+            # reads the window, exactly as a racing user store would.
+            # Each staged entry gets exactly one tear draw over its
+            # lifetime (``sqe_drawn`` is the high-water mark), so an
+            # entry left pending by backpressure is not re-drawn on the
+            # next pass — it is re-read, and a torn slot stays torn.
+            if plan is not None:
+                start = max(ring.sq_head, ring.sqe_drawn)
+                for index in range(start, ring.sq_tail):
+                    decision = plan.draw("ring.sqe")
+                    if decision is not None and decision.kind == "torn":
+                        self._tear_sqe(root, ring.sq_slot_vaddr(index),
+                                       decision)
+                ring.sqe_drawn = max(ring.sqe_drawn, ring.sq_tail)
+            # One bulk read covers the whole pending window (≤2 runs).
+            window = ring.sq_pending
+            buf = b""
+            try:
+                if window:
+                    buf = b"".join(
+                        copy_from_user(self.memory, self.mmu, root, vaddr,
+                                       slots * ringmod.SQE_SIZE)
+                        for vaddr, slots
+                        in ring.sq_segments(ring.sq_head, window))
+            except UserCopyFault as exc:
+                raise _SyscallFailure(abi.EFAULT, str(exc)) from exc
+            cqes: list[bytes] = []
+            for i in range(window):
+                if ring.cq_ready + len(cqes) >= ring.cq_depth:
+                    break  # CQ full: leave the rest submitted
+                if plan is not None:
+                    decision = plan.draw("ring.cq")
+                    if decision is not None and decision.kind == "full":
+                        break  # forced backpressure
+                slot = buf[i * ringmod.SQE_SIZE:(i + 1) * ringmod.SQE_SIZE]
+                status, value = self._dispatch_sqe(thread, slot)
+                user_data = int.from_bytes(slot[8:16], "little")
+                cqes.append(ringmod.encode_cqe(user_data, status, value))
+                if plan is not None:
+                    decision = plan.draw("ring.dispatch")
+                    if decision is not None and decision.kind == "crash":
+                        break  # pass aborted; the rest stay pending
+            # Post every completion of this pass in one bulk write.  A
+            # crashed pass still posts the CQEs of the entries it already
+            # dispatched — their effects (including any TLB shootdown)
+            # are done, so exactly-once completion holds across re-entry.
+            completed = len(cqes)
+            if completed:
+                out = b"".join(cqes)
+                offset = 0
+                try:
+                    for vaddr, slots in ring.cq_segments(ring.cq_tail,
+                                                         completed):
+                        nbytes = slots * ringmod.CQE_SIZE
+                        copy_to_user(self.memory, self.mmu, root, vaddr,
+                                     out[offset:offset + nbytes])
+                        offset += nbytes
+                except UserCopyFault as exc:
+                    raise _SyscallFailure(abi.EFAULT, str(exc)) from exc
+                ring.sq_head += completed
+                ring.cq_tail += completed
+        self.stats.ring_batches += 1
+        self.stats.ring_sqes += completed
+        self._obs_batch_size.record(completed)
+        self._obs_sq_pending.set(ring.sq_pending)
+        self._obs_cq_ready.set(ring.cq_ready)
+        return completed
+
+    def _dispatch_sqe(self, thread: Thread, slot: bytes) -> tuple:
+        """Decode and invoke one SQE; returns (status, value).
+
+        The errno mapping mirrors the single-call path exactly — the
+        difference is only in *transport*: failures become typed error
+        CQEs instead of raised SyscallErrors, and an entry that would
+        block completes immediately with EAGAIN (a ring never parks the
+        submitting thread mid-batch)."""
+        try:
+            _user_data, number, args = ringmod.decode_sqe(slot)
+        except ringmod.SqeDecodeError as exc:
+            return (abi.EBADMSG, str(exc))
+        name = abi.NUMBER_TO_NAME.get(number)
+        if name in ringmod.RING_FORBIDDEN:
+            return (abi.EINVAL, f"{name} cannot be dispatched via a ring")
+        handler = self._handlers.get(name)
+        if handler is None:
+            return (abi.ENOSYS, name or str(number))
+        try:
+            return (0, handler(thread, *args))
+        except _Block as block:
+            return (abi.EAGAIN, f"would block on {block.reason.kind}")
+        except _SyscallFailure as failure:
+            return (failure.errno, failure.message)
+        except TypeError as exc:
+            return (abi.EINVAL, f"bad arguments for {name}: {exc}")
+
+    def _reap_cqes(self, thread: Thread, ring: ringmod.SyscallRing,
+                   max_entries: int) -> tuple:
+        """Decode ready CQEs -> ((user_data, status, value), ...)."""
+        root = thread.process.vspace.root_for(self._core_of(thread))
+        count = ring.cq_ready if max_entries <= 0 \
+            else min(max_entries, ring.cq_ready)
+        try:
+            buf = b"".join(
+                copy_from_user(self.memory, self.mmu, root, vaddr,
+                               slots * ringmod.CQE_SIZE)
+                for vaddr, slots in ring.cq_segments(ring.cq_head, count))
+        except UserCopyFault as exc:
+            raise _SyscallFailure(abi.EFAULT, str(exc)) from exc
+        out = tuple(
+            ringmod.decode_cqe(buf[i * ringmod.CQE_SIZE:
+                                   (i + 1) * ringmod.CQE_SIZE])
+            for i in range(count))
+        ring.cq_head += count
+        self._obs_cq_ready.set(ring.cq_ready)
+        return out
+
+    def _tear_sqe(self, root: int, slot_vaddr: int, decision) -> None:
+        """Fault injection: tear a staged SQE in user memory.
+
+        Models a partially-completed user store: either the slot's tail
+        is stale zeros (truncated write) or a byte is flipped.  The
+        damage always lands inside the encoded entry (header + blob),
+        never only in the already-zero padding, so every injection
+        genuinely changes the slot and must be caught by the decode
+        checksum."""
+        slot = bytearray(copy_from_user(self.memory, self.mmu, root,
+                                        slot_vaddr, ringmod.SQE_SIZE))
+        blob_len = min(int.from_bytes(slot[2:4], "little"),
+                       ringmod.SQE_BLOB_MAX)
+        encoded = ringmod._SQE_HEADER + blob_len
+        offset = 1 + decision.rand_below(max(encoded - 1, 1))
+        if decision.rand_below(2):
+            original = bytes(slot)
+            slot[offset:] = bytes(ringmod.SQE_SIZE - offset)
+            if bytes(slot) == original:  # the tail was all zeros anyway
+                slot[offset] ^= 0x5A
+        else:
+            slot[offset] ^= 0x5A
+        copy_to_user(self.memory, self.mmu, root, slot_vaddr, bytes(slot))
 
     # files --------------------------------------------------------------------------
 

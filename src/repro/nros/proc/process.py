@@ -82,6 +82,9 @@ class Process:
         self.sockets: dict[int, object] = {}   # sid -> socket object
         self.pending_signals: list[int] = []
         self._next_sid = 3
+        # ring_id -> kernel-side SyscallRing (submission/completion pair)
+        self.rings: dict[int, object] = {}
+        self._next_ring_id = 1
         # bump-allocated user heap region for vm_map without explicit vaddr
         self.heap_next = 0x1000_0000
 
@@ -99,3 +102,8 @@ class Process:
         sid = self._next_sid
         self._next_sid += 1
         return sid
+
+    def new_ring_id(self) -> int:
+        ring_id = self._next_ring_id
+        self._next_ring_id += 1
+        return ring_id

@@ -21,6 +21,10 @@ SYSCALLS = {
     "cas": 6,
     "mmap_file": 7,
     "msync": 8,
+    # batched memory ops: N pages through the NR replica, one TLB
+    # shootdown round for the whole unmap batch
+    "vm_map_batch": 25,
+    "vm_unmap_batch": 26,
     # files
     "open": 10,
     "close": 11,
@@ -71,6 +75,10 @@ SYSCALLS = {
     "pipe_read": 71,
     "pipe_write": 72,
     "pipe_close": 73,
+    # submission/completion rings (batched dispatch)
+    "ring_setup": 80,
+    "ring_enter": 81,
+    "ring_reap": 82,
     # console
     "log": 60,
 }
@@ -97,6 +105,8 @@ ECHILD = 10
 ENOSYS = 38
 ECONNREFUSED = 111
 ENOTCONN = 107
+E2BIG = 7        # a ring completion payload does not fit a CQE slot
+EBADMSG = 74     # a ring submission slot failed its integrity check
 
 # signal numbers (the subset the kernel knows)
 SIGKILL = 9
@@ -110,6 +120,7 @@ ERRNO_NAMES = {
     EISDIR: "EISDIR", EINVAL: "EINVAL", ENOSPC: "ENOSPC", ESRCH: "ESRCH",
     EPERM: "EPERM", ECHILD: "ECHILD", ENOSYS: "ENOSYS",
     ECONNREFUSED: "ECONNREFUSED", ENOTCONN: "ENOTCONN",
+    E2BIG: "E2BIG", EBADMSG: "EBADMSG",
 }
 
 

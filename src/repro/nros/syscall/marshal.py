@@ -58,11 +58,13 @@ def marshal(value) -> bytes:
         payload = value.encode("utf-8")
         return bytes([TAG_STR]) + _pack_u64(len(payload)) + payload
     if isinstance(value, tuple):
-        out = bytearray([TAG_TUPLE])
-        out += _pack_u64(len(value))
-        for item in value:
-            out += marshal(item)
-        return bytes(out)
+        # Collect the parts and join once: the final bytes() is built in
+        # a single pass instead of re-copying the accumulator per item,
+        # so marshalling an N-item tuple stays linear in the payload
+        # (test_syscall_marshal pins the scaling).
+        parts = [bytes([TAG_TUPLE]), _pack_u64(len(value))]
+        parts.extend(marshal(item) for item in value)
+        return b"".join(parts)
     raise MarshalError(f"cannot marshal {type(value).__name__}")
 
 

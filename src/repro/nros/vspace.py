@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.pt.defs import Flags, PageSize
 from repro.core.pt.impl import (
     AlreadyMapped,
@@ -26,7 +27,15 @@ from repro.nr.core import NodeReplicated
 
 
 class VSpaceError(Exception):
-    """An address-space operation failed (wraps the page-table error)."""
+    """An address-space operation failed (wraps the page-table error).
+
+    ``kind`` is the replica's typed error class (``not_mapped``,
+    ``already_mapped``, ``bad_request``) when known, so callers can map
+    it to an errno without parsing the message."""
+
+    def __init__(self, message: str, kind: str | None = None) -> None:
+        super().__init__(message)
+        self.kind = kind
 
 
 @dataclass
@@ -48,6 +57,10 @@ class _PtDs:
             if kind == "unmap":
                 _, vaddr = op
                 return ("ok", self.pt.unmap(vaddr))
+            if kind == "map_batch":
+                return self._apply_map_batch(op[1])
+            if kind == "unmap_batch":
+                return self._apply_unmap_batch(op[1])
         except AlreadyMapped as exc:
             return ("err", "already_mapped", str(exc))
         except NotMapped as exc:
@@ -55,6 +68,40 @@ class _PtDs:
         except BadRequest as exc:
             return ("err", "bad_request", str(exc))
         raise ValueError(f"unknown vspace op {op!r}")
+
+    def _apply_map_batch(self, entries):
+        """N maps as ONE log operation — a single append + combine pays
+        for the whole batch.  All-or-nothing inside the replica: a
+        failing entry unwinds the ones already applied, so no replica
+        ever exposes a partially-mapped batch.  Backends without a
+        native ``map_batch`` (the unverified tree) get a loop with the
+        same unwind-on-failure contract."""
+        if hasattr(self.pt, "map_batch"):
+            return ("ok", self.pt.map_batch(entries))
+        done = []
+        try:
+            for vaddr, frame, size, flags in entries:
+                self.pt.map_frame(vaddr, frame, size, flags)
+                done.append(vaddr)
+        except (AlreadyMapped, BadRequest):
+            for vaddr in reversed(done):
+                self.pt.unmap(vaddr)
+            raise
+        return ("ok", len(done))
+
+    def _apply_unmap_batch(self, vaddrs):
+        """N unmaps as ONE log operation.  The page table validates the
+        whole batch in one walk pass before any mapping changes, so the
+        batch is atomic without rollback state — and the empty-table
+        sweep runs once per batch instead of once per page.  Backends
+        without a native ``unmap_batch`` resolve every page up front
+        for the same atomicity before unmapping one by one."""
+        if hasattr(self.pt, "unmap_batch"):
+            return ("ok", tuple(self.pt.unmap_batch(vaddrs)))
+        for vaddr in vaddrs:
+            if self.pt.resolve(vaddr) is None:
+                raise NotMapped(f"{vaddr:#x} not mapped")
+        return ("ok", tuple(self.pt.unmap(vaddr) for vaddr in vaddrs))
 
     def query(self, op):
         kind, vaddr = op
@@ -85,7 +132,16 @@ class VSpace:
         )
         self._tlbs: dict[int, Tlb] = {}       # core -> TLB
         self._core_node: dict[int, int] = {}  # core -> NUMA node
+        #: TLB shootdown *rounds* issued (a batched unmap counts one).
         self.shootdowns = 0
+        self.mapped_pages = 0
+        # Aggregate (cross-VSpace) instruments in the process-wide
+        # registry, so benchmarks and the trace export report the same
+        # numbers the attributes above hold per address space.
+        self._obs_rounds = obs.counter("vspace.shootdown_rounds")
+        self._obs_shot_pages = obs.counter("vspace.shootdown_pages")
+        self._obs_mapped = obs.gauge("vspace.mapped_pages")
+        self._obs_batch = obs.histogram("vspace.batch_pages")
 
     # -- core registration ------------------------------------------------------
 
@@ -115,35 +171,94 @@ class VSpace:
         result = self.nr.execute(("map", vaddr, frame, size, flags),
                                  node=node, thread=core)
         if result[0] != "ok":
-            raise VSpaceError(result[2])
+            raise VSpaceError(result[2], kind=result[1])
+        self.mapped_pages += 1
+        self._obs_mapped.inc()
 
     def unmap(self, vaddr: int, core: int = 0) -> Mapping:
         node = self._core_node.get(core, 0)
         result = self.nr.execute(("unmap", vaddr), node=node, thread=core)
         if result[0] != "ok":
-            raise VSpaceError(result[2])
+            raise VSpaceError(result[2], kind=result[1])
         removed = result[1]
+        self.mapped_pages -= 1
+        self._obs_mapped.dec()
         # The unmap is only safe once *every* replica has applied it (no
         # core may keep translating through its stale tree) and every TLB
         # entry is gone — this full sync + shootdown is what makes unmap
         # more expensive than map (Figure 1c vs 1b).
         self.nr.sync_all()
-        self._shootdown(removed.vaddr, int(removed.size))
+        self._shootdown([removed.vaddr])
+        return removed
+
+    def map_batch(self, entries, core: int = 0) -> None:
+        """Apply N ``(vaddr, frame, size, flags)`` map operations as
+        **one** NR log operation.
+
+        One log append + one flat-combining round pays for the whole
+        batch (per-op, the amortization Figure 1b prices), and the
+        replica applies the batch all-or-nothing: a failing entry
+        unwinds the ones already mapped before the error surfaces, so
+        no partially-mapped batch is ever visible.
+        """
+        entries = tuple(entries)
+        if not entries:
+            return
+        node = self._core_node.get(core, 0)
+        result = self.nr.execute(("map_batch", entries), node=node,
+                                 thread=core)
+        if result[0] != "ok":
+            raise VSpaceError(result[2], kind=result[1])
+        self.mapped_pages += len(entries)
+        self._obs_mapped.inc(len(entries))
+        self._obs_batch.record(len(entries))
+
+    def unmap_batch(self, vaddrs, core: int = 0) -> list[Mapping]:
+        """Remove N pages with **one** log operation and **one** TLB
+        shootdown round.
+
+        The batch goes through the NR log as a single validate-then-
+        apply operation (atomic: a missing page fails the batch before
+        any mapping changes); then one ``sync_all`` quiesces every
+        replica and one shootdown round delivers each core its whole
+        invalidation set.  The paper's unmap-synchronization obligation
+        is preserved — no stale translation survives past return (and
+        the kernel posts no completion for any entry of the batch
+        before this returns) — but the log-append + sync + IPI
+        round-trip is paid once per batch instead of once per page.
+        """
+        vaddrs = tuple(vaddrs)
+        if not vaddrs:
+            return []
+        node = self._core_node.get(core, 0)
+        result = self.nr.execute(("unmap_batch", vaddrs), node=node,
+                                 thread=core)
+        if result[0] != "ok":
+            raise VSpaceError(result[2], kind=result[1])
+        removed = list(result[1])
+        self.mapped_pages -= len(removed)
+        self._obs_mapped.dec(len(removed))
+        self._obs_batch.record(len(removed))
+        self.nr.sync_all()
+        self._shootdown([m.vaddr for m in removed])
         return removed
 
     def resolve(self, vaddr: int, core: int = 0) -> Mapping | None:
         node = self._core_node.get(core, 0)
         result = self.nr.execute_ro(("resolve", vaddr), node=node, thread=core)
         if result[0] != "ok":
-            raise VSpaceError(result[2])
+            raise VSpaceError(result[2], kind=result[1])
         return result[1]
 
-    def _shootdown(self, vaddr: int, size: int) -> None:
-        """Invalidate the unmapped range in every registered core's TLB
-        (the mandatory protocol established by the `tlb` VCs)."""
+    def _shootdown(self, vaddrs: list[int]) -> None:
+        """One shootdown round: deliver every registered core its
+        invalidation set for the whole batch (the mandatory protocol
+        established by the `tlb` VCs, amortized over N pages)."""
         self.shootdowns += 1
+        self._obs_rounds.inc()
+        self._obs_shot_pages.inc(len(vaddrs))
         for tlb in self._tlbs.values():
-            tlb.invalidate_page(vaddr)
+            tlb.invalidate_pages(vaddrs)
 
     # -- translation (what instruction execution uses) -------------------------------
 

@@ -14,6 +14,8 @@ All library routines are generators: user code invokes them with
 
 from repro.ulib.sync import Mutex, Condvar, Semaphore
 from repro.ulib.alloc import Heap
+from repro.ulib.ring import Ring
 from repro.ulib.uthread import UScheduler, uyield
 
-__all__ = ["Mutex", "Condvar", "Semaphore", "Heap", "UScheduler", "uyield"]
+__all__ = ["Mutex", "Condvar", "Semaphore", "Heap", "Ring", "UScheduler",
+           "uyield"]

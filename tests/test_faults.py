@@ -257,7 +257,7 @@ class TestCampaigns:
     def test_all_campaigns_pass_and_replay_identically(self):
         reports = run_campaign("all", seed=1)
         assert [r.name for r in reports] == ["disk", "net", "mem",
-                                             "prover", "cluster"]
+                                             "prover", "cluster", "ring"]
         for report in reports:
             assert report.ok, report.violations
             assert report.injections > 0, f"{report.name} injected nothing"

@@ -210,6 +210,63 @@ class TestMappingsEnumeration:
             assert pt.resolve(i * 0x1000).paddr == (i + 256) * 0x1000
 
 
+class TestBatchOps:
+    def test_map_batch_crosses_2m_boundary(self):
+        """The leaf-table cache is keyed by 2MB region; a batch spanning
+        the boundary must land each page in the right leaf table."""
+        pt, _ = make_pt(16 * MB)
+        base = 0x20_0000 - 2 * 0x1000  # two pages below the 2MB line
+        entries = [(base + i * 0x1000, 0x10_0000 + i * 0x1000,
+                    PageSize.SIZE_4K, Flags.user_rw()) for i in range(4)]
+        assert pt.map_batch(entries) == 4
+        for vaddr, frame, _size, _flags in entries:
+            m = pt.resolve(vaddr)
+            assert m is not None and m.paddr == frame
+        removed = pt.unmap_batch([vaddr for vaddr, *_ in entries])
+        assert [m.vaddr for m in removed] == [vaddr for vaddr, *_ in entries]
+        for vaddr, *_ in entries:
+            assert pt.resolve(vaddr) is None
+
+    def test_map_batch_unwinds_on_conflict(self):
+        pt, _ = make_pt()
+        pt.map_frame(0x40_3000, 0x20_0000, PageSize.SIZE_4K, Flags.user_rw())
+        entries = [
+            (0x40_0000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw()),
+            (0x40_1000, 0x10_1000, PageSize.SIZE_4K, Flags.user_rw()),
+            (0x40_3000, 0x10_2000, PageSize.SIZE_4K, Flags.user_rw()),
+        ]
+        with pytest.raises(AlreadyMapped):
+            pt.map_batch(entries)
+        # the first two entries were unwound; the pre-existing mapping
+        # is untouched
+        assert pt.resolve(0x40_0000) is None
+        assert pt.resolve(0x40_1000) is None
+        assert pt.resolve(0x40_3000).paddr == 0x20_0000
+
+    def test_map_batch_cached_leaf_keeps_obligations(self):
+        """The fast path (leaf table already walked) must enforce the
+        same alignment checks the full descent does."""
+        pt, _ = make_pt()
+        entries = [
+            (0x40_0000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw()),
+            (0x40_1800, 0x10_1000, PageSize.SIZE_4K, Flags.user_rw()),
+        ]
+        with pytest.raises(BadRequest):
+            pt.map_batch(entries)
+        assert pt.resolve(0x40_0000) is None
+
+    def test_unmap_batch_aliased_pages_are_atomic(self):
+        """Two batch entries resolving to the same leaf slot (an interior
+        alias) must fail the whole batch before anything is cleared."""
+        pt, _ = make_pt()
+        pt.map_frame(0x40_0000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        pt.map_frame(0x40_1000, 0x10_1000, PageSize.SIZE_4K, Flags.user_rw())
+        with pytest.raises(NotMapped):
+            pt.unmap_batch([0x40_0000, 0x40_1000, 0x40_0008])
+        assert pt.resolve(0x40_0000) is not None
+        assert pt.resolve(0x40_1000) is not None
+
+
 class TestAllocator:
     def test_alloc_free_cycle(self):
         mem = PhysicalMemory(4 * defs.PAGE_SIZE)

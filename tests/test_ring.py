@@ -1,0 +1,548 @@
+"""Syscall ring tests: codecs, batched dispatch, typed per-entry errors,
+batched memory ops with single-round shootdown, and obs wiring."""
+
+import pytest
+
+from repro import obs
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.nros.fs.fd import O_CREAT, O_RDWR
+from repro.nros.fs.fsck import fsck
+from repro.nros.kernel import Kernel
+from repro.nros.syscall import abi
+from repro.nros.syscall import ring as ringmod
+from repro.nros.syscall.abi import SyscallError, sys
+from repro.nros.syscall.ring import (
+    CQE_SIZE,
+    RING_FORBIDDEN,
+    SQE_SIZE,
+    RingError,
+    SqeDecodeError,
+    SyscallRing,
+    decode_cqe,
+    decode_sqe,
+    encode_cqe,
+    encode_sqe,
+)
+from repro.ulib import Ring
+
+
+def run_program(factory, name="test", kernel=None, argv=()):
+    kernel = kernel or Kernel(num_cores=2)
+    kernel.register_program(name, factory)
+    pid = kernel.spawn(name, argv)
+    kernel.run()
+    return kernel, kernel.processes[pid]
+
+
+class TestSqeCodec:
+    def test_roundtrip(self):
+        slot = encode_sqe(7, abi.SYSCALLS["write"], (3, b"payload"))
+        assert len(slot) == SQE_SIZE
+        user_data, number, args = decode_sqe(slot)
+        assert user_data == 7
+        assert number == abi.SYSCALLS["write"]
+        assert args == (3, b"payload")
+
+    def test_empty_args(self):
+        user_data, number, args = decode_sqe(
+            encode_sqe(0, abi.SYSCALLS["getpid"], ()))
+        assert (user_data, args) == (0, ())
+
+    def test_oversized_args_rejected(self):
+        with pytest.raises(RingError):
+            encode_sqe(1, abi.SYSCALLS["write"], (3, b"x" * 200))
+
+    def test_bad_user_data_rejected(self):
+        with pytest.raises(RingError):
+            encode_sqe(-1, 1, ())
+        with pytest.raises(RingError):
+            encode_sqe(1 << 64, 1, ())
+
+    def test_every_single_byte_corruption_detected(self):
+        """The checksum property the torn-SQE fault model rests on: no
+        one-byte change to an encoded slot decodes successfully."""
+        slot = encode_sqe(9, abi.SYSCALLS["write"], (4, b"hello world"))
+        for index in range(SQE_SIZE):
+            for flip in (0x01, 0xFF):
+                torn = bytearray(slot)
+                torn[index] ^= flip
+                with pytest.raises(SqeDecodeError):
+                    decode_sqe(bytes(torn))
+
+    def test_truncated_store_detected(self):
+        slot = encode_sqe(9, abi.SYSCALLS["write"], (4, b"hello world"))
+        for cut in range(1, SQE_SIZE):
+            torn = slot[:cut] + bytes(SQE_SIZE - cut)
+            if torn == slot:
+                continue  # tail was already zero padding
+            with pytest.raises(SqeDecodeError):
+                decode_sqe(torn)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(SqeDecodeError):
+            decode_sqe(b"\x00" * 64)
+
+
+class TestCqeCodec:
+    def test_roundtrip(self):
+        slot = encode_cqe(11, 0, (1, b"ok"))
+        assert len(slot) == CQE_SIZE
+        assert decode_cqe(slot) == (11, 0, (1, b"ok"))
+
+    def test_oversized_success_degrades_to_e2big(self):
+        user_data, status, value = decode_cqe(encode_cqe(3, 0, b"y" * 100))
+        assert (user_data, status, value) == (3, abi.E2BIG, None)
+
+    def test_unmarshallable_success_degrades_to_e2big(self):
+        _, status, value = decode_cqe(encode_cqe(3, 0, [1, 2]))
+        assert (status, value) == (abi.E2BIG, None)
+
+    def test_error_status_survives_long_message(self):
+        """An errno must never be masked by E2BIG just because its
+        message payload does not fit the slot."""
+        _, status, value = decode_cqe(
+            encode_cqe(3, abi.ENOENT, "x" * 200))
+        assert status == abi.ENOENT
+        assert value is None
+
+
+class TestRingStructure:
+    def test_audit_clean_ring(self):
+        ring = SyscallRing(ring_id=1, sq_base=0, cq_base=0x1000,
+                           sq_depth=8, cq_depth=8)
+        assert ring.audit() == []
+
+    def test_audit_catches_ordering_break(self):
+        ring = SyscallRing(ring_id=1, sq_base=0, cq_base=0x1000,
+                           sq_depth=8, cq_depth=8,
+                           sq_head=3, sq_tail=5, cq_tail=2)
+        assert any("completion ordering" in p for p in ring.audit())
+
+    def test_slot_vaddrs_wrap(self):
+        ring = SyscallRing(ring_id=1, sq_base=0x4000, cq_base=0x8000,
+                           sq_depth=4, cq_depth=4)
+        assert ring.sq_slot_vaddr(5) == 0x4000 + 1 * SQE_SIZE
+        assert ring.cq_slot_vaddr(7) == 0x8000 + 3 * CQE_SIZE
+
+    def test_segments_contiguous_window(self):
+        assert ringmod._segments(0x4000, 8, SQE_SIZE, 0, 3) == [(0x4000, 3)]
+        # monotonic indices: slot = index % depth
+        assert ringmod._segments(0x4000, 8, SQE_SIZE, 9, 2) == [
+            (0x4000 + 1 * SQE_SIZE, 2)]
+
+    def test_segments_wrap_splits_into_two_runs(self):
+        assert ringmod._segments(0x4000, 8, SQE_SIZE, 6, 4) == [
+            (0x4000 + 6 * SQE_SIZE, 2), (0x4000, 2)]
+
+    def test_segments_full_window_is_one_run(self):
+        assert ringmod._segments(0x4000, 8, SQE_SIZE, 16, 8) == [(0x4000, 8)]
+
+    def test_segments_empty_and_oversized_windows(self):
+        assert ringmod._segments(0x4000, 8, SQE_SIZE, 5, 0) == []
+        with pytest.raises(RingError):
+            ringmod._segments(0x4000, 8, SQE_SIZE, 0, 9)
+
+    def test_ring_segment_methods_cover_every_slot_once(self):
+        ring = SyscallRing(ring_id=1, sq_base=0x4000, cq_base=0x8000,
+                           sq_depth=4, cq_depth=4)
+        segs = ring.sq_segments(3, 3)  # slot 3, then wraps to 0..1
+        assert segs == [(0x4000 + 3 * SQE_SIZE, 1), (0x4000, 2)]
+        assert sum(slots for _vaddr, slots in segs) == 3
+        assert ring.cq_segments(2, 2) == [(0x8000 + 2 * CQE_SIZE, 2)]
+
+
+class TestRingDispatch:
+    def test_setup_geometry(self):
+        seen = []
+
+        def prog():
+            seen.append((yield sys("ring_setup", 8, 16)))
+
+        _, process = run_program(prog)
+        assert process.exit_code == 0
+        ring_id, sq_base, cq_base, sq_depth, cq_depth = seen[0]
+        assert (sq_depth, cq_depth) == (8, 16)
+        assert cq_base > sq_base
+        ring = process.rings[ring_id]
+        assert (ring.sq_base, ring.cq_base) == (sq_base, cq_base)
+
+    def test_bad_depth_rejected(self):
+        seen = []
+
+        def prog():
+            for depth in (0, -1, ringmod.MAX_DEPTH + 1):
+                try:
+                    yield sys("ring_setup", depth)
+                except SyscallError as exc:
+                    seen.append(exc.errno)
+
+        run_program(prog)
+        assert seen == [abi.EINVAL] * 3
+
+    def test_enter_unknown_ring(self):
+        seen = []
+
+        def prog():
+            try:
+                yield sys("ring_enter", 99, b"", True)
+            except SyscallError as exc:
+                seen.append(exc.errno)
+
+        run_program(prog)
+        assert seen == [abi.EBADF]
+
+    def test_batch_completes_in_order_with_single_call_values(self):
+        """The whole point: N ops, one syscall, same results as the
+        single-call path."""
+        batched, single = [], []
+
+        def prog_batched():
+            ring = Ring(sq_depth=8)
+            yield from ring.setup()
+            fd = yield sys("open", "/f.txt", O_CREAT | O_RDWR)
+            ring.prepare("write", (fd, b"aaaa"))
+            ring.prepare("write", (fd, b"bb"))
+            ring.prepare("seek", (fd, 0))
+            ring.prepare("read", (fd, 6))
+            ring.prepare("stat", ("/f.txt",))
+            batched.extend((yield from ring.submit()))
+
+        def prog_single():
+            fd = yield sys("open", "/f.txt", O_CREAT | O_RDWR)
+            single.append((yield sys("write", fd, b"aaaa")))
+            single.append((yield sys("write", fd, b"bb")))
+            single.append((yield sys("seek", fd, 0)))
+            single.append((yield sys("read", fd, 6)))
+            single.append((yield sys("stat", "/f.txt")))
+
+        kernel_b, process = run_program(prog_batched)
+        kernel_s, _ = run_program(prog_single)
+        assert process.exit_code == 0
+        assert [c[0] for c in batched] == [1, 2, 3, 4, 5]
+        assert all(c[1] == 0 for c in batched)
+        assert [c[2] for c in batched] == single
+        # the batched and unbatched kernels agree on the filesystem
+        assert fsck(kernel_b.fs) == fsck(kernel_s.fs) == []
+        assert kernel_b.stats.ring_batches == 1
+        assert kernel_b.stats.ring_sqes == 5
+
+    def test_forbidden_ops_complete_with_einval(self):
+        seen = []
+
+        def prog():
+            rid, *_ = yield sys("ring_setup", 4)
+            for name in sorted(RING_FORBIDDEN):
+                blob = ringmod.encode_sqe(1, abi.SYSCALLS[name], ())
+                seen.extend((yield sys("ring_enter", rid, blob, True)))
+
+        _, process = run_program(prog)
+        assert process.exit_code == 0
+        assert [c[1] for c in seen] == [abi.EINVAL] * len(RING_FORBIDDEN)
+
+    def test_blocking_op_completes_with_eagain(self):
+        seen = []
+
+        def prog():
+            ring = Ring(sq_depth=4)
+            yield from ring.setup()
+            ring.prepare("sleep", (100,))
+            seen.extend((yield from ring.submit()))
+
+        run_program(prog)
+        assert [c[1] for c in seen] == [abi.EAGAIN]
+
+    def test_unknown_syscall_completes_with_enosys(self):
+        seen = []
+
+        def prog():
+            rid, *_ = yield sys("ring_setup", 4)
+            blob = ringmod.encode_sqe(1, 9999, ())
+            seen.extend((yield sys("ring_enter", rid, blob, True)))
+
+        run_program(prog)
+        assert [c[1] for c in seen] == [abi.ENOSYS]
+
+    def test_per_entry_error_does_not_poison_batch(self):
+        seen = []
+
+        def prog():
+            ring = Ring(sq_depth=8)
+            yield from ring.setup()
+            fd = yield sys("open", "/f.txt", O_CREAT | O_RDWR)
+            ring.prepare("write", (fd, b"first"))
+            ring.prepare("open", ("/missing", 0))   # ENOENT
+            ring.prepare("write", (fd, b"second"))
+            seen.extend((yield from ring.submit()))
+
+        kernel, _ = run_program(prog)
+        assert [c[1] for c in seen] == [0, abi.ENOENT, 0]
+        inum = kernel.fs.lookup("/f.txt")
+        assert kernel.fs.read_at(inum, 0, 11) == b"firstsecond"
+
+    def test_oversized_result_completes_with_e2big(self):
+        """A read whose payload exceeds the CQE slot is refused with
+        E2BIG — the zero-copy read_into path through the same ring is
+        the supported way to move bulk data."""
+        seen = []
+
+        def prog():
+            ring = Ring(sq_depth=4)
+            yield from ring.setup()
+            fd = yield sys("open", "/big.txt", O_CREAT | O_RDWR)
+            yield sys("write", fd, b"z" * 300)
+            yield sys("seek", fd, 0)
+            buf = yield sys("vm_map", 1)
+            ring.prepare("read", (fd, 300))           # result too big
+            # E2BIG drops the payload but the op still ran (the offset
+            # moved) — rewind before the zero-copy retry
+            ring.prepare("seek", (fd, 0))
+            ring.prepare("read_into", (fd, buf, 300))  # zero-copy works
+            seen.extend((yield from ring.submit()))
+            assert (yield sys("peek", buf)) == int.from_bytes(b"z" * 8,
+                                                              "little")
+
+        _, process = run_program(prog)
+        assert process.exit_code == 0
+        assert [c[1] for c in seen] == [abi.E2BIG, 0, 0]
+        assert seen[2][2] == 300  # read_into returns the bytes moved
+
+    def test_sq_overflow_is_typed_eagain(self):
+        seen = []
+
+        def prog():
+            rid, *_ = yield sys("ring_setup", 2)
+            blob = b"".join(
+                ringmod.encode_sqe(i + 1, abi.SYSCALLS["getpid"], ())
+                for i in range(3))
+            try:
+                yield sys("ring_enter", rid, blob, True)
+            except SyscallError as exc:
+                seen.append(exc.errno)
+
+        run_program(prog)
+        assert seen == [abi.EAGAIN]
+
+    def test_noreap_then_reap(self):
+        seen = []
+
+        def prog():
+            ring = Ring(sq_depth=8)
+            yield from ring.setup()
+            ring.prepare("getpid")
+            ring.prepare("getpid")
+            submitted, completed = yield from ring.submit_noreap()
+            seen.append((submitted, completed))
+            seen.append((yield from ring.reap(1)))
+            seen.append((yield from ring.reap()))
+
+        _, process = run_program(prog)
+        assert seen[0] == (2, 2)
+        assert len(seen[1]) == 1 and seen[1][0][1] == 0
+        assert len(seen[2]) == 1
+        assert seen[1][0][2] == seen[2][0][2] == process.pid
+        ring = next(iter(process.rings.values()))
+        assert ring.audit() == []
+        assert ring.cq_ready == 0
+
+    def test_torn_sqe_via_fault_plan(self):
+        seen = []
+
+        def prog():
+            ring = Ring(sq_depth=8)
+            yield from ring.setup()
+            for _ in range(4):
+                ring.prepare("getpid")
+            seen.extend((yield from ring.submit()))
+
+        kernel = Kernel(num_cores=2)
+        kernel.fault_plan = FaultPlan(3, rules=[
+            FaultRule(site="ring.sqe", kind="torn", at=2),
+        ])
+        run_program(prog, kernel=kernel)
+        assert [c[1] for c in seen] == [0, abi.EBADMSG, 0, 0]
+
+    def test_ring_unwrap_raises_typed_error(self):
+        seen = []
+
+        def prog():
+            ring = Ring(sq_depth=4)
+            yield from ring.setup()
+            ring.prepare("open", ("/nope", 0))
+            done = yield from ring.submit()
+            try:
+                Ring.unwrap(done)
+            except SyscallError as exc:
+                seen.append(exc.errno)
+
+        run_program(prog)
+        assert seen == [abi.ENOENT]
+
+    def test_ulib_prepare_rejects_forbidden_and_unknown(self):
+        ring = Ring()
+        with pytest.raises(RingError):
+            ring.prepare("exit")
+        with pytest.raises(RingError):
+            ring.prepare("no_such_call")
+
+
+class TestBatchedMemoryOps:
+    def test_map_batch_unmap_batch_roundtrip(self):
+        seen = []
+
+        def prog():
+            base = yield sys("vm_map_batch", 4)
+            for i in range(4):
+                yield sys("poke", base + i * 4096, i + 1)
+            for i in range(4):
+                seen.append((yield sys("peek", base + i * 4096)))
+            seen.append((yield sys("vm_unmap_batch",
+                                   tuple(base + i * 4096 for i in range(4)))))
+
+        _, process = run_program(prog)
+        assert process.exit_code == 0
+        assert seen == [1, 2, 3, 4, 4]
+
+    def test_unmap_batch_is_one_shootdown_round(self):
+        """The acceptance criterion: N pages, exactly one TLB shootdown
+        round — against npages rounds on the single-call path."""
+        rounds = {}
+
+        def prog(npages, batched):
+            def run():
+                base = yield sys("vm_map_batch", npages)
+                vspace = kernel.processes[1].vspace
+                before = vspace.shootdowns
+                if batched:
+                    yield sys("vm_unmap_batch",
+                              tuple(base + i * 4096 for i in range(npages)))
+                else:
+                    for i in range(npages):
+                        yield sys("vm_unmap", base + i * 4096)
+                rounds[batched] = vspace.shootdowns - before
+            return run
+
+        for batched in (True, False):
+            kernel = Kernel(num_cores=2)
+            run_program(prog(8, batched), kernel=kernel)
+        assert rounds[True] == 1
+        assert rounds[False] == 8
+
+    def test_unmap_batch_missing_page_is_all_or_nothing(self):
+        seen = []
+
+        def prog():
+            base = yield sys("vm_map_batch", 2)
+            try:
+                yield sys("vm_unmap_batch", (base, base + 0x9999_0000))
+            except SyscallError as exc:
+                seen.append(exc.errno)
+            # nothing was unmapped: both pages still usable
+            yield sys("poke", base, 7)
+            yield sys("poke", base + 4096, 8)
+            seen.append((yield sys("peek", base)))
+
+        _, process = run_program(prog)
+        assert process.exit_code == 0
+        assert seen == [abi.ENOENT, 7]
+
+    def test_unmap_batch_rejects_duplicates_and_empty(self):
+        seen = []
+
+        def prog():
+            base = yield sys("vm_map_batch", 1)
+            for bad in ((), (base, base)):
+                try:
+                    yield sys("vm_unmap_batch", bad)
+                except SyscallError as exc:
+                    seen.append(exc.errno)
+
+        run_program(prog)
+        assert seen == [abi.EINVAL, abi.EINVAL]
+
+    def test_unmap_batch_range_form_matches_tuple_form(self):
+        """``vm_unmap_batch(base, count)`` — the munmap-style range form
+        a fixed-size SQE forces for large batches — is exactly the tuple
+        form over ``base + i*4096``."""
+        rounds = []
+
+        def prog():
+            vspace = kernel.processes[1].vspace
+            for use_range in (True, False):
+                base = yield sys("vm_map_batch", 6)
+                before = vspace.shootdowns
+                if use_range:
+                    yield sys("vm_unmap_batch", base, 6)
+                else:
+                    yield sys("vm_unmap_batch",
+                              tuple(base + i * 4096 for i in range(6)))
+                rounds.append(vspace.shootdowns - before)
+                # the range really unmapped: the page faults now
+                try:
+                    yield sys("peek", base)
+                except SyscallError as exc:
+                    rounds.append(exc.errno)
+
+        kernel = Kernel(num_cores=2)
+        _, process = run_program(prog, kernel=kernel)
+        assert process.exit_code == 0
+        assert rounds == [1, abi.EFAULT, 1, abi.EFAULT]
+
+    def test_unmap_batch_range_form_rejects_bad_counts(self):
+        seen = []
+
+        def prog():
+            base = yield sys("vm_map_batch", 1)
+            for bad_count in (0, -3):
+                try:
+                    yield sys("vm_unmap_batch", base, bad_count)
+                except SyscallError as exc:
+                    seen.append(exc.errno)
+            yield sys("vm_unmap_batch", base, 1)
+
+        _, process = run_program(prog)
+        assert process.exit_code == 0
+        assert seen == [abi.EINVAL, abi.EINVAL]
+
+    def test_map_batch_frames_are_zeroed_and_freed(self):
+        checkpoints = []
+
+        def prog():
+            # two identical cycles: if unmap_batch leaked its data
+            # frames, the second cycle would drain the allocator further
+            for _ in range(2):
+                base = yield sys("vm_map_batch", 3)
+                for i in range(3):
+                    assert (yield sys("peek", base + i * 4096)) == 0
+                yield sys("vm_unmap_batch",
+                          tuple(base + i * 4096 for i in range(3)))
+                checkpoints.append(kernel.frames.stats.free_frames)
+
+        kernel = Kernel(num_cores=2)
+        _, process = run_program(prog, kernel=kernel)
+        assert process.exit_code == 0
+        assert checkpoints[0] == checkpoints[1]
+
+
+class TestRingObs:
+    def test_batch_sizes_and_vspace_metrics_recorded(self):
+        batch_hist = obs.histogram("ring.batch_sqes")
+        vspace_hist = obs.histogram("vspace.batch_pages")
+        rounds = obs.counter("vspace.shootdown_rounds")
+        hist_before = batch_hist.count
+        vspace_before = vspace_hist.count
+        rounds_before = rounds.value
+
+        def prog():
+            ring = Ring(sq_depth=8)
+            yield from ring.setup()
+            for _ in range(5):
+                ring.prepare("getpid")
+            yield from ring.submit()
+            base = yield sys("vm_map_batch", 6)
+            yield sys("vm_unmap_batch",
+                      tuple(base + i * 4096 for i in range(6)))
+
+        run_program(prog)
+        assert batch_hist.samples[hist_before:].count(5) >= 1
+        assert 6 in vspace_hist.samples[vspace_before:]
+        assert rounds.value > rounds_before

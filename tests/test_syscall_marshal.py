@@ -59,6 +59,39 @@ class TestRoundtrips:
         assert unmarshal(marshal("")) == ""
 
 
+class TestScaling:
+    """The tuple encoder joins element encodings once (no repeated
+    ``bytes + bytes`` accumulation), so encoding cost is linear in the
+    payload.  The ring leans on this: a 64-entry batch marshals 64
+    argument tuples per enter."""
+
+    def test_large_flat_tuple_roundtrip(self):
+        value = tuple(range(2000)) + tuple(
+            bytes([i % 256]) * (i % 7) for i in range(500)
+        )
+        assert unmarshal(marshal(value)) == value
+
+    def test_encoding_scales_linearly(self):
+        import time
+
+        def cost(n):
+            value = tuple(b"x" * 16 for _ in range(n))
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                marshal(value)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        small, large = cost(500), cost(5000)
+        # 10x the elements: quadratic accumulation would be ~100x the
+        # time; allow a generous 30x for noise on a loaded machine.
+        assert large < small * 30, (
+            f"marshal scaled superlinearly: 500 elems {small:.6f}s, "
+            f"5000 elems {large:.6f}s"
+        )
+
+
 class TestErrors:
     def test_oversized_int(self):
         with pytest.raises(MarshalError):

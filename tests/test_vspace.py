@@ -126,6 +126,84 @@ class TestTranslationAndShootdown:
             vspace.attach_core(9, 7)
 
 
+class TestBatchedOps:
+    def test_unmap_batch_is_one_shootdown_round(self):
+        vspace, _, _ = make_vspace(cores=4)
+        vaddrs = [0x1000 + i * 0x1000 for i in range(8)]
+        vspace.map_batch([
+            (v, 0x10_0000 + i * 0x1000, PageSize.SIZE_4K, Flags.user_rw())
+            for i, v in enumerate(vaddrs)
+        ])
+        for core in range(4):
+            for v in vaddrs:
+                vspace.translate(core, v)  # fill every TLB
+        before = vspace.shootdowns
+        removed = vspace.unmap_batch(vaddrs, core=0)
+        assert vspace.shootdowns == before + 1  # one round for 8 pages
+        assert [m.vaddr for m in removed] == vaddrs
+        # the single round still invalidated every core's entries
+        for core in range(4):
+            with pytest.raises(TranslationFault):
+                vspace.translate(core, vaddrs[-1])
+
+    def test_single_unmaps_pay_one_round_each(self):
+        vspace, _, _ = make_vspace()
+        vaddrs = [0x1000 + i * 0x1000 for i in range(8)]
+        for i, v in enumerate(vaddrs):
+            vspace.map(v, 0x10_0000 + i * 0x1000, PageSize.SIZE_4K,
+                       Flags.user_rw())
+        before = vspace.shootdowns
+        for v in vaddrs:
+            vspace.unmap(v)
+        assert vspace.shootdowns == before + 8
+
+    def test_map_batch_all_or_nothing(self):
+        vspace, _, _ = make_vspace()
+        vspace.map(0x3000, 0x30_0000, PageSize.SIZE_4K, Flags.user_rw())
+        with pytest.raises(VSpaceError):
+            vspace.map_batch([
+                (0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw()),
+                (0x2000, 0x20_0000, PageSize.SIZE_4K, Flags.user_rw()),
+                (0x3000, 0x40_0000, PageSize.SIZE_4K, Flags.user_rw()),
+            ])
+        # the two entries that had been applied were rolled back
+        assert vspace.resolve(0x1000) is None
+        assert vspace.resolve(0x2000) is None
+        assert vspace.resolve(0x3000).paddr == 0x30_0000
+        assert vspace.mapped_pages == 1
+
+    def test_unmap_batch_failure_is_atomic(self):
+        vspace, _, _ = make_vspace(cores=2)
+        vspace.map(0x1000, 0x10_0000, PageSize.SIZE_4K, Flags.user_rw())
+        vspace.translate(0, 0x1000)
+        vspace.translate(1, 0x1000)
+        before = vspace.shootdowns
+        with pytest.raises(VSpaceError) as excinfo:
+            vspace.unmap_batch([0x1000, 0x9000])  # 0x9000 never mapped
+        assert excinfo.value.kind == "not_mapped"
+        # the replica validates the whole batch before touching any
+        # mapping, so nothing was removed: no shootdown round was owed,
+        # and every translation still works on every core
+        assert vspace.shootdowns == before
+        for core in range(2):
+            assert vspace.translate(core, 0x1000) is not None
+        assert vspace.mapped_pages == 1
+
+    def test_batch_mapped_pages_accounting(self):
+        vspace, _, _ = make_vspace()
+        assert vspace.mapped_pages == 0
+        vspace.map_batch([
+            (0x1000 + i * 0x1000, 0x10_0000 + i * 0x1000,
+             PageSize.SIZE_4K, Flags.user_rw())
+            for i in range(5)
+        ])
+        assert vspace.mapped_pages == 5
+        vspace.unmap_batch([0x1000, 0x2000])
+        assert vspace.mapped_pages == 3
+        vspace.unmap(0x3000)
+        assert vspace.mapped_pages == 2
+
+
 class TestUnverifiedBackend:
     def test_vspace_over_unverified_pt(self):
         mem = PhysicalMemory(16 * MB)
