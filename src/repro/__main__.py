@@ -88,7 +88,8 @@ def _build_engine(layers: str, quick: bool):
     from repro.core.refine.proof import build_proof
 
     selected = {name for name in layers.split(",") if name}
-    known = {"all", "lemmas", "structural", "nr", "contract", "sched"}
+    known = {"all", "lemmas", "structural", "nr", "contract", "sched",
+             "rg"}
     unknown = selected - known
     if unknown:
         raise SystemExit(f"unknown --layers {sorted(unknown)}; "
@@ -100,6 +101,7 @@ def _build_engine(layers: str, quick: bool):
         include_nr=everything or "nr" in selected,
         include_contract=everything or "contract" in selected,
         include_sched=everything or "sched" in selected,
+        include_rg=everything or "rg" in selected,
         scenario_depth=2 if quick else 3,
         scenario_cap=12 if quick else 60,
     )
@@ -387,8 +389,8 @@ def main(argv=None) -> int:
     prove_parser.add_argument("--jobs", "-j", type=int, default=1,
                               help="worker processes (default 1)")
     prove_parser.add_argument("--layers", default="all",
-                              help="comma list of layers: "
-                                   "all,lemmas,structural,nr,contract")
+                              help="comma list of layers: all,lemmas,"
+                                   "structural,nr,contract,sched,rg")
     prove_parser.add_argument("--quick", action="store_true",
                               help="smaller scenario population")
     prove_parser.add_argument("--cache-dir", default=None,
@@ -440,17 +442,25 @@ def main(argv=None) -> int:
                                      "repository)")
     analyze_parser.add_argument("--skip", default=None,
                                 help="comma list of passes to skip: "
-                                     "layering,purity,race")
+                                     "layering,purity,rg,lockorder,"
+                                     "deadsupp,race")
     analyze_parser.add_argument("--seed", type=int, default=None,
                                 help="replay the race detector under one "
                                      "seed only (default: the seed sweep)")
     analyze_parser.add_argument("--max-steps", type=int, default=200_000,
                                 help="race-replay step budget per schedule")
     analyze_parser.add_argument("--mutant", default=None, metavar="NAME",
-                                help="run the race detector against a "
-                                     "seeded mutant (expected to be "
-                                     "flagged): reader-lock-elision, "
-                                     "writer-lock-elision")
+                                help="analyze a seeded mutant (expected "
+                                     "to be flagged): reader-lock-elision, "
+                                     "writer-lock-elision, sched mutants, "
+                                     "or the rg interference mutants "
+                                     "pmem-free-unlocked / "
+                                     "buddy-split-no-merge-lock")
+    analyze_parser.add_argument("--format", default="text",
+                                choices=["text", "json"],
+                                help="output format; json emits one "
+                                     "canonical schema-validated payload "
+                                     "on stdout")
     analyze_parser.add_argument("--list-rules", action="store_true",
                                 help="print every rule id and exit")
     analyze_parser.add_argument("--trace", default=None, metavar="FILE",

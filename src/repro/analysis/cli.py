@@ -1,9 +1,13 @@
 """``python -m repro analyze`` — run the verification-aware static
 analysis passes and gate CI on the result.
 
-Exit status: 0 when every finding is suppressed or absent, 1 otherwise.
-Findings stream through :mod:`repro.obs` as ``analysis.finding`` events,
-so ``--trace out.jsonl`` captures them alongside everything else.
+Exit status (stable, CI scripts switch on it): 0 when every finding is
+suppressed or absent, 1 on any active finding, 2 when the run itself
+could not proceed (unknown pass or mutant).  Findings stream through
+:mod:`repro.obs` as ``analysis.finding`` events, so ``--trace
+out.jsonl`` captures them alongside everything else;
+``--format json`` renders one canonical, schema-validated payload
+(:mod:`repro.analysis.jsonreport`).
 """
 
 from __future__ import annotations
@@ -13,13 +17,19 @@ import os
 import pathlib
 
 from repro import obs
-from repro.analysis.findings import AnalysisReport, apply_suppressions
+from repro.analysis.findings import (AnalysisReport, apply_suppressions,
+                                     dead_suppressions)
 from repro.analysis.imports import check_layering, discover_sources
 from repro.analysis.purity import check_purity
 from repro.analysis.race import default_scripts, detect_races
 from repro.obs.console import err, out
 
-PASSES = ("layering", "purity", "race")
+PASSES = ("layering", "purity", "rg", "lockorder", "deadsupp", "race")
+
+#: Passes whose findings suppression comments can waive.  The dead-
+#: suppression lint only runs when all of them did: a waiver for a
+#: skipped pass is not dead, just unexercised.
+_STATIC_PASSES = ("layering", "purity", "rg", "lockorder")
 
 #: Seeds replayed by the race pass; quick mode keeps CI cheap.
 RACE_SEEDS = tuple(range(16))
@@ -54,6 +64,14 @@ def run_analysis(root=None, skip=(), seeds=None, max_steps: int = 200_000,
     layer_map = _load_layer_map(root) if custom_root else None
     sources = discover_sources(root, None if layer_map else "src/repro")
 
+    rg_mutant = None
+    if mutant is not None:
+        from repro.analysis.rg_mutants import RG_MUTANTS, apply_rg_mutant
+
+        if mutant in RG_MUTANTS:
+            rg_mutant = mutant
+            sources = apply_rg_mutant(sources, mutant)
+
     if "layering" not in skip:
         findings, stats = check_layering(sources, layer_map)
         report.extend(findings)
@@ -64,7 +82,29 @@ def run_analysis(root=None, skip=(), seeds=None, max_steps: int = 200_000,
         report.extend(findings)
         report.stats["purity"] = stats
 
+    if "rg" not in skip:
+        from repro.analysis.rg import check_interference
+
+        findings, stats = check_interference(sources)
+        report.extend(findings)
+        if rg_mutant is not None:
+            stats["target"] = f"mutant:{rg_mutant}"
+        report.stats["rg"] = stats
+
+    if "lockorder" not in skip:
+        from repro.analysis.lockorder import check_lock_order
+
+        findings, stats = check_lock_order(sources)
+        report.extend(findings)
+        report.stats["lockorder"] = stats
+
     apply_suppressions(report.findings, sources)
+
+    if "deadsupp" not in skip and not set(_STATIC_PASSES) & set(skip) \
+            and rg_mutant is None:
+        findings = dead_suppressions(report.findings, sources)
+        report.extend(findings)
+        report.stats["deadsupp"] = {"dead": len(findings)}
 
     if "race" not in skip:
         from repro.analysis.sched_race import (SCHED_MUTANTS,
@@ -75,8 +115,9 @@ def run_analysis(root=None, skip=(), seeds=None, max_steps: int = 200_000,
         nr_factory = None
         sched_protocol = None
         run_nr = run_sched = mutant is None
-        if mutant is not None:
+        if mutant is not None and rg_mutant is None:
             from repro.analysis.mutants import MUTANTS
+            from repro.analysis.rg_mutants import RG_MUTANTS
             from repro.nr.datastructures import KvStore
 
             if mutant in MUTANTS:
@@ -89,7 +130,7 @@ def run_analysis(root=None, skip=(), seeds=None, max_steps: int = 200_000,
             else:
                 raise SystemExit(
                     f"unknown --mutant {mutant!r}; choose from "
-                    f"{sorted(MUTANTS) + sorted(SCHED_MUTANTS)}")
+                    f"{sorted(MUTANTS) + sorted(SCHED_MUTANTS) + sorted(RG_MUTANTS)}")
         if run_nr:
             race_report = detect_races(seeds, nr_factory=nr_factory,
                                        scripts=default_scripts(),
@@ -156,6 +197,10 @@ def _emit_events(report: AnalysisReport) -> None:
 
 
 def main(args) -> int:
+    from repro.analysis.jsonreport import (EXIT_CLEAN, EXIT_ERROR,
+                                           EXIT_FINDINGS, render_json)
+
+    as_json = getattr(args, "format", "text") == "json"
     if args.list_rules:
         out("analysis rules:")
         for rule, text in sorted(RULES.items()):
@@ -165,23 +210,32 @@ def main(args) -> int:
     skip = {name for name in (args.skip or "").split(",") if name}
     unknown = skip - set(PASSES)
     if unknown:
-        raise SystemExit(f"unknown --skip {sorted(unknown)}; choose from "
-                         f"{sorted(PASSES)}")
+        err(f"unknown --skip {sorted(unknown)}; choose from "
+            f"{sorted(PASSES)}")
+        return EXIT_ERROR
 
     seeds = None
     if args.seed is not None:
         seeds = [args.seed]
 
-    report = run_analysis(root=args.root, skip=skip, seeds=seeds,
-                          max_steps=args.max_steps, mutant=args.mutant)
+    try:
+        report = run_analysis(root=args.root, skip=skip, seeds=seeds,
+                              max_steps=args.max_steps, mutant=args.mutant)
+    except SystemExit as exc:          # unknown mutant and friends
+        err(str(exc))
+        return EXIT_ERROR
     _emit_events(report)
+
+    if as_json:
+        out(render_json(report))
+        return EXIT_CLEAN if report.clean else EXIT_FINDINGS
 
     for finding in report.findings:
         (out if finding.suppressed else err)("  " + finding.render())
     for line in report.summary_lines():
         out("analyze: " + line)
 
-    return 0 if report.clean else 1
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
 
 
 #: rule id -> one-line description (for --list-rules and the README).
@@ -216,6 +270,35 @@ RULES = {
     "race.unordered-access":
         "two conflicting protocol step accesses (NR or SMP runqueue) "
         "with no happens-before edge and no common lock",
+    "rg.unguarded-write":
+        "a lock-guarded atomic action writes shared state outside its "
+        "'with self.<lock>:' bracket",
+    "rg.unguarded-read":
+        "a lock-guarded atomic action reads shared state outside its "
+        "lock bracket",
+    "rg.undeclared-write":
+        "an action writes shared state its declared guarantee does not "
+        "cover",
+    "rg.undeclared-read":
+        "an action reads shared state outside its declared footprint",
+    "rg.unspecified-action":
+        "an undeclared method mutates shared state (interference the "
+        "rely never admitted)",
+    "rg.missing-action":
+        "a declared atomic action has no matching method (the rg spec "
+        "rotted)",
+    "rg.nr-bypass":
+        "code reaches through .replicas around the NR log outside the "
+        "sanctioned accessors",
+    "lockorder.cycle":
+        "the static lock acquisition graph has a cycle (a deadlock-"
+        "capable lock order)",
+    "lockorder.unordered-same-class":
+        "two locks of the same class nested without a sanctioned "
+        "ordering (sorted acquisition)",
+    "suppression.dead":
+        "a '# repro: allow(rule)' comment that no longer suppresses "
+        "any finding",
     "parse-error":
         "a source file failed to parse",
 }

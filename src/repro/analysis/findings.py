@@ -104,3 +104,56 @@ def apply_suppressions(findings: list[Finding], source_by_path: dict) -> None:
         rules = cache[finding.path].get(finding.line, ())
         if finding.rule in rules:
             finding.suppressed = True
+
+
+def dead_suppressions(findings: list[Finding],
+                      source_by_path: dict) -> list[Finding]:
+    """Findings for ``allow`` comments that no longer suppress anything.
+
+    Run *after* :func:`apply_suppressions` over the full finding set: a
+    ``# repro: allow(rule)`` comment is *dead* when no (now-suppressed)
+    finding of that rule sits on a line the comment covers — the waiver
+    outlived the violation it was written for and should be deleted.
+    Only meaningful when every pass that could produce the rule actually
+    ran, so the caller gates this on an un-skipped run.
+    """
+    dead: list[Finding] = []
+    for path in sorted(source_by_path):
+        source = source_by_path[path]
+        matched = {(f.rule, f.line) for f in findings
+                   if f.path == path and f.suppressed}
+        for lineno, comment, own_line in _comment_tokens(source):
+            match = _ALLOW_RE.search(comment)
+            if not match:
+                continue
+            covered = {lineno}
+            if own_line:
+                covered.add(lineno + 1)
+            for rule in (r.strip() for r in match.group(1).split(",")):
+                if not rule:
+                    continue
+                if not any((rule, line) in matched for line in covered):
+                    dead.append(Finding(
+                        rule="suppression.dead", path=path, line=lineno,
+                        message=f"'# repro: allow({rule})' suppresses "
+                                f"nothing — the finding it waived is "
+                                f"gone; delete the comment"))
+    return dead
+
+
+def _comment_tokens(source: str):
+    """(line, text, is-own-line) for every real ``#`` comment — via the
+    tokenizer, so docstrings *talking about* allow comments don't count."""
+    import io
+    import tokenize
+
+    out = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                prefix = token.line[:token.start[1]]
+                out.append((token.start[0], token.string,
+                            not prefix.strip()))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparsable files are the parse-error rule's business
+    return out

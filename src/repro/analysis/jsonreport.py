@@ -1,0 +1,72 @@
+"""``analyze --format json`` — machine-readable findings.
+
+The payload reuses the :mod:`repro.obs` event machinery rather than
+inventing a parallel schema: every finding is an ``analysis.finding``
+event record (validated by :func:`repro.obs.events.validate_record`,
+the same schema the CI trace job enforces), each pass contributes an
+``analysis.pass`` record, and one ``analysis.summary`` record closes
+the report.  Timestamps are pinned to ``t=0`` on the logical clock so
+the rendering is a pure function of the findings — the determinism
+test diffs two runs byte-for-byte.
+
+Exit codes are part of the contract (CI scripts switch on them):
+
+* ``0`` — clean: no active finding;
+* ``1`` — at least one active (unsuppressed) finding;
+* ``2`` — the analysis itself could not run (unknown pass, unknown
+  mutant, unreadable tree).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import AnalysisReport
+from repro.obs.events import make_event, validate_record
+
+#: Identifies the payload shape for downstream consumers.
+SCHEMA = "repro.analysis/v1"
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def _record(name: str, **fields) -> dict:
+    record = make_event(name, t=0, clock="wall", **fields).to_dict()
+    problems = validate_record(record)
+    if problems:  # a bug in this module, not in the analyzed tree
+        raise ValueError(f"invalid {name} record: {problems}")
+    return record
+
+
+def report_records(report: AnalysisReport) -> list[dict]:
+    """The report as validated event records, deterministically ordered:
+    findings sorted by location, pass stats by pass name."""
+    records = []
+    for finding in sorted(report.findings,
+                          key=lambda f: (f.path, f.line, f.rule,
+                                         f.message)):
+        records.append(_record(
+            "analysis.finding", rule=finding.rule, file=finding.path,
+            line=finding.line, message=finding.message,
+            suppressed=finding.suppressed))
+    for name in sorted(report.stats):
+        scalars = {k: v for k, v in report.stats[name].items()
+                   if isinstance(v, (str, int, float, bool))}
+        records.append(_record("analysis.pass", stage=name, **scalars))
+    records.append(_record("analysis.summary",
+                           violations=len(report.active),
+                           suppressed=len(report.suppressed)))
+    return records
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Canonical (sorted-keys, tight-separator) JSON for the report.
+    Byte-identical across runs with identical findings."""
+    payload = {
+        "schema": SCHEMA,
+        "clean": report.clean,
+        "records": report_records(report),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

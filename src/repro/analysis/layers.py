@@ -78,6 +78,10 @@ LAYER_MAP = [
     # machine + invariants); its proof module stays in the proof layer
     ("src/repro/verif/schedspec.py", "spec", None),
     ("src/repro/verif/schedproof.py", "proof", None),
+    # the rely-guarantee interference spec (declarations + pure finite
+    # models) is spec; its stability-VC module stays in the proof layer
+    ("src/repro/verif/rgspec.py", "spec", None),
+    ("src/repro/verif/rgproof.py", "proof", None),
     ("src/repro/verif", "proof", None),
     ("src/repro/smt", "proof", None),
     # prover is tooling around the proof (scheduler, cache): its lines

@@ -861,6 +861,7 @@ def build_proof(
     include_nr: bool = True,
     include_contract: bool = True,
     include_sched: bool = False,
+    include_rg: bool = False,
     scenario_depth: int = 3,
     scenario_cap: int = 60,
 ) -> ProofEngine:
@@ -881,6 +882,7 @@ def build_proof(
         "include_nr": include_nr,
         "include_contract": include_contract,
         "include_sched": include_sched,
+        "include_rg": include_rg,
         "scenario_depth": scenario_depth,
         "scenario_cap": scenario_cap,
     })
@@ -951,5 +953,11 @@ def build_proof(
 
         for vc in scheduler_vcs():
             engine.add(vc, group="scheduler")
+
+    if include_rg:
+        from repro.verif.rgproof import rg_vcs
+
+        for vc in rg_vcs():
+            engine.add(vc, group="rg")
 
     return engine

@@ -3,6 +3,16 @@
 Backed by a bytearray.  Loads and stores of 64-bit words must be naturally
 aligned, matching the alignment the hardware page walker requires of page
 table entries.
+
+Interference model (see :mod:`repro.verif.rgspec`): physical memory itself
+carries no lock.  Its rely is *frame ownership* — a thread only touches
+frames it owns, where ownership is handed out exclusively by the buddy
+allocator (:mod:`repro.nros.pmem`) under ``pmem.alloc``.  That makes every
+access here guarded ambiently: the allocator's mutual exclusion on the
+frame map is what prevents two threads from racing on the same frame, so
+the static rely-guarantee checker treats `PhysicalMemory` accesses as
+covered by the `physmem` component's ownership guard rather than by a
+lexical lock bracket.
 """
 
 from __future__ import annotations

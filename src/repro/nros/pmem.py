@@ -5,6 +5,16 @@ cache.  Supports power-of-two block sizes from one 4 KiB frame up to
 `max_order` frames, with splitting on allocation and buddy coalescing on
 free.  Satisfies the allocator protocol of :class:`repro.core.pt.impl.PageTable`
 (`alloc_frame` / `free_frame`).
+
+Concurrency discipline (rely-guarantee, see :mod:`repro.verif.rgspec`):
+every mutation of the shared free lists, the allocated map, and the
+statistics happens inside ``with self._lock:`` — the allocator's declared
+atomic actions.  The guarantee each action makes to every other thread
+("I only move whole, aligned blocks between the free lists and the
+allocated map, under the lock") is what keeps the allocator invariants
+stable under interference; ``python -m repro analyze`` checks the code
+against that declaration statically (the ``rg.*`` rules), and
+``python -m repro prove --layers rg`` discharges the stability VCs.
 """
 
 from __future__ import annotations
@@ -23,6 +33,37 @@ class OutOfMemory(Exception):
     (:mod:`repro.faults` site ``"pmem.alloc"``) — callers already treat it
     as recoverable (the kernel maps it to ENOMEM), which is exactly the
     degradation path a fault campaign audits."""
+
+
+class AllocLock:
+    """The allocator's mutex, as a context manager.
+
+    The cooperative kernel is single-threaded, so the lock never blocks
+    here — but the bracket is load-bearing: it is the *guard* the
+    rely-guarantee specs in :mod:`repro.verif.rgspec` name, the region
+    the static interference checker (:mod:`repro.analysis.rg`) requires
+    every shared mutation to sit inside, and an acquisition site in the
+    static lock-order graph (:mod:`repro.analysis.lockorder`).  Re-entry
+    is a bug (the allocator's actions never nest), so it is detected
+    rather than allowed.
+    """
+
+    def __init__(self, name: str = "pmem.alloc") -> None:
+        self.name = name
+        self.held = False
+        self.acquisitions = 0
+
+    def __enter__(self) -> "AllocLock":
+        if self.held:
+            raise RuntimeError(f"{self.name}: re-entrant acquisition")
+        self.held = True
+        self.acquisitions += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.held:
+            raise RuntimeError(f"{self.name}: release without holder")
+        self.held = False
 
 
 @dataclass
@@ -58,6 +99,7 @@ class BuddyAllocator:
         self.end = end
         self.fault_plan = fault_plan
         self.injected_failures = 0
+        self._lock = AllocLock()
         self._free: list[set[int]] = [set() for _ in range(self.MAX_ORDER + 1)]
         # allocated block -> order (needed to free without a size argument)
         self._allocated: dict[int, int] = {}
@@ -83,51 +125,53 @@ class BuddyAllocator:
         """Allocate a block of 2**order frames; returns its base paddr."""
         if not 0 <= order <= self.MAX_ORDER:
             raise ValueError(f"order {order} out of range")
-        if self.fault_plan is not None:
-            decision = self.fault_plan.draw("pmem.alloc")
-            if decision is not None and decision.kind == "alloc-fail":
-                self.injected_failures += 1
-                raise OutOfMemory(
-                    f"injected allocation failure (order {order})")
-        found = None
-        for k in range(order, self.MAX_ORDER + 1):
-            if self._free[k]:
-                found = k
-                break
-        if found is None:
-            raise OutOfMemory(f"no free block of order {order}")
-        block = min(self._free[found])
-        self._free[found].discard(block)
-        while found > order:
-            found -= 1
-            buddy = block + (defs.PAGE_SIZE << found)
-            self._free[found].add(buddy)
-            self.stats.splits += 1
-        self._allocated[block] = order
-        self.stats.allocations += 1
-        self.stats.free_frames -= 1 << order
-        return block
+        with self._lock:
+            if self.fault_plan is not None:
+                decision = self.fault_plan.draw("pmem.alloc")
+                if decision is not None and decision.kind == "alloc-fail":
+                    self.injected_failures += 1
+                    raise OutOfMemory(
+                        f"injected allocation failure (order {order})")
+            found = None
+            for k in range(order, self.MAX_ORDER + 1):
+                if self._free[k]:
+                    found = k
+                    break
+            if found is None:
+                raise OutOfMemory(f"no free block of order {order}")
+            block = min(self._free[found])
+            self._free[found].discard(block)
+            while found > order:
+                found -= 1
+                buddy = block + (defs.PAGE_SIZE << found)
+                self._free[found].add(buddy)
+                self.stats.splits += 1
+            self._allocated[block] = order
+            self.stats.allocations += 1
+            self.stats.free_frames -= 1 << order
+            return block
 
     def free_block(self, paddr: int) -> None:
         """Free a previously allocated block, coalescing with its buddy."""
-        order = self._allocated.pop(paddr, None)
-        if order is None:
-            raise ValueError(f"free of unallocated block {paddr:#x}")
-        self.stats.frees += 1
-        self.stats.free_frames += 1 << order
-        block = paddr
-        while order < self.MAX_ORDER:
-            size = defs.PAGE_SIZE << order
-            buddy = block ^ size
-            if buddy < self.start or buddy >= self.end:
-                break
-            if buddy not in self._free[order]:
-                break
-            self._free[order].discard(buddy)
-            block = min(block, buddy)
-            order += 1
-            self.stats.merges += 1
-        self._free[order].add(block)
+        with self._lock:
+            order = self._allocated.pop(paddr, None)
+            if order is None:
+                raise ValueError(f"free of unallocated block {paddr:#x}")
+            self.stats.frees += 1
+            self.stats.free_frames += 1 << order
+            block = paddr
+            while order < self.MAX_ORDER:
+                size = defs.PAGE_SIZE << order
+                buddy = block ^ size
+                if buddy < self.start or buddy >= self.end:
+                    break
+                if buddy not in self._free[order]:
+                    break
+                self._free[order].discard(buddy)
+                block = min(block, buddy)
+                order += 1
+                self.stats.merges += 1
+            self._free[order].add(block)
 
     # -- PageTable allocator protocol ----------------------------------------------
 
@@ -141,7 +185,9 @@ class BuddyAllocator:
 
     def free_blocks(self) -> dict[int, int]:
         """order -> count of free blocks (for tests and stats)."""
-        return {k: len(blocks) for k, blocks in enumerate(self._free) if blocks}
+        with self._lock:
+            return {k: len(blocks)
+                    for k, blocks in enumerate(self._free) if blocks}
 
     def check_integrity(self) -> str | None:
         """Structural invariant check; returns a description or None.
@@ -150,25 +196,28 @@ class BuddyAllocator:
         * free blocks are aligned to their order
         * free + allocated frames account for the whole range
         """
-        covered: set[int] = set()
-        for order, blocks in enumerate(self._free):
-            size = defs.PAGE_SIZE << order
-            for block in blocks:
-                if block % size:
-                    return f"free block {block:#x} misaligned for order {order}"
-                if block < self.start or block + size > self.end:
-                    return f"free block {block:#x} out of range"
+        with self._lock:
+            covered: set[int] = set()
+            for order, blocks in enumerate(self._free):
+                size = defs.PAGE_SIZE << order
+                for block in blocks:
+                    if block % size:
+                        return (f"free block {block:#x} misaligned for "
+                                f"order {order}")
+                    if block < self.start or block + size > self.end:
+                        return f"free block {block:#x} out of range"
+                    frames = set(range(block, block + size, defs.PAGE_SIZE))
+                    if covered & frames:
+                        return f"free block {block:#x} overlaps another"
+                    covered |= frames
+            for block, order in self._allocated.items():
+                size = defs.PAGE_SIZE << order
                 frames = set(range(block, block + size, defs.PAGE_SIZE))
                 if covered & frames:
-                    return f"free block {block:#x} overlaps another"
+                    return (f"allocated block {block:#x} overlaps a free "
+                            f"block")
                 covered |= frames
-        for block, order in self._allocated.items():
-            size = defs.PAGE_SIZE << order
-            frames = set(range(block, block + size, defs.PAGE_SIZE))
-            if covered & frames:
-                return f"allocated block {block:#x} overlaps a free block"
-            covered |= frames
-        expected = set(range(self.start, self.end, defs.PAGE_SIZE))
-        if covered != expected:
-            return "free + allocated frames do not cover the range"
-        return None
+            expected = set(range(self.start, self.end, defs.PAGE_SIZE))
+            if covered != expected:
+                return "free + allocated frames do not cover the range"
+            return None

@@ -5,6 +5,16 @@ NUMA node through node replication.  A :class:`VSpace` therefore owns one
 page table *per node* (the NR replicas), all kept consistent through the
 operation log; each core's MMU walks its own node's tree, and unmap performs
 a TLB shootdown across every registered core.
+
+Interference model (see :mod:`repro.verif.rgspec`): the page-table trees
+are mutated only inside ``_PtDs.apply``, which NR runs while holding the
+replica writer lock — that lock is the guard the rely-guarantee spec
+names for every vspace action.  The per-space bookkeeping counters
+(``mapped_pages``, ``shootdowns``) and the obs instruments are declared
+*benign* shared state: the rely admits concurrent monitoring updates and
+no invariant depends on their exact values, so the static checker does
+not require a lock around them.  TLB registration (``attach_core`` /
+``detach_core``) is core-local configuration serialized by the caller.
 """
 
 from __future__ import annotations

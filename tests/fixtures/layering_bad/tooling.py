@@ -1,6 +1,7 @@
 """Tooling module of the fixture tree: carries a bare print()
-(``console.bare-print``) plus one suppressed finding so suppression
-accounting is exercised."""
+(``console.bare-print``), one suppressed finding so suppression
+accounting is exercised, and one stale waiver the dead-suppression
+lint (``suppression.dead``) must flag."""
 
 
 def report(value):
@@ -9,3 +10,9 @@ def report(value):
 
 def report_allowed(value):
     print("value:", value)  # repro: allow(console.bare-print)
+
+
+def report_fixed(value):
+    # The violation this comment once waived was fixed; the waiver
+    # outlived it and must be reported as dead.
+    return value  # repro: allow(console.bare-print)

@@ -7,7 +7,8 @@ import subprocess
 import sys
 
 from repro.analysis.cli import PASSES, RULES, repo_root, run_analysis
-from repro.analysis.findings import Finding, allowed_rules, apply_suppressions
+from repro.analysis.findings import (Finding, allowed_rules,
+                                     apply_suppressions, dead_suppressions)
 from repro.analysis.imports import discover_sources
 from repro.analysis.layers import (
     LAYER_MAP,
@@ -29,8 +30,12 @@ def test_every_file_under_src_repro_is_classified():
     spec/proof/exec/other boundary (and hence out of the ratio)."""
     sources = discover_sources(repo_root())
     assert sources, "discover_sources found nothing under src/repro"
-    unmapped = [path for path in sources if classify_layer(path) is None]
-    assert unmapped == []
+    unmapped = sorted(path for path in sources
+                      if classify_layer(path) is None)
+    assert not unmapped, (
+        f"{len(unmapped)} file(s) under src/repro missing from "
+        f"repro.analysis.layers.LAYER_MAP — add an entry (or a "
+        f"directory prefix) for each of: " + ", ".join(unmapped))
 
 
 def test_prefix_match_respects_path_components():
@@ -50,7 +55,11 @@ def test_layer_map_pins_the_interesting_boundaries():
     assert classify_layer("src/repro/verif/contracts.py") == "proof"
     assert classify_layer("src/repro/verif/schedspec.py") == "spec"
     assert classify_layer("src/repro/verif/schedproof.py") == "proof"
+    assert classify_layer("src/repro/verif/rgspec.py") == "spec"
+    assert classify_layer("src/repro/verif/rgproof.py") == "proof"
     assert classify_layer("src/repro/analysis/sched_race.py") == "other"
+    assert classify_layer("src/repro/analysis/rg.py") == "other"
+    assert classify_layer("src/repro/analysis/lockorder.py") == "other"
     assert classify_layer("src/repro/immutable.py") == "other"
 
 
@@ -161,6 +170,7 @@ def test_fixture_fires_every_static_rule():
         "purity.mutation",
         "purity.nondeterminism",
         "console.bare-print",
+        "suppression.dead",
     }
     assert fired <= set(RULES)
     # tooling.py carries one sanctioned print; suppression is honoured
@@ -176,6 +186,106 @@ def test_fixture_transitive_chain_names_the_leak():
     assert "runtime.py -> helper.py -> proof_lemmas.py" in chains[0].message
 
 
+# -- the dead-suppression lint ------------------------------------------------------
+
+
+def test_dead_suppression_flags_stale_allow_only():
+    source = (
+        "live()  # repro: allow(rule-a)\n"
+        "clean()  # repro: allow(rule-b)\n"
+    )
+    findings = [Finding(rule="rule-a", path="m.py", line=1, message="x")]
+    apply_suppressions(findings, {"m.py": source})
+    dead = dead_suppressions(findings, {"m.py": source})
+    assert [(f.rule, f.line) for f in dead] == [("suppression.dead", 2)]
+    assert "allow(rule-b)" in dead[0].message
+
+
+def test_dead_suppression_covers_next_line_of_standalone_comment():
+    source = "# repro: allow(rule-a)\nbad()\n"
+    findings = [Finding(rule="rule-a", path="m.py", line=2, message="x")]
+    apply_suppressions(findings, {"m.py": source})
+    assert dead_suppressions(findings, {"m.py": source}) == []
+
+
+def test_dead_suppression_ignores_docstring_mentions():
+    source = '"""Docs talking about # repro: allow(rule-a) syntax."""\n'
+    assert dead_suppressions([], {"m.py": source}) == []
+
+
+def test_fixture_dead_suppression_is_located():
+    report = run_analysis(root=FIXTURE, skip={"race"})
+    dead = [f for f in report.active if f.rule == "suppression.dead"]
+    assert len(dead) == 1
+    assert dead[0].path == "tooling.py"
+    assert "console.bare-print" in dead[0].message
+
+
+def test_clean_tree_has_no_dead_suppressions():
+    report = run_analysis(skip={"race"})
+    assert [f for f in report.findings
+            if f.rule == "suppression.dead"] == []
+
+
+# -- the json reporter --------------------------------------------------------------
+
+
+def _run_analyze_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", *argv],
+        capture_output=True, text=True, cwd=repo_root(),
+        env={"PYTHONPATH": str(repo_root() / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_json_format_is_byte_deterministic_at_fixed_seed():
+    """Satellite guarantee: same seed, same bytes — across the full
+    rule set including the rg, lockorder, and deadsupp passes."""
+    argv = ("--format", "json", "--seed", "3", "--max-steps", "20000")
+    first = _run_analyze_cli(*argv)
+    second = _run_analyze_cli(*argv)
+    assert first.returncode == 0, first.stdout + first.stderr
+    assert second.returncode == 0
+    assert first.stdout == second.stdout
+    import json as json_mod
+
+    payload = json_mod.loads(first.stdout)
+    assert payload["schema"] == "repro.analysis/v1"
+    assert payload["clean"] is True
+    names = {record["name"] for record in payload["records"]}
+    assert names == {"analysis.finding", "analysis.pass",
+                     "analysis.summary"}
+    stages = {record["stage"] for record in payload["records"]
+              if record["name"] == "analysis.pass"}
+    assert {"layering", "purity", "rg", "lockorder", "deadsupp",
+            "race", "race_sched"} <= stages
+
+
+def test_json_format_validates_against_obs_schema():
+    from repro.obs.events import validate_record
+
+    proc = _run_analyze_cli("--format", "json", "--root", str(FIXTURE),
+                            "--skip", "race")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    import json as json_mod
+
+    payload = json_mod.loads(proc.stdout)
+    assert payload["clean"] is False
+    for record in payload["records"]:
+        assert validate_record(record) == []
+    rules = {record["rule"] for record in payload["records"]
+             if record["name"] == "analysis.finding"}
+    assert "suppression.dead" in rules
+
+
+def test_cli_stable_exit_codes():
+    assert _run_analyze_cli("--skip", "race").returncode == 0
+    assert _run_analyze_cli("--root", str(FIXTURE),
+                            "--skip", "race").returncode == 1
+    assert _run_analyze_cli("--skip", "bogus").returncode == 2
+    assert _run_analyze_cli("--mutant", "no-such-mutant").returncode == 2
+
+
 def test_cli_exits_nonzero_on_fixture():
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "analyze",
@@ -188,6 +298,9 @@ def test_cli_exits_nonzero_on_fixture():
 
 
 def test_cli_list_rules_covers_passes():
-    assert set(PASSES) == {"layering", "purity", "race"}
+    assert set(PASSES) == {"layering", "purity", "rg", "lockorder",
+                           "deadsupp", "race"}
     for rule, text in RULES.items():
         assert rule and text
+    for prefix in ("rg.", "lockorder.", "suppression."):
+        assert any(rule.startswith(prefix) for rule in RULES)
